@@ -1,0 +1,383 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (run `go test -bench=. -benchmem`), plus micro-benchmarks of
+// the framework's hot paths and ablations of its design choices. Each
+// figure benchmark reports the headline quantities of the corresponding
+// paper result as custom metrics.
+package gemini
+
+import (
+	"testing"
+
+	"gemini/internal/arch"
+	"gemini/internal/core"
+	"gemini/internal/dnn"
+	"gemini/internal/dse"
+	"gemini/internal/eval"
+	"gemini/internal/experiments"
+	"gemini/internal/graphpart"
+	"gemini/internal/noc"
+	"gemini/internal/sa"
+	"gemini/internal/space"
+)
+
+func benchOptions() experiments.Options {
+	o := experiments.QuickOptions()
+	o.SAIterations = 100
+	o.Batches = []int{2}
+	return o
+}
+
+// BenchmarkTableI_SpaceEnumeration regenerates the Table I candidate grids.
+func BenchmarkTableI_SpaceEnumeration(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(dse.Space72().Enumerate()) + len(dse.Space128().Enumerate()) + len(dse.Space512().Enumerate())
+	}
+	b.ReportMetric(float64(n), "candidates")
+}
+
+// BenchmarkFig5_OverallComparison regenerates the Fig. 5 comparison and
+// reports the headline gains (paper: 1.98x perf, 1.41x energy, +14.3% MC).
+func BenchmarkFig5_OverallComparison(b *testing.B) {
+	var r *experiments.Fig5Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Fig5(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.PerfGain, "perf_gain_x")
+	b.ReportMetric(r.EnergyGain, "energy_gain_x")
+	b.ReportMetric(100*r.MCIncrease, "mc_increase_%")
+}
+
+// BenchmarkVIB2_TorusComparison regenerates the Sec. VI-B2 folded-torus
+// comparison (paper: 1.74x perf, 1.13x energy, -40.1% MC).
+func BenchmarkVIB2_TorusComparison(b *testing.B) {
+	var r *experiments.TArchResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.TArch(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.PerfGain, "perf_gain_x")
+	b.ReportMetric(r.EnergyGain, "energy_gain_x")
+	b.ReportMetric(-100*r.MCReduction, "mc_delta_%")
+}
+
+// BenchmarkFig6_DesignSpaceScatter regenerates the Fig. 6 EDP/MC scatter.
+func BenchmarkFig6_DesignSpaceScatter(b *testing.B) {
+	var r *experiments.Fig6Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Fig6(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(r.Points)), "candidates")
+	if ch, ok := r.OptimaChiplets["128TOPs-tiny/MC*E*D"]; ok {
+		b.ReportMetric(float64(ch), "optimum_chiplets_128T")
+	}
+}
+
+// BenchmarkFig7_ObjectiveOptima regenerates the Fig. 7 four-objective
+// analysis (reports the MC*E*D optimum's pipeline length).
+func BenchmarkFig7_ObjectiveOptima(b *testing.B) {
+	var r *experiments.Fig7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Fig7(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range r.Rows {
+		if row.Objective == "MC*E*D" {
+			b.ReportMetric(row.AvgLayersPerGroup, "layers_per_stage")
+			b.ReportMetric(float64(row.Cores), "optimum_cores")
+		}
+	}
+}
+
+// BenchmarkFig8_ChipletReuse regenerates the Fig. 8 reuse study (paper:
+// joint-optimal gap ~+34%).
+func BenchmarkFig8_ChipletReuse(b *testing.B) {
+	var r *experiments.Fig8Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Fig8(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.JointGap, "joint_gap_%")
+}
+
+// BenchmarkFig9_TrafficHeatmap regenerates the Fig. 9 heatmap comparison
+// (paper: -34.2% hops, -74% D2D hops on the hot links).
+func BenchmarkFig9_TrafficHeatmap(b *testing.B) {
+	var r *experiments.Fig9Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Fig9(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.HopReduction, "hop_reduction_%")
+	b.ReportMetric(100*r.D2DReduction, "d2d_reduction_%")
+}
+
+// BenchmarkFig8a_ChipletGranularity regenerates the Fig. 8(a) granularity
+// sweep (paper insight 1: moderate counts win, 36 chiplets lose).
+func BenchmarkFig8a_ChipletGranularity(b *testing.B) {
+	var r *experiments.GranularityResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.ChipletGranularity(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.BestChiplets), "best_chiplets")
+	for _, row := range r.Rows {
+		if row.Chiplets == 36 {
+			b.ReportMetric(row.MCED, "mced_36chiplets_norm")
+		}
+	}
+}
+
+// BenchmarkIVB_SpaceSize regenerates the Sec. IV-B space-size table.
+func BenchmarkIVB_SpaceSize(b *testing.B) {
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		adv = space.LogAdvantage(36, 8)
+	}
+	b.ReportMetric(adv, "log10_advantage_M36_N8")
+}
+
+// --- Micro-benchmarks of the framework's hot paths. ---
+
+func benchScheme(b *testing.B) (*core.Scheme, *arch.Config) {
+	b.Helper()
+	cfg := arch.GArch72()
+	g := dnn.TinyTransformer()
+	ids := make([]int, len(g.Layers))
+	for i := range ids {
+		ids[i] = i
+	}
+	s, err := core.StripeScheme(g, &cfg, [][]int{ids}, []int{2}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, &cfg
+}
+
+func BenchmarkAnalyzeGroup(b *testing.B) {
+	s, cfg := benchScheme(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(s, 0, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateScheme(b *testing.B) {
+	s, cfg := benchScheme(b)
+	ev := eval.New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := ev.Evaluate(s); !r.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+func BenchmarkSAStep(b *testing.B) {
+	s, cfg := benchScheme(b)
+	ev := eval.New(cfg)
+	opt := sa.DefaultOptions()
+	opt.Iterations = b.N
+	b.ResetTimer()
+	sa.Optimize(s, ev, opt)
+}
+
+func BenchmarkGraphPartitionResNet50(b *testing.B) {
+	cfg := arch.GArch72()
+	g := dnn.ResNet50()
+	ev := eval.New(&cfg)
+	opt := graphpart.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graphpart.Partition(g, &cfg, ev, 64, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapTransformerFull(b *testing.B) {
+	cfg := arch.GArch72()
+	g := dnn.Transformer()
+	opt := dse.DefaultOptions()
+	opt.SAIterations = 300
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.MapModel(&cfg, g, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNoCRoute(b *testing.B) {
+	cfg := arch.Grayskull()
+	net := noc.New(&cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Route(arch.CoreID(i%cfg.Cores()), arch.CoreID((i*7+13)%cfg.Cores()))
+	}
+}
+
+func BenchmarkMonetaryCost(b *testing.B) {
+	cfg := arch.GArch72()
+	for i := 0; i < b.N; i++ {
+		MonetaryCost(&cfg)
+	}
+}
+
+// --- Ablations of design choices called out in DESIGN.md. ---
+
+// BenchmarkAblation_MulticastVsUnicast quantifies the traffic saved by the
+// NoC multicast trees the analyzer emits, on a channel-partitioned consumer
+// (every consumer core needs the producer's full output).
+func BenchmarkAblation_MulticastVsUnicast(b *testing.B) {
+	cfg := arch.GArch72()
+	g := dnn.TinyCNN()
+	s, err := core.StripeScheme(g, &cfg, [][]int{{0, 1}}, []int{1}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Re-partition the consumer conv across output channels so all of its
+	// cores need the identical producer region.
+	ms := s.Groups[0].MSs[1]
+	k := len(ms.CG)
+	if k > g.Layer(1).OK {
+		k = g.Layer(1).OK
+	}
+	ms.CG = ms.CG[:k]
+	ms.Part = core.Part{H: 1, W: 1, B: 1, K: k}
+	an, err := core.Analyze(s, 0, &cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := noc.New(&cfg)
+	var multi, uni float64
+	for i := 0; i < b.N; i++ {
+		tm := net.NewTraffic()
+		tu := net.NewTraffic()
+		for _, f := range an.ActFlows {
+			tm.AddMulticast(f.Src, f.Dsts, f.Bytes)
+			for _, d := range f.Dsts {
+				tu.AddUnicast(f.Src, d, f.Bytes)
+			}
+		}
+		mo, md, _ := tm.TotalBytes()
+		uo, ud, _ := tu.TotalBytes()
+		multi, uni = mo+md, uo+ud
+	}
+	b.ReportMetric(uni/multi, "unicast_over_multicast_x")
+}
+
+// BenchmarkAblation_D2DEnergyModels compares the clock-forwarding (GRS) and
+// clock-embedded (SerDes) D2D energy models of Sec. V-B2.
+func BenchmarkAblation_D2DEnergyModels(b *testing.B) {
+	s, cfg := benchScheme(b)
+	grs := eval.New(cfg)
+	sd := eval.New(cfg)
+	sd.Params.D2DModel = eval.SerDes
+	var rg, rs eval.Result
+	for i := 0; i < b.N; i++ {
+		rg = grs.Evaluate(s)
+		rs = sd.Evaluate(s)
+	}
+	b.ReportMetric(rs.Energy.D2D/rg.Energy.D2D, "serdes_over_grs_x")
+}
+
+// BenchmarkAblation_SAOperators measures how much each exploration budget
+// buys over the stripe baseline (the value of the five-operator SA).
+func BenchmarkAblation_SAOperators(b *testing.B) {
+	s, cfg := benchScheme(b)
+	ev := eval.New(cfg)
+	var impr float64
+	for i := 0; i < b.N; i++ {
+		opt := sa.DefaultOptions()
+		opt.Iterations = 400
+		r := sa.Optimize(s, ev, opt)
+		impr = r.Improvement()
+	}
+	b.ReportMetric(impr, "sa_improvement_x")
+}
+
+// BenchmarkAblation_OperatorSubsets compares the full five-operator SA
+// against searches restricted to single operator families, quantifying the
+// paper's claim that the operator set jointly spans the space.
+func BenchmarkAblation_OperatorSubsets(b *testing.B) {
+	s, cfg := benchScheme(b)
+	ev := eval.New(cfg)
+	run := func(ops []core.Op) float64 {
+		opt := sa.DefaultOptions()
+		opt.Iterations = 400
+		opt.Ops = ops
+		return sa.Optimize(s, ev, opt).Improvement()
+	}
+	var full, partOnly, swapOnly float64
+	for i := 0; i < b.N; i++ {
+		full = run(nil)
+		partOnly = run([]core.Op{core.OpPart})
+		swapOnly = run([]core.Op{core.OpSwapIntra, core.OpSwapInter})
+	}
+	b.ReportMetric(full, "full_improvement_x")
+	b.ReportMetric(partOnly, "part_only_x")
+	b.ReportMetric(swapOnly, "swaps_only_x")
+}
+
+// BenchmarkAblation_GraphPartitionDP compares the DP partitioner against a
+// naive fixed-size chunking of the layer list.
+func BenchmarkAblation_GraphPartitionDP(b *testing.B) {
+	cfg := arch.GArch72()
+	g := dnn.TinyTransformer()
+	ev := eval.New(&cfg)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		dp, err := graphpart.Partition(g, &cfg, ev, 8, graphpart.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var chunks [][]int
+		var bus []int
+		for lo := 0; lo < len(g.Layers); lo += 6 {
+			hi := lo + 6
+			if hi > len(g.Layers) {
+				hi = len(g.Layers)
+			}
+			ids := make([]int, 0, hi-lo)
+			for id := lo; id < hi; id++ {
+				ids = append(ids, id)
+			}
+			chunks = append(chunks, ids)
+			bus = append(bus, 1)
+		}
+		naive, err := core.StripeScheme(g, &cfg, chunks, bus, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd := ev.Evaluate(dp.Scheme)
+		rn := ev.Evaluate(naive)
+		ratio = eval.Cost(rn, 1, 1) / eval.Cost(rd, 1, 1)
+	}
+	b.ReportMetric(ratio, "naive_over_dp_cost_x")
+}

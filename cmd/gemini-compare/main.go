@@ -1,0 +1,54 @@
+// Command gemini-compare reproduces the paper's overall comparisons, like
+// the artifact's compare.sh: Fig. 5 (G-Arch+G-Map vs S-Arch+T-Map vs
+// S-Arch+G-Map over five DNNs and two batch sizes) and the Sec. VI-B2
+// folded-torus T-Arch comparison.
+//
+// Usage:
+//
+//	gemini-compare            # Fig. 5, full workloads
+//	gemini-compare -quick     # tiny workloads, seconds
+//	gemini-compare -baseline tarch
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"gemini/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gemini-compare: ")
+
+	quick := flag.Bool("quick", false, "tiny workloads and small SA budget")
+	baseline := flag.String("baseline", "simba", "simba (Fig. 5) or tarch (Sec. VI-B2)")
+	sa := flag.Int("sa", 0, "override SA iterations (0 = fidelity default)")
+	flag.Parse()
+
+	opt := experiments.FullOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	if *sa > 0 {
+		opt.SAIterations = *sa
+	}
+
+	switch *baseline {
+	case "simba":
+		r, err := experiments.Fig5(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Print(os.Stdout)
+	case "tarch":
+		r, err := experiments.TArch(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Print(os.Stdout)
+	default:
+		log.Fatalf("unknown -baseline %q (want simba or tarch)", *baseline)
+	}
+}

@@ -1,0 +1,105 @@
+// Command gemini-dse runs the Gemini architecture/mapping co-exploration
+// over a Table I candidate space (paper Sec. V-A, VI-A1) and reports the
+// optimal architecture plus a result.csv-style table, like the artifact's
+// dse.sh.
+//
+// Usage:
+//
+//	gemini-dse -tops 72 -reduced -models transformer -batch 64 -out result.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"gemini/internal/dnn"
+	"gemini/internal/dse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gemini-dse: ")
+
+	tops := flag.Int("tops", 72, "target compute: 72, 128 or 512 TOPs")
+	reduced := flag.Bool("reduced", false, "use the reduced candidate grid (fast)")
+	models := flag.String("models", "transformer", "comma-separated workload list")
+	batch := flag.Int("batch", 64, "batch size (64 = throughput scenario)")
+	saIters := flag.Int("sa", 600, "SA iterations per candidate/model mapping")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	alpha := flag.Float64("alpha", 1, "MC exponent of the objective")
+	beta := flag.Float64("beta", 1, "energy exponent of the objective")
+	gamma := flag.Float64("gamma", 1, "delay exponent of the objective")
+	out := flag.String("out", "", "write full result table CSV to this path")
+	top := flag.Int("top", 10, "print the best N candidates")
+	flag.Parse()
+
+	var sp dse.Space
+	switch *tops {
+	case 72:
+		sp = dse.Space72()
+	case 128:
+		sp = dse.Space128()
+	case 512:
+		sp = dse.Space512()
+	default:
+		log.Fatalf("unsupported -tops %d (want 72, 128 or 512)", *tops)
+	}
+	if *reduced {
+		sp = sp.Reduced()
+	}
+
+	var graphs []*dnn.Graph
+	for _, name := range strings.Split(*models, ",") {
+		g, err := dnn.Model(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+
+	opt := dse.DefaultOptions()
+	opt.Batch = *batch
+	opt.SAIterations = *saIters
+	opt.Workers = *workers
+	opt.Objective = dse.Objective{Alpha: *alpha, Beta: *beta, Gamma: *gamma}
+
+	cands := sp.Enumerate()
+	fmt.Printf("space %s: %d candidates, %d workload(s), batch %d\n", sp.Name, len(cands), len(graphs), *batch)
+	start := time.Now()
+	results := dse.Run(cands, graphs, opt)
+	fmt.Printf("explored in %v\n\n", time.Since(start).Round(time.Second))
+
+	best := dse.Best(results)
+	if best == nil {
+		log.Fatal("no feasible candidate")
+	}
+	fmt.Printf("optimal architecture (MC^%.1f E^%.1f D^%.1f): %s\n",
+		*alpha, *beta, *gamma, best.Cfg.Name)
+	fmt.Printf("  MC=$%.2f  E=%.4g J  D=%.4g s  EDP=%.4g\n\n", best.MC.Total(), best.Energy, best.Delay, best.EDP())
+
+	fmt.Printf("top %d candidates:\n", *top)
+	for i := 0; i < len(results) && i < *top; i++ {
+		r := &results[i]
+		if !r.Feasible {
+			break
+		}
+		fmt.Printf("%2d. %-48s obj=%.4g MC=$%.2f E=%.3g D=%.3g\n",
+			i+1, r.Cfg.Name, r.Obj, r.MC.Total(), r.Energy, r.Delay)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := dse.WriteCSV(f, results); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d rows)\n", *out, len(results))
+	}
+}

@@ -1,0 +1,46 @@
+// Command gemini-heatmap reproduces the Fig. 9 network traffic heatmaps:
+// the optimal SPM schemes explored by the Tangram stripe heuristic and by
+// Gemini for a heavy three-layer Transformer group on the 72 TOPs G-Arch,
+// with hop-count and D2D-pressure statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gemini/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gemini-heatmap: ")
+
+	quick := flag.Bool("quick", false, "small SA budget")
+	outDir := flag.String("csv", "", "also write tangram.csv / gemini.csv into this directory")
+	flag.Parse()
+
+	opt := experiments.FullOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	r, err := experiments.Fig9(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.Print(os.Stdout)
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for name, data := range map[string]string{"tangram.csv": r.TangramCSV, "gemini.csv": r.GeminiCSV} {
+			path := *outDir + "/" + name
+			if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}

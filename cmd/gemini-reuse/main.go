@@ -1,0 +1,35 @@
+// Command gemini-reuse reproduces the Fig. 8 chiplet-reuse study
+// (Sec. VII-B): accelerators at 128 and 512 TOPs built from Simba chiplets,
+// from the other scale's optimal chiplet, from the jointly explored chiplet,
+// and from each scale's own optimum.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"gemini/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gemini-reuse: ")
+
+	quick := flag.Bool("quick", false, "tiny workloads and small SA budget")
+	sa := flag.Int("sa", 0, "override SA iterations (0 = fidelity default)")
+	flag.Parse()
+
+	opt := experiments.FullOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	if *sa > 0 {
+		opt.SAIterations = *sa
+	}
+	r, err := experiments.Fig8(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.Print(os.Stdout)
+}

@@ -1,0 +1,14 @@
+// Command gemini-space prints the Sec. IV-B optimization-space comparison:
+// the exact lower bound of the space defined by Gemini's layer-centric
+// encoding against the upper bound of the Tangram stripe heuristic.
+package main
+
+import (
+	"os"
+
+	"gemini/internal/experiments"
+)
+
+func main() {
+	experiments.PrintSpaceSizes(os.Stdout)
+}

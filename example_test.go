@@ -1,0 +1,53 @@
+package gemini_test
+
+import (
+	"fmt"
+
+	"gemini"
+)
+
+// ExampleMap shows the basic Mapping Engine flow on a preset architecture.
+func ExampleMap() {
+	cfg := gemini.GArch72()
+	model, err := gemini.LoadModel("googlenet")
+	if err != nil {
+		panic(err)
+	}
+	opt := gemini.DefaultMapOptions()
+	opt.Batch = 4
+	opt.SAIterations = 50 // demo budget
+	m, err := gemini.Map(&cfg, model, opt)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("feasible:", m.Result.Feasible)
+	fmt.Println("groups >= 1:", len(m.Scheme.Groups) >= 1)
+	// Output:
+	// feasible: true
+	// groups >= 1: true
+}
+
+// ExampleMonetaryCost evaluates an architecture's monetary cost breakdown.
+func ExampleMonetaryCost() {
+	cfg := gemini.SimbaArch()
+	mc := gemini.MonetaryCost(&cfg)
+	fmt.Println("has silicon cost:", mc.Silicon() > 0)
+	fmt.Println("has DRAM cost:", mc.DRAM > 0)
+	// Output:
+	// has silicon cost: true
+	// has DRAM cost: true
+}
+
+// ExampleScaleArch replicates one chiplet into a larger accelerator.
+func ExampleScaleArch() {
+	base := gemini.GArch72()
+	big, err := gemini.ScaleArch(base, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cores x4:", big.Cores() == 4*base.Cores())
+	fmt.Println("same chiplet:", big.ChipletW() == base.ChipletW() && big.ChipletH() == base.ChipletH())
+	// Output:
+	// cores x4: true
+	// same chiplet: true
+}

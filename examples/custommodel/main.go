@@ -1,0 +1,50 @@
+// Custom-model example: define a network in the framework's plain-text
+// description format (the paper's Model Parser input), map it, and print
+// the per-group energy & delay report.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gemini"
+	"gemini/internal/dnn"
+	"gemini/internal/eval"
+)
+
+const description = `
+# An edge-vision backbone with a residual stage and an attention head.
+model edgenet
+input  x 64 64 3
+conv   c1 x  k=32 r=3 stride=2 pad=1
+conv   c2 c1 k=32 r=3 pad=1
+conv   c3 c2 k=32 r=3 pad=1
+add    a1 c2 c3
+pool   p1 a1 r=2 stride=2
+conv   c4 p1 k=64 r=3 pad=1
+gap    g  c4
+fc     emb g k=64
+`
+
+func main() {
+	model, err := dnn.ParseString(description)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := gemini.GArch72()
+	opt := gemini.DefaultMapOptions()
+	opt.Batch = 16
+	opt.SAIterations = 400
+
+	m, err := gemini.Map(&cfg, model, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d layers, %.1f MMACs/sample\n\n", model.Name, len(model.Layers), float64(model.TotalMACs())/1e6)
+	rep, err := eval.New(&cfg).Report(m.Scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Print(os.Stdout)
+}

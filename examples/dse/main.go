@@ -1,0 +1,41 @@
+// DSE example: a miniature architecture/mapping co-exploration in the style
+// of Table I, sweeping the 72 TOPs reduced grid with the Transformer
+// workload and ranking candidates by MC * E * D.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gemini"
+)
+
+func main() {
+	space := gemini.Space72().Reduced()
+	cands := space.Enumerate()
+	model, err := gemini.LoadModel("transformer")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := gemini.DefaultDSEOptions()
+	opt.Batch = 64
+	opt.SAIterations = 200 // small budget: this is a demo sweep
+
+	fmt.Printf("exploring %d candidates of %s with %s (batch %d)...\n\n",
+		len(cands), space.Name, model.Name, opt.Batch)
+	results := gemini.ExploreArchitectures(cands, []*gemini.Model{model}, opt)
+
+	fmt.Println("rank  architecture                                      MC($)   energy(J)  delay(s)   MC*E*D")
+	for i, r := range results {
+		if !r.Feasible || i >= 8 {
+			break
+		}
+		fmt.Printf("%4d  %-48s %7.2f  %9.4g  %8.4g  %.4g\n",
+			i+1, r.Cfg.Name, r.MC.Total(), r.Energy, r.Delay, r.Obj)
+	}
+
+	best := gemini.BestArchitecture(results)
+	fmt.Printf("\noptimal: %s\n", best.Cfg.Name)
+	fmt.Printf("paper's full-space 72 TOPs optimum for reference: %s\n", "(2, 36, 144GB/s, 32GB/s, 16GB/s, 2MB, 1024)")
+}

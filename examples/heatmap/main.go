@@ -1,0 +1,61 @@
+// Heatmap example (Fig. 9): map the Transformer onto the 72 TOPs G-Arch and
+// render the NoC traffic of its busiest layer group as an ASCII heatmap,
+// showing how the SA-explored scheme spreads load compared to stripes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gemini"
+)
+
+func main() {
+	cfg := gemini.GArch72()
+	model, err := gemini.LoadModel("transformer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := gemini.DefaultMapOptions()
+	opt.Batch = 64
+	opt.SAIterations = 1000
+
+	tangram, err := gemini.MapTangram(&cfg, model, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapped, err := gemini.Map(&cfg, model, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Busiest group by per-pass link pressure.
+	busiest := 0
+	for gi, g := range mapped.Result.Groups {
+		if g.MaxLinkLoad > mapped.Result.Groups[busiest].MaxLinkLoad {
+			busiest = gi
+		}
+	}
+	_, asciiG, err := gemini.TrafficHeatmap(mapped, busiest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, asciiT, err := gemini.TrafficHeatmap(tangram, min(busiest, len(tangram.Scheme.Groups)-1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	onT, d2dT := gemini.HopStats(tangram)
+	onG, d2dG := gemini.HopStats(mapped)
+	fmt.Printf("T-Map byte-hops: on-chip %.3g, d2d %.3g\n", onT, d2dT)
+	fmt.Printf("G-Map byte-hops: on-chip %.3g, d2d %.3g\n\n", onG, d2dG)
+	fmt.Printf("T-Map heatmap of group %d ('|' marks the chiplet cut):\n%s\n", busiest, asciiT)
+	fmt.Printf("G-Map heatmap of group %d:\n%s", busiest, asciiG)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

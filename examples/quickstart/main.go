@@ -1,0 +1,50 @@
+// Quickstart: map ResNet-50 onto the paper's 72 TOPs G-Arch with the
+// Gemini Mapping Engine and compare against the Tangram baseline, printing
+// delay, energy breakdown and the architecture's monetary cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gemini"
+)
+
+func main() {
+	cfg := gemini.GArch72()
+	model, err := gemini.LoadModel("resnet50")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := gemini.DefaultMapOptions()
+	opt.Batch = 64
+	opt.SAIterations = 800
+
+	baseline, err := gemini.MapTangram(&cfg, model, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapped, err := gemini.Map(&cfg, model, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("architecture: %s  (%.1f TOPs, %d chiplets, %d cores)\n",
+		cfg.Name, cfg.TOPS(), cfg.Chiplets(), cfg.Cores())
+	mc := gemini.MonetaryCost(&cfg)
+	fmt.Printf("monetary cost: $%.2f (silicon %.2f, DRAM %.2f, substrate %.2f)\n\n",
+		mc.Total(), mc.Silicon(), mc.DRAM, mc.Substrate)
+
+	show := func(name string, m *gemini.Mapping) {
+		e := m.Result.Energy
+		fmt.Printf("%-8s delay %.4g s | energy %.4g J (dram %.3g, noc %.3g, d2d %.3g, intra %.3g) | %d groups, %.1f layers/stage\n",
+			name, m.Result.Delay, e.Total(), e.DRAM, e.NoC, e.D2D, e.IntraCore(),
+			len(m.Scheme.Groups), m.AvgLayersPerGroup)
+	}
+	show("T-Map:", baseline)
+	show("G-Map:", mapped)
+	fmt.Printf("\nG-Map vs T-Map: %.2fx performance, %.2fx energy efficiency\n",
+		baseline.Result.Delay/mapped.Result.Delay,
+		baseline.Result.Energy.Total()/mapped.Result.Energy.Total())
+}

@@ -1,0 +1,14 @@
+// Space-size example (Sec. IV-B): print the exact optimization-space sizes
+// of Gemini's layer-centric encoding versus the Tangram stripe heuristic
+// for representative core and layer counts.
+package main
+
+import (
+	"os"
+
+	"gemini"
+)
+
+func main() {
+	gemini.PrintSpaceSizes(os.Stdout)
+}

@@ -1,0 +1,231 @@
+// Package gemini is a Go reproduction of "Gemini: Mapping and Architecture
+// Co-exploration for Large-scale DNN Chiplet Accelerators" (HPCA 2024).
+//
+// It exposes the framework's two engines — the Mapping Engine (DP graph
+// partition + simulated-annealing LP spatial-mapping search over the
+// paper's layer-centric encoding) and the Monetary Cost Evaluator — plus
+// the exhaustive architecture DSE that ties them together under the
+// MC^alpha * E^beta * D^gamma objective.
+//
+// Quick start:
+//
+//	cfg := gemini.GArch72()
+//	model, _ := gemini.LoadModel("resnet50")
+//	m, _ := gemini.Map(&cfg, model, gemini.DefaultMapOptions())
+//	fmt.Println(m.Result.Delay, m.Result.Energy.Total())
+package gemini
+
+import (
+	"fmt"
+	"io"
+
+	"gemini/internal/arch"
+	"gemini/internal/core"
+	"gemini/internal/cost"
+	"gemini/internal/dnn"
+	"gemini/internal/dse"
+	"gemini/internal/eval"
+	"gemini/internal/experiments"
+	"gemini/internal/graphpart"
+	"gemini/internal/noc"
+	"gemini/internal/sa"
+)
+
+// Arch is the configurable hardware template (paper Sec. III).
+type Arch = arch.Config
+
+// Model is a DNN DAG.
+type Model = dnn.Graph
+
+// Scheme is an encoded LP spatial mapping (paper Sec. IV).
+type Scheme = core.Scheme
+
+// EvalResult is a mapping's delay/energy evaluation.
+type EvalResult = eval.Result
+
+// MCBreakdown is a monetary-cost breakdown (paper Sec. V-C).
+type MCBreakdown = cost.Breakdown
+
+// Architecture presets from the paper's evaluation.
+var (
+	SimbaArch  = arch.Simba
+	GArch72    = arch.GArch72
+	Grayskull  = arch.Grayskull
+	GArchTorus = arch.GArchTorus
+)
+
+// Models lists the built-in workload zoo (paper Sec. VI-A3).
+func Models() []string { return dnn.ModelNames() }
+
+// LoadModel builds a zoo model by name (resnet50, resnext50,
+// inceptionresnet, pnasnet, googlenet, transformer, transformerlarge).
+func LoadModel(name string) (*Model, error) { return dnn.Model(name) }
+
+// MapOptions configures the Mapping Engine.
+type MapOptions struct {
+	// Batch is the inference batch size (64 = throughput scenario, 1 =
+	// latency scenario; paper Sec. VI-A1).
+	Batch int
+	// SAIterations controls the LP SPM annealing budget; 0 disables SA and
+	// yields the heuristic stripe mapping (the T-Map baseline).
+	SAIterations int
+	Seed         int64
+	// Beta, Gamma are the mapping objective exponents of E^beta * D^gamma.
+	Beta, Gamma float64
+	// MaxGroupLayers bounds layer-group size in the graph partitioner.
+	MaxGroupLayers int
+	// BatchUnits are candidate samples-per-pass values.
+	BatchUnits []int
+}
+
+// DefaultMapOptions returns throughput-scenario defaults.
+func DefaultMapOptions() MapOptions {
+	return MapOptions{
+		Batch:        64,
+		SAIterations: 1500,
+		Seed:         1,
+		Beta:         1,
+		Gamma:        1,
+		BatchUnits:   []int{1, 2, 4, 8},
+	}
+}
+
+// Mapping is the Mapping Engine's output for one DNN on one architecture.
+type Mapping struct {
+	Arch   Arch
+	Scheme *Scheme
+	Result EvalResult
+
+	// InitialResult is the stripe (T-Map-style) starting point, for
+	// improvement accounting.
+	InitialResult EvalResult
+	// AvgLayersPerGroup is the mean pipeline length (paper Sec. VII-A2).
+	AvgLayersPerGroup float64
+}
+
+// Map runs the full Mapping Engine (G-Map): DP-based graph partition, then
+// the SA search with the paper's five operators over the LP SPM space.
+func Map(cfg *Arch, model *Model, opt MapOptions) (*Mapping, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Batch < 1 {
+		return nil, fmt.Errorf("gemini: batch %d < 1", opt.Batch)
+	}
+	ev := eval.New(cfg)
+	gp := graphpart.DefaultOptions()
+	gp.Beta, gp.Gamma = opt.Beta, opt.Gamma
+	if opt.MaxGroupLayers > 0 {
+		gp.MaxGroupLayers = opt.MaxGroupLayers
+	}
+	if len(opt.BatchUnits) > 0 {
+		gp.BatchUnits = opt.BatchUnits
+	}
+	part, err := graphpart.Partition(model, cfg, ev, opt.Batch, gp)
+	if err != nil {
+		return nil, err
+	}
+	init := ev.Evaluate(part.Scheme)
+	m := &Mapping{Arch: *cfg, Scheme: part.Scheme, Result: init, InitialResult: init}
+	if opt.SAIterations > 0 {
+		so := sa.DefaultOptions()
+		so.Iterations = opt.SAIterations
+		so.Seed = opt.Seed
+		so.Beta, so.Gamma = opt.Beta, opt.Gamma
+		r := sa.Optimize(part.Scheme, ev, so)
+		m.Scheme = r.Scheme
+		m.Result = r.Eval
+	}
+	if !m.Result.Feasible {
+		return nil, fmt.Errorf("gemini: no feasible mapping for %s on %s", model.Name, cfg.Name)
+	}
+	m.AvgLayersPerGroup = eval.AvgLayersPerGroup(m.Scheme)
+	return m, nil
+}
+
+// MapTangram runs the T-Map baseline: the same DP graph partition with the
+// heuristic stripe-based SPM and no SA refinement.
+func MapTangram(cfg *Arch, model *Model, opt MapOptions) (*Mapping, error) {
+	opt.SAIterations = 0
+	return Map(cfg, model, opt)
+}
+
+// MonetaryCost evaluates the architecture's MC (paper Sec. V-C).
+func MonetaryCost(cfg *Arch) MCBreakdown {
+	return cost.New().Evaluate(cfg)
+}
+
+// TrafficHeatmap renders the per-link traffic of one layer group of a
+// mapping (Fig. 9). It returns the CSV rows and an ASCII rendering.
+func TrafficHeatmap(m *Mapping, group int) (csv, ascii string, err error) {
+	if group < 0 || group >= len(m.Scheme.Groups) {
+		return "", "", fmt.Errorf("gemini: group %d out of range", group)
+	}
+	an, err := core.Analyze(m.Scheme, group, &m.Arch)
+	if err != nil {
+		return "", "", err
+	}
+	net := noc.New(&m.Arch)
+	tr := net.NewTraffic()
+	for _, f := range an.ActFlows {
+		tr.AddMulticast(f.Src, f.Dsts, f.Bytes)
+	}
+	for _, f := range an.ActDRAM {
+		if f.Write {
+			tr.AddDRAMWrite(f.Ctrl, f.Cores[0], f.Bytes)
+		} else {
+			tr.AddDRAMReadMulticast(f.Ctrl, f.Cores, f.Bytes)
+		}
+	}
+	return tr.CSV(), tr.ASCII(), nil
+}
+
+// HopStats reports total on-chip and D2D byte-hops of a mapping, the
+// quantities Fig. 9 compares between Tangram and Gemini schemes.
+func HopStats(m *Mapping) (onchip, d2d float64) {
+	for _, g := range m.Result.Groups {
+		onchip += g.NoCBytes
+		d2d += g.D2DBytes
+	}
+	return onchip, d2d
+}
+
+// DSE re-exports: spaces, options and the explorer itself.
+type (
+	// DSEOptions configures ExploreArchitectures.
+	DSEOptions = dse.Options
+	// DSEObjective is the MC^alpha E^beta D^gamma exponent triple.
+	DSEObjective = dse.Objective
+	// DSESpace is a Table I-style candidate grid.
+	DSESpace = dse.Space
+	// DSEResult is one candidate's outcome.
+	DSEResult = dse.CandidateResult
+)
+
+// Table I candidate spaces.
+var (
+	Space72  = dse.Space72
+	Space128 = dse.Space128
+	Space512 = dse.Space512
+)
+
+// DefaultDSEOptions returns the paper's default DSE settings.
+func DefaultDSEOptions() DSEOptions { return dse.DefaultOptions() }
+
+// ExploreArchitectures runs the exhaustive co-exploration over the
+// candidate list for the given workloads and returns candidates sorted by
+// the MC^alpha * E^beta * D^gamma objective.
+func ExploreArchitectures(cands []Arch, models []*Model, opt DSEOptions) []DSEResult {
+	return dse.Run(cands, models, opt)
+}
+
+// BestArchitecture returns the first feasible DSE result, or nil.
+func BestArchitecture(results []DSEResult) *DSEResult { return dse.Best(results) }
+
+// ScaleArch replicates a base architecture's chiplet to factor x the
+// compute, the chiplet-reuse construction of Sec. VII-B.
+func ScaleArch(base Arch, factor int) (Arch, error) { return dse.ScaleUp(base, factor) }
+
+// PrintSpaceSizes writes the Sec. IV-B optimization-space size table
+// (Gemini's encoding lower bound vs the Tangram heuristic's upper bound).
+func PrintSpaceSizes(w io.Writer) { experiments.PrintSpaceSizes(w) }

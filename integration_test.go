@@ -1,0 +1,196 @@
+package gemini
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gemini/internal/arch"
+	"gemini/internal/core"
+	"gemini/internal/dnn"
+	"gemini/internal/eval"
+	"gemini/internal/graphpart"
+	"gemini/internal/isa"
+	"gemini/internal/sa"
+)
+
+// TestPipelineOnSyntheticGraphs drives the whole stack — DP partition, SA
+// refinement, evaluation, instruction compilation and functional execution
+// — over randomly generated DNNs, checking the invariants that must hold
+// for any workload.
+func TestPipelineOnSyntheticGraphs(t *testing.T) {
+	cfg := arch.GArch72()
+	ev := eval.New(&cfg)
+	for seed := int64(0); seed < 12; seed++ {
+		g := dnn.Synth(seed, dnn.DefaultSynthParams())
+		gp := graphpart.DefaultOptions()
+		gp.MaxGroupLayers = 10
+		gp.BatchUnits = []int{1, 2}
+		part, err := graphpart.Partition(g, &cfg, ev, 4, gp)
+		if err != nil {
+			t.Fatalf("seed %d: partition: %v", seed, err)
+		}
+		if err := part.Scheme.Validate(&cfg); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		so := sa.DefaultOptions()
+		so.Iterations = 150
+		so.Seed = seed
+		r := sa.Optimize(part.Scheme, ev, so)
+		if err := r.Scheme.Validate(&cfg); err != nil {
+			t.Fatalf("seed %d: post-SA: %v", seed, err)
+		}
+		if r.Cost > r.InitCost*(1+1e-9) {
+			t.Fatalf("seed %d: SA worsened cost %v -> %v", seed, r.InitCost, r.Cost)
+		}
+		res := ev.Evaluate(r.Scheme)
+		if !res.Feasible || res.Delay <= 0 || res.Energy.Total() <= 0 {
+			t.Fatalf("seed %d: degenerate result %+v", seed, res)
+		}
+		// Energy conservation: MAC energy equals total MACs x unit energy.
+		var macs int64
+		for gi := range r.Scheme.Groups {
+			an, err := core.Analyze(r.Scheme, gi, &cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range an.Works {
+				macs += w.MACs
+			}
+			// Every group's instruction stream executes cleanly.
+			p, err := isa.Compile(an)
+			if err != nil {
+				t.Fatalf("seed %d group %d: %v", seed, gi, err)
+			}
+			if _, err := isa.Run(p); err != nil {
+				t.Fatalf("seed %d group %d: %v", seed, gi, err)
+			}
+		}
+		// MACs per pass x passes must cover the whole batch's MACs.
+		var passMACs int64
+		for gi, grp := range r.Scheme.Groups {
+			var gm int64
+			an, _ := core.Analyze(r.Scheme, gi, &cfg)
+			for _, w := range an.Works {
+				gm += w.MACs
+			}
+			passMACs += gm * int64(res.Groups[gi].Passes)
+			_ = grp
+		}
+		want := g.TotalMACs() * int64(r.Scheme.Batch)
+		if passMACs != want {
+			t.Fatalf("seed %d: MACs executed %d, want %d", seed, passMACs, want)
+		}
+	}
+}
+
+// TestMapDeterministic verifies that the public pipeline is reproducible.
+func TestMapDeterministic(t *testing.T) {
+	cfg := GArch72()
+	opt := quickOpts()
+	a, err := Map(&cfg, dnn.TinyCNN(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Map(&cfg, dnn.TinyCNN(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result.Delay != b.Result.Delay || a.Result.Energy.Total() != b.Result.Energy.Total() {
+		t.Errorf("same seed produced different results: %v/%v vs %v/%v",
+			a.Result.Delay, a.Result.Energy.Total(), b.Result.Delay, b.Result.Energy.Total())
+	}
+}
+
+// TestGMapReducesD2DShareOnSimba checks the paper's automatic-D2D-reduction
+// claim end to end on the 36-chiplet architecture.
+func TestGMapReducesD2DShareOnSimba(t *testing.T) {
+	cfg := SimbaArch()
+	opt := quickOpts()
+	opt.SAIterations = 600
+	tm, err := MapTangram(&cfg, dnn.TinyTransformer(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := Map(&cfg, dnn.TinyTransformer(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.Result.EDP() > tm.Result.EDP() {
+		t.Errorf("G-Map EDP %v worse than T-Map %v", gm.Result.EDP(), tm.Result.EDP())
+	}
+	if gm.Result.Energy.D2D > tm.Result.Energy.D2D*1.05 {
+		t.Errorf("G-Map D2D energy %v should not exceed T-Map %v", gm.Result.Energy.D2D, tm.Result.Energy.D2D)
+	}
+}
+
+// TestSchemeSaveLoadEvaluatesIdentically round-trips a mapping through JSON
+// and confirms the evaluator sees the identical scheme.
+func TestSchemeSaveLoadEvaluatesIdentically(t *testing.T) {
+	cfg := GArch72()
+	m, err := Map(&cfg, dnn.TinyCNN(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Scheme.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.ReadSchemeJSON(&buf, m.Scheme.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := eval.New(&cfg)
+	a, b := ev.Evaluate(m.Scheme), ev.Evaluate(loaded)
+	if a.Delay != b.Delay || math.Abs(a.Energy.Total()-b.Energy.Total()) > 1e-18 {
+		t.Errorf("loaded scheme evaluates differently: %v/%v vs %v/%v",
+			a.Delay, a.Energy.Total(), b.Delay, b.Energy.Total())
+	}
+}
+
+// TestRandomOpsNeverBreakPipeline is failure injection at the operator
+// level: long random operator sequences must never produce a scheme the
+// analyzer, evaluator, or instruction backend rejects.
+func TestRandomOpsNeverBreakPipeline(t *testing.T) {
+	cfg := arch.GArch72()
+	g := dnn.Synth(99, dnn.DefaultSynthParams())
+	ids := make([]int, len(g.Layers))
+	for i := range ids {
+		ids[i] = i
+	}
+	half := len(ids) / 2
+	s, err := core.StripeScheme(g, &cfg, [][]int{ids[:half], ids[half:]}, []int{1, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := eval.New(&cfg)
+	rng := rand.New(rand.NewSource(123))
+	mu := &core.Mutator{Graph: g, Drams: cfg.DRAMControllers(), Rng: rng}
+	for i := 0; i < 300; i++ {
+		mu.Apply(s.Groups[rng.Intn(2)])
+		if i%50 != 0 {
+			continue
+		}
+		if err := s.Validate(&cfg); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		res := ev.Evaluate(s)
+		if !res.Feasible {
+			t.Fatalf("iteration %d: evaluator rejected operator output", i)
+		}
+		for gi := range s.Groups {
+			an, err := core.Analyze(s, gi, &cfg)
+			if err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+			p, err := isa.Compile(an)
+			if err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+			if _, err := isa.Run(p); err != nil {
+				t.Fatalf("iteration %d group %d: %v", i, gi, err)
+			}
+		}
+	}
+}

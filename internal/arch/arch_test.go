@@ -1,0 +1,131 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, c := range []Config{Simba(), GArch72(), Grayskull(), GArchTorus()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestTOPS(t *testing.T) {
+	s := Simba()
+	if got := s.TOPS(); got < 73 || got > 74 { // 2*1024*36*1e9 = 73.7 TOPs
+		t.Errorf("Simba TOPS = %.1f, want ~73.7", got)
+	}
+	g := Grayskull()
+	if got := g.TOPS(); got < 490 || got > 492 { // 2*2048*120 = 491.5
+		t.Errorf("Grayskull TOPS = %.1f, want ~491.5", got)
+	}
+}
+
+func TestChipletGeometry(t *testing.T) {
+	c := GArch72() // 6x6 cores, 2x1 cuts
+	if c.Chiplets() != 2 || c.ChipletW() != 3 || c.ChipletH() != 6 {
+		t.Fatalf("geometry: chiplets=%d w=%d h=%d", c.Chiplets(), c.ChipletW(), c.ChipletH())
+	}
+	left := c.CoreAt(2, 3)
+	right := c.CoreAt(3, 3)
+	if c.SameChiplet(left, right) {
+		t.Error("cores across the X cut should be on different chiplets")
+	}
+	if !c.SameChiplet(c.CoreAt(0, 0), c.CoreAt(2, 5)) {
+		t.Error("cores within the left chiplet should match")
+	}
+	cx, cy := c.ChipletOf(right)
+	if cx != 1 || cy != 0 {
+		t.Errorf("ChipletOf = (%d,%d), want (1,0)", cx, cy)
+	}
+}
+
+func TestCoreIDRoundTrip(t *testing.T) {
+	c := Simba()
+	f := func(x, y uint8) bool {
+		xx, yy := int(x)%c.CoresX, int(y)%c.CoresY
+		id := c.CoreAt(xx, yy)
+		gx, gy := c.CoreXY(id)
+		return gx == xx && gy == yy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.XCut = 4 },   // does not divide 6
+		func(c *Config) { c.CoresX = 0 }, //
+		func(c *Config) { c.NoCBW = 0 },  //
+		func(c *Config) { c.MACsPerCore = 0 },
+		func(c *Config) { c.FreqGHz = 0 },
+		func(c *Config) { c.D2DBW = 0 }, // multi-chiplet needs D2D BW
+	}
+	for i, mutate := range bad {
+		c := GArch72()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	mono := GArch72()
+	mono.XCut, mono.YCut, mono.D2DBW = 1, 1, 0
+	if err := mono.Validate(); err != nil {
+		t.Errorf("monolithic config needs no D2D bandwidth: %v", err)
+	}
+}
+
+func TestDRAMControllers(t *testing.T) {
+	c := GArch72() // 144 GB/s -> ceil(144/32) = 5
+	if got := c.DRAMControllers(); got != 5 {
+		t.Errorf("controllers = %d, want 5", got)
+	}
+	c.DRAMBW = 30 // below one die, but minimum two for FD choice
+	if got := c.DRAMControllers(); got != 2 {
+		t.Errorf("controllers = %d, want 2", got)
+	}
+}
+
+func TestDRAMPortsCoverEdges(t *testing.T) {
+	c := GArch72()
+	ports := c.DRAMPorts()
+	if len(ports) != c.DRAMControllers() {
+		t.Fatalf("ports = %d, want %d", len(ports), c.DRAMControllers())
+	}
+	leftRows := map[int]bool{}
+	for _, p := range ports {
+		if len(p.Cores) == 0 {
+			t.Fatalf("controller %d has no attachment cores", p.Ctrl)
+		}
+		for _, core := range p.Cores {
+			x, y := c.CoreXY(core)
+			if x != 0 && x != c.CoresX-1 {
+				t.Errorf("controller %d attaches to interior core (%d,%d)", p.Ctrl, x, y)
+			}
+			if x == 0 {
+				leftRows[y] = true
+			}
+		}
+	}
+	if len(leftRows) != c.CoresY {
+		t.Errorf("left-edge rows covered = %d, want %d", len(leftRows), c.CoresY)
+	}
+}
+
+func TestStringTuple(t *testing.T) {
+	g := GArch72()
+	s := g.String()
+	want := "(2, 36, 144GB/s, 32GB/s, 16GB/s, 2048KB, 1024)"
+	if s != want {
+		t.Errorf("String = %q, want %q", s, want)
+	}
+	gk := Grayskull()
+	if !strings.Contains(gk.String(), "None") {
+		t.Errorf("monolithic tuple should show D2D None: %s", gk.String())
+	}
+}

@@ -1,0 +1,88 @@
+package arch
+
+// Presets for the architectures named in the paper's evaluation.
+
+// KB is one kibibyte, for GLB sizing.
+const KB = 1024
+
+// MB is one mebibyte.
+const MB = 1024 * KB
+
+// Simba returns the S-Arch baseline (paper Sec. VI-A4): the 36-chiplet,
+// 36-core, 72 TOPs Simba configuration equipped with IO dies providing
+// 2 GB/s per TOPs of DRAM bandwidth and 1 MB GLB per core (per the
+// Simba-series Magnet paper), with GRS D2D links.
+func Simba() Config {
+	return Config{
+		Name:        "S-Arch",
+		CoresX:      6,
+		CoresY:      6,
+		XCut:        6,
+		YCut:        6,
+		NoCBW:       32,
+		D2DBW:       16,
+		DRAMBW:      144,
+		MACsPerCore: 1024,
+		GLBPerCore:  1 * MB,
+		FreqGHz:     1,
+		Topology:    Mesh,
+	}
+}
+
+// GArch72 returns the architecture Gemini's 72 TOPs DSE discovers
+// (paper Sec. VI-B1): (2, 36, 144GB/s, 32GB/s, 16GB/s, 2MB, 1024).
+func GArch72() Config {
+	return Config{
+		Name:        "G-Arch",
+		CoresX:      6,
+		CoresY:      6,
+		XCut:        2,
+		YCut:        1,
+		NoCBW:       32,
+		D2DBW:       16,
+		DRAMBW:      144,
+		MACsPerCore: 1024,
+		GLBPerCore:  2 * MB,
+		FreqGHz:     1,
+		Topology:    Mesh,
+	}
+}
+
+// Grayskull returns the T-Arch baseline (paper Sec. VI-B2): a 120-core
+// monolithic accelerator with Tenstorrent Grayskull's architectural
+// parameters and a folded-torus NoC.
+func Grayskull() Config {
+	return Config{
+		Name:        "T-Arch",
+		CoresX:      12,
+		CoresY:      10,
+		XCut:        1,
+		YCut:        1,
+		NoCBW:       64,
+		D2DBW:       0,
+		DRAMBW:      192,
+		MACsPerCore: 2048,
+		GLBPerCore:  1 * MB,
+		FreqGHz:     1,
+		Topology:    FoldedTorus,
+	}
+}
+
+// GArchTorus returns the architecture Gemini's folded-torus DSE discovers
+// (paper Sec. VI-B2): (6, 60, 480GB/s, 64GB/s, 32GB/s, 2MB, 2048).
+func GArchTorus() Config {
+	return Config{
+		Name:        "G-Arch-Torus",
+		CoresX:      10,
+		CoresY:      6,
+		XCut:        2,
+		YCut:        3,
+		NoCBW:       64,
+		D2DBW:       32,
+		DRAMBW:      480,
+		MACsPerCore: 2048,
+		GLBPerCore:  2 * MB,
+		FreqGHz:     1,
+		Topology:    FoldedTorus,
+	}
+}

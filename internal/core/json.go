@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gemini/internal/arch"
+	"gemini/internal/dnn"
+)
+
+// schemeJSON is the serialized form of a Scheme: everything except the
+// graph itself, which the loader re-binds by model name (the artifact
+// stores schemes the same way, keyed to the workload).
+type schemeJSON struct {
+	Model  string      `json:"model"`
+	Batch  int         `json:"batch"`
+	Groups []groupJSON `json:"groups"`
+}
+
+type groupJSON struct {
+	BatchUnit int      `json:"batch_unit"`
+	MSs       []msJSON `json:"layers"`
+}
+
+type msJSON struct {
+	Layer int    `json:"layer"`
+	Name  string `json:"name,omitempty"`
+	Part  [4]int `json:"part"` // H, W, B, K
+	CG    []int  `json:"cg"`
+	FD    [3]int `json:"fd"` // IF, WGT, OF
+}
+
+// WriteJSON serializes the scheme (layer names included for readability).
+func (s *Scheme) WriteJSON(w io.Writer) error {
+	out := schemeJSON{Model: s.Graph.Name, Batch: s.Batch}
+	for _, g := range s.Groups {
+		gj := groupJSON{BatchUnit: g.BatchUnit}
+		for _, ms := range g.MSs {
+			mj := msJSON{
+				Layer: ms.Layer,
+				Part:  [4]int{ms.Part.H, ms.Part.W, ms.Part.B, ms.Part.K},
+				FD:    [3]int{ms.FD.IF, ms.FD.WGT, ms.FD.OF},
+			}
+			if l := s.Graph.Layer(ms.Layer); l != nil {
+				mj.Name = l.Name
+			}
+			for _, c := range ms.CG {
+				mj.CG = append(mj.CG, int(c))
+			}
+			gj.MSs = append(gj.MSs, mj)
+		}
+		out.Groups = append(out.Groups, gj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadSchemeJSON deserializes a scheme bound to graph. The graph's name
+// must match the serialized model name. The result is structurally
+// reconstructed but not validated; call Validate with the target
+// architecture afterwards.
+func ReadSchemeJSON(r io.Reader, graph *dnn.Graph) (*Scheme, error) {
+	var in schemeJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding scheme: %w", err)
+	}
+	if in.Model != graph.Name {
+		return nil, fmt.Errorf("core: scheme is for model %q, graph is %q", in.Model, graph.Name)
+	}
+	s := &Scheme{Graph: graph, Batch: in.Batch}
+	for _, gj := range in.Groups {
+		lms := &LMS{BatchUnit: gj.BatchUnit}
+		for _, mj := range gj.MSs {
+			ms := &MS{
+				Layer: mj.Layer,
+				Part:  Part{H: mj.Part[0], W: mj.Part[1], B: mj.Part[2], K: mj.Part[3]},
+				FD:    FD{IF: mj.FD[0], WGT: mj.FD[1], OF: mj.FD[2]},
+			}
+			for _, c := range mj.CG {
+				ms.CG = append(ms.CG, arch.CoreID(c))
+			}
+			lms.MSs = append(lms.MSs, ms)
+		}
+		s.Groups = append(s.Groups, lms)
+	}
+	return s, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gemini/internal/dnn"
+)
+
+func TestSchemeJSONRoundTrip(t *testing.T) {
+	cfg := testCfg()
+	s := tinyScheme(t, cfg, 2)
+	s.Groups[0].MSs[0].FD.IF = 3 // non-default value must survive
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSchemeJSON(&buf, s.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(cfg); err != nil {
+		t.Fatalf("round-tripped scheme invalid: %v", err)
+	}
+	if got.Batch != s.Batch || len(got.Groups) != len(s.Groups) {
+		t.Fatal("structure changed")
+	}
+	for gi, g := range s.Groups {
+		gg := got.Groups[gi]
+		if gg.BatchUnit != g.BatchUnit {
+			t.Fatal("batch unit changed")
+		}
+		for mi, ms := range g.MSs {
+			mm := gg.MSs[mi]
+			if mm.Layer != ms.Layer || mm.Part != ms.Part || mm.FD != ms.FD {
+				t.Fatalf("ms %d changed: %+v vs %+v", mi, mm, ms)
+			}
+			for ci := range ms.CG {
+				if mm.CG[ci] != ms.CG[ci] {
+					t.Fatal("CG changed")
+				}
+			}
+		}
+	}
+}
+
+func TestSchemeJSONContainsNames(t *testing.T) {
+	cfg := testCfg()
+	s := tinyScheme(t, cfg, 1)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"name": "c1"`) {
+		t.Error("serialized scheme missing layer names")
+	}
+}
+
+func TestSchemeJSONModelMismatch(t *testing.T) {
+	cfg := testCfg()
+	s := tinyScheme(t, cfg, 1)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := dnn.TinyTransformer()
+	if _, err := ReadSchemeJSON(&buf, other); err == nil {
+		t.Fatal("expected model mismatch error")
+	}
+}
+
+func TestSchemeJSONGarbage(t *testing.T) {
+	if _, err := ReadSchemeJSON(strings.NewReader("{nope"), dnn.TinyCNN()); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

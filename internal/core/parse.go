@@ -1,0 +1,424 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gemini/internal/arch"
+	"gemini/internal/dnn"
+	"gemini/internal/intracore"
+)
+
+// PW is a partitioned workload: the slice of a layer's output cube assigned
+// to one core by the correspondence rule (paper Sec. IV-A).
+type PW struct {
+	Layer          int
+	Core           arch.CoreID
+	HR, WR, BR, KR dnn.Range
+}
+
+// Vol returns the output elements this workload produces per pass.
+func (p *PW) Vol() int64 {
+	return int64(p.HR.Len()) * int64(p.WR.Len()) * int64(p.BR.Len()) * int64(p.KR.Len())
+}
+
+// CoreFlow is a per-pass data movement from one core's GLB to one or more
+// consumer cores (identical payloads are multicast, paper Sec. IV-C).
+type CoreFlow struct {
+	Src   arch.CoreID
+	Dsts  []arch.CoreID
+	Bytes float64
+}
+
+// DRAMFlow is a per-pass or per-run DRAM transfer. Ctrl is a 0-based
+// controller index or -1 for interleaved. Reads multicast to Cores; writes
+// originate from Cores[0].
+type DRAMFlow struct {
+	Layer int
+	Ctrl  int
+	Cores []arch.CoreID
+	Bytes float64
+	Write bool
+}
+
+// Analysis is the parsed form of one layer group's LMS: per-core workloads
+// for the intra-core engine plus all activation and weight flows for the
+// Evaluator.
+type Analysis struct {
+	GroupIndex int
+	BatchUnit  int
+
+	PWs     []PW
+	ByLayer map[int][]int // layer -> indices into PWs (NID order)
+
+	// Works holds the intra-core workload of each occupied core.
+	Works map[arch.CoreID]intracore.Workload
+
+	// ActFlows and ActDRAM repeat every batch-unit pass.
+	ActFlows []CoreFlow
+	ActDRAM  []DRAMFlow
+
+	// WeightFlows load each layer's weight slices; the Evaluator applies
+	// them once per run for GLB-resident weights or once per pass when a
+	// core must stream them.
+	WeightFlows []DRAMFlow
+
+	// Depth is the pipeline depth (longest dependency chain) of the group.
+	Depth int
+}
+
+// fdCtrl converts an FD value to the noc controller convention.
+func fdCtrl(v int) int {
+	if v == FDInterleave {
+		return -1
+	}
+	return v - 1
+}
+
+// Analyze parses group gi of the scheme into per-core workloads and flows.
+// The scheme must have passed Validate.
+func Analyze(s *Scheme, gi int, cfg *arch.Config) (*Analysis, error) {
+	lms := s.Groups[gi]
+	g := s.Graph
+	bu := lms.BatchUnit
+	ofDRAM := s.OFDram()
+
+	an := &Analysis{
+		GroupIndex: gi,
+		BatchUnit:  bu,
+		ByLayer:    make(map[int][]int, len(lms.MSs)),
+		Works:      make(map[arch.CoreID]intracore.Workload),
+	}
+	group := make(map[int]*MS, len(lms.MSs))
+	for _, ms := range lms.MSs {
+		group[ms.Layer] = ms
+	}
+
+	// Enumerate partitioned workloads per the correspondence rule.
+	for _, ms := range lms.MSs {
+		l := g.Layer(ms.Layer)
+		p := ms.Part
+		for h := 0; h < p.H; h++ {
+			for w := 0; w < p.W; w++ {
+				for b := 0; b < p.B; b++ {
+					for k := 0; k < p.K; k++ {
+						hr, wr, br, kr := p.Ranges(l, bu, h, w, b, k)
+						pw := PW{
+							Layer: ms.Layer,
+							Core:  ms.CG[p.NID(h, w, b, k)],
+							HR:    hr, WR: wr, BR: br, KR: kr,
+						}
+						an.ByLayer[ms.Layer] = append(an.ByLayer[ms.Layer], len(an.PWs))
+						an.PWs = append(an.PWs, pw)
+					}
+				}
+			}
+		}
+	}
+
+	inBytes := make(map[arch.CoreID]int64)
+
+	// Infer activation flows for every consumer edge.
+	for _, ms := range lms.MSs {
+		l := g.Layer(ms.Layer)
+		for _, edge := range l.Inputs {
+			if err := an.analyzeEdge(s, cfg, group, l, ms, edge, ofDRAM, inBytes); err != nil {
+				return nil, err
+			}
+		}
+		// Explicit ofmap writes to DRAM.
+		if ms.FD.OF != FDImplicit {
+			for _, pi := range an.ByLayer[ms.Layer] {
+				pw := &an.PWs[pi]
+				an.ActDRAM = append(an.ActDRAM, DRAMFlow{
+					Layer: ms.Layer,
+					Ctrl:  fdCtrl(ms.FD.OF),
+					Cores: []arch.CoreID{pw.Core},
+					Bytes: float64(pw.Vol()) * dnn.ElemBytes,
+					Write: true,
+				})
+			}
+		}
+	}
+
+	// Weight loads, grouped by K-range so replicated slices multicast.
+	for _, ms := range lms.MSs {
+		l := g.Layer(ms.Layer)
+		if !l.HasWeights {
+			continue
+		}
+		perK := l.WeightVol() / int64(l.OK)
+		byKR := make(map[dnn.Range][]arch.CoreID)
+		for _, pi := range an.ByLayer[ms.Layer] {
+			pw := &an.PWs[pi]
+			byKR[pw.KR] = appendUnique(byKR[pw.KR], pw.Core)
+		}
+		for kr, cores := range byKR {
+			an.WeightFlows = append(an.WeightFlows, DRAMFlow{
+				Layer: ms.Layer,
+				Ctrl:  fdCtrl(ms.FD.WGT),
+				Cores: cores,
+				Bytes: float64(perK*int64(kr.Len())) * dnn.ElemBytes,
+			})
+		}
+	}
+
+	// Build intra-core workloads.
+	for _, ms := range lms.MSs {
+		l := g.Layer(ms.Layer)
+		perK := int64(0)
+		if l.HasWeights {
+			perK = l.WeightVol() / int64(l.OK)
+		}
+		for _, pi := range an.ByLayer[ms.Layer] {
+			pw := &an.PWs[pi]
+			vol := pw.Vol()
+			work := intracore.Workload{
+				Kind:     l.Kind,
+				H:        pw.HR.Len(),
+				W:        pw.WR.Len(),
+				B:        pw.BR.Len(),
+				K:        pw.KR.Len(),
+				IC:       reducedChannels(l),
+				R:        maxInt(l.R, 1),
+				S:        maxInt(l.S, 1),
+				Groups:   1, // IC already reduced per output channel
+				MACs:     partMACs(l, vol),
+				VecOps:   partVecOps(l, vol),
+				InBytes:  inBytes[pw.Core],
+				WBytes:   perK * int64(pw.KR.Len()) * dnn.ElemBytes,
+				OutBytes: vol * dnn.ElemBytes,
+			}
+			if prev, dup := an.Works[pw.Core]; dup {
+				return nil, fmt.Errorf("core: core %d assigned twice (%v and layer %d)", pw.Core, prev.Kind, pw.Layer)
+			}
+			an.Works[pw.Core] = work
+		}
+	}
+
+	an.Depth = groupDepth(g, group)
+	an.sortFlows()
+	return an, nil
+}
+
+// sortFlows orders all flow slices deterministically. Flow emission walks
+// maps, so without this the float summation order (and therefore SA
+// accept/reject decisions) would vary between runs with the same seed.
+func (an *Analysis) sortFlows() {
+	coreLess := func(a, b []arch.CoreID) bool {
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return len(a) < len(b)
+	}
+	sort.Slice(an.ActFlows, func(i, j int) bool {
+		x, y := an.ActFlows[i], an.ActFlows[j]
+		if x.Src != y.Src {
+			return x.Src < y.Src
+		}
+		if x.Bytes != y.Bytes {
+			return x.Bytes < y.Bytes
+		}
+		return coreLess(x.Dsts, y.Dsts)
+	})
+	dramLess := func(s []DRAMFlow) func(i, j int) bool {
+		return func(i, j int) bool {
+			x, y := s[i], s[j]
+			if x.Layer != y.Layer {
+				return x.Layer < y.Layer
+			}
+			if x.Ctrl != y.Ctrl {
+				return x.Ctrl < y.Ctrl
+			}
+			if x.Write != y.Write {
+				return !x.Write
+			}
+			if x.Bytes != y.Bytes {
+				return x.Bytes < y.Bytes
+			}
+			return coreLess(x.Cores, y.Cores)
+		}
+	}
+	sort.Slice(an.ActDRAM, dramLess(an.ActDRAM))
+	sort.Slice(an.WeightFlows, dramLess(an.WeightFlows))
+}
+
+// analyzeEdge infers the flows feeding layer l through one input edge.
+func (an *Analysis) analyzeEdge(s *Scheme, cfg *arch.Config, group map[int]*MS, l *dnn.Layer, ms *MS, edge dnn.Input, ofDRAM map[int]int, inBytes map[arch.CoreID]int64) error {
+	g := s.Graph
+
+	var srcOH, srcOW, srcOK int
+	var prodMS *MS
+	switch {
+	case edge.Src == dnn.ExternalInput:
+		srcOH, srcOW, srcOK = l.IH(), l.IW(), l.IC
+	default:
+		pl := g.Layer(edge.Src)
+		srcOH, srcOW, srcOK = pl.OH, pl.OW, pl.OK
+		prodMS = group[edge.Src]
+	}
+
+	// Consumer needs, grouped by identical region for multicast dedup.
+	type need struct {
+		region dnn.EdgeRegion
+		cores  []arch.CoreID
+	}
+	needs := make(map[dnn.EdgeRegion]*need)
+	for _, pi := range an.ByLayer[ms.Layer] {
+		pw := &an.PWs[pi]
+		reg := l.NeededRegion(edge, pw.HR, pw.WR, pw.BR, pw.KR, srcOH, srcOW, srcOK)
+		v := reg.Vol()
+		if v == 0 {
+			continue
+		}
+		inBytes[pw.Core] += v * dnn.ElemBytes
+		n, ok := needs[reg]
+		if !ok {
+			n = &need{region: reg}
+			needs[reg] = n
+		}
+		n.cores = appendUnique(n.cores, pw.Core)
+	}
+
+	if prodMS == nil {
+		// Data comes from DRAM: the DNN input's explicit IF, or the DRAM
+		// where the cross-group producer stored its ofmaps.
+		ctrl := 0
+		if edge.Src == dnn.ExternalInput {
+			ctrl = fdCtrl(ms.FD.IF)
+		} else if of, ok := ofDRAM[edge.Src]; ok {
+			ctrl = fdCtrl(of)
+		} else {
+			// Producer group not present (e.g. the graph-partition engine
+			// scoring an isolated segment): assume interleaved storage.
+			ctrl = -1
+		}
+		for _, n := range needs {
+			an.ActDRAM = append(an.ActDRAM, DRAMFlow{
+				Layer: ms.Layer,
+				Ctrl:  ctrl,
+				Cores: n.cores,
+				Bytes: float64(n.region.Vol()) * dnn.ElemBytes,
+			})
+		}
+		return nil
+	}
+
+	// In-group producer: intersect each consumer need with every producer
+	// workload's owned region; identical payloads from one producer core to
+	// several consumers become one multicast flow.
+	pl := g.Layer(edge.Src)
+	for _, n := range needs {
+		for _, qi := range an.ByLayer[edge.Src] {
+			q := &an.PWs[qi]
+			ovl := dnn.EdgeRegion{
+				H: n.region.H.Intersect(q.HR),
+				W: n.region.W.Intersect(q.WR),
+				B: n.region.B.Intersect(q.BR),
+				K: n.region.K.Intersect(q.KR),
+			}
+			v := ovl.Vol()
+			if v == 0 {
+				continue
+			}
+			dsts := make([]arch.CoreID, 0, len(n.cores))
+			for _, c := range n.cores {
+				if c != q.Core {
+					dsts = append(dsts, c)
+				}
+			}
+			if len(dsts) == 0 {
+				continue // produced and consumed on the same core
+			}
+			an.ActFlows = append(an.ActFlows, CoreFlow{
+				Src:   q.Core,
+				Dsts:  dsts,
+				Bytes: float64(v) * dnn.ElemBytes,
+			})
+		}
+	}
+	_ = pl
+	return nil
+}
+
+// reducedChannels returns the input channels reduced per output element.
+func reducedChannels(l *dnn.Layer) int {
+	switch l.Kind {
+	case dnn.Conv:
+		gr := l.Groups
+		if gr <= 0 {
+			gr = 1
+		}
+		return maxInt(l.IC/gr, 1)
+	case dnn.FC, dnn.MatMul:
+		return l.IC
+	default:
+		return 1
+	}
+}
+
+// partMACs returns the exact MAC count of an output sub-volume.
+func partMACs(l *dnn.Layer, vol int64) int64 {
+	switch l.Kind {
+	case dnn.Conv:
+		return vol * int64(reducedChannels(l)) * int64(l.R) * int64(l.S)
+	case dnn.FC, dnn.MatMul:
+		return vol * int64(l.IC)
+	}
+	return 0
+}
+
+// partVecOps returns the vector-unit operations of an output sub-volume.
+func partVecOps(l *dnn.Layer, vol int64) int64 {
+	switch l.Kind {
+	case dnn.Pool:
+		return vol * int64(l.R) * int64(l.S)
+	case dnn.Eltwise:
+		return vol * int64(maxInt(len(l.Inputs), 2))
+	case dnn.Softmax:
+		return vol * 3
+	}
+	return vol * int64(l.FusedOps)
+}
+
+// groupDepth returns the longest dependency chain within the group.
+func groupDepth(g *dnn.Graph, group map[int]*MS) int {
+	depth := make(map[int]int, len(group))
+	best := 0
+	for _, l := range g.Layers { // topological order
+		if _, ok := group[l.ID]; !ok {
+			continue
+		}
+		d := 1
+		for _, in := range l.Inputs {
+			if in.Src >= 0 {
+				if pd, ok := depth[in.Src]; ok && pd+1 > d {
+					d = pd + 1
+				}
+			}
+		}
+		depth[l.ID] = d
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+func appendUnique(s []arch.CoreID, c arch.CoreID) []arch.CoreID {
+	for _, v := range s {
+		if v == c {
+			return s
+		}
+	}
+	return append(s, c)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

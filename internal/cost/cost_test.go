@@ -1,0 +1,178 @@
+package cost
+
+import (
+	"testing"
+
+	"gemini/internal/arch"
+)
+
+func TestSimbaD2DAreaFraction(t *testing.T) {
+	e := New()
+	cfg := arch.Simba()
+	b := e.Evaluate(&cfg)
+	// Paper Sec. VI-B1: under S-Arch nearly 40% of chip area is D2D.
+	if b.D2DAreaFraction < 0.3 || b.D2DAreaFraction > 0.5 {
+		t.Errorf("S-Arch D2D fraction = %.2f, want ~0.4", b.D2DAreaFraction)
+	}
+	cfgG := arch.GArch72()
+	bg := e.Evaluate(&cfgG)
+	if bg.D2DAreaFraction >= b.D2DAreaFraction/2 {
+		t.Errorf("G-Arch D2D fraction %.2f should be far below S-Arch %.2f", bg.D2DAreaFraction, b.D2DAreaFraction)
+	}
+}
+
+func TestYieldDecreasesWithArea(t *testing.T) {
+	e := New()
+	prev := 1.0
+	for _, area := range []float64{10, 40, 100, 400, 800} {
+		y := e.yield(area)
+		if y >= prev {
+			t.Errorf("yield(%v) = %v not decreasing", area, y)
+		}
+		if y <= 0 || y > 1 {
+			t.Errorf("yield(%v) = %v outside (0,1]", area, y)
+		}
+		prev = y
+	}
+	if y := e.yield(e.Tech.AreaUnit); y != e.Tech.YieldUnit {
+		t.Errorf("yield(unit area) = %v, want %v", y, e.Tech.YieldUnit)
+	}
+}
+
+func TestMCComponentsPositive(t *testing.T) {
+	e := New()
+	for _, cfg := range []arch.Config{arch.Simba(), arch.GArch72(), arch.Grayskull()} {
+		b := e.Evaluate(&cfg)
+		if b.ComputeSilicon <= 0 || b.IOSilicon <= 0 || b.DRAM <= 0 || b.Substrate <= 0 {
+			t.Errorf("%s: non-positive component %+v", cfg.Name, b)
+		}
+		if b.Total() != b.ComputeSilicon+b.IOSilicon+b.DRAM+b.Substrate {
+			t.Errorf("%s: Total mismatch", cfg.Name)
+		}
+	}
+}
+
+func TestMonolithicCheaperPackaging(t *testing.T) {
+	e := New()
+	mono := arch.GArch72()
+	mono.XCut, mono.YCut = 1, 1
+	multi := arch.GArch72()
+	bm := e.Evaluate(&mono)
+	bc := e.Evaluate(&multi)
+	if bm.Substrate >= bc.Substrate {
+		t.Errorf("monolithic substrate %v should be cheaper than chiplet %v", bm.Substrate, bc.Substrate)
+	}
+	if e.D2DCount(&mono) != 0 {
+		t.Error("monolithic chip should have no D2D interfaces")
+	}
+}
+
+func TestFinerChipletsWorseMC(t *testing.T) {
+	// Paper insight 1: overly fine-grained partitions (Simba's 36) cost
+	// more than moderate ones (2) at the same resources.
+	e := New()
+	two := arch.GArch72()
+	fine := arch.GArch72()
+	fine.XCut, fine.YCut = 6, 6
+	b2 := e.Evaluate(&two)
+	b36 := e.Evaluate(&fine)
+	if b36.Total() <= b2.Total() {
+		t.Errorf("36 chiplets (%v) should cost more than 2 (%v)", b36.Total(), b2.Total())
+	}
+	if b36.D2DAreaFraction <= b2.D2DAreaFraction {
+		t.Error("finer partitioning should raise the D2D area share")
+	}
+}
+
+func TestChipletsBeatMonolithicAtScale(t *testing.T) {
+	// At 512 TOPs-class dies the yield term dominates: moderate chiplet
+	// counts must beat one huge die (paper Fig. 6(a)).
+	e := New()
+	mono := arch.Config{
+		CoresX: 16, CoresY: 16, XCut: 1, YCut: 1,
+		NoCBW: 64, D2DBW: 32, DRAMBW: 512,
+		MACsPerCore: 1024, GLBPerCore: 2 * arch.MB, FreqGHz: 1,
+	}
+	quad := mono
+	quad.XCut, quad.YCut = 2, 2
+	bm := e.Evaluate(&mono)
+	bq := e.Evaluate(&quad)
+	if bq.Total() >= bm.Total() {
+		t.Errorf("4 chiplets (%v) should beat a %0.f mm^2 monolith (%v)",
+			bq.Total(), bm.ComputeChipletArea, bm.Total())
+	}
+	if bq.ComputeYield <= bm.ComputeYield {
+		t.Error("smaller chiplets must yield better")
+	}
+}
+
+func TestMCIncreasesWithResources(t *testing.T) {
+	e := New()
+	base := arch.GArch72()
+	b0 := e.Evaluate(&base)
+
+	bigGLB := base
+	bigGLB.GLBPerCore *= 4
+	if e.Evaluate(&bigGLB).Total() <= b0.Total() {
+		t.Error("4x GLB should raise MC")
+	}
+	bigMAC := base
+	bigMAC.MACsPerCore *= 4
+	if e.Evaluate(&bigMAC).Total() <= b0.Total() {
+		t.Error("4x MACs should raise MC")
+	}
+	bigDRAM := base
+	bigDRAM.DRAMBW *= 2
+	if e.Evaluate(&bigDRAM).Total() <= b0.Total() {
+		t.Error("2x DRAM BW should raise MC")
+	}
+	bigD2D := base
+	bigD2D.D2DBW *= 4
+	if e.Evaluate(&bigD2D).Total() <= b0.Total() {
+		t.Error("4x D2D BW should raise MC")
+	}
+}
+
+func TestMoreCoresRaiseMC(t *testing.T) {
+	// Paper insight 2: finer core granularity (more cores at constant
+	// TOPs, each still carrying full per-core overheads) raises MC.
+	e := New()
+	coarse := arch.Config{ // 9 cores x 8192 MACs
+		CoresX: 3, CoresY: 3, XCut: 1, YCut: 1,
+		NoCBW: 32, DRAMBW: 144, MACsPerCore: 8192, GLBPerCore: 2 * arch.MB, FreqGHz: 1,
+	}
+	fine := arch.Config{ // 72 cores x 1024 MACs
+		CoresX: 9, CoresY: 8, XCut: 1, YCut: 1,
+		NoCBW: 32, DRAMBW: 144, MACsPerCore: 1024, GLBPerCore: 2 * arch.MB, FreqGHz: 1,
+	}
+	bc := e.Evaluate(&coarse)
+	bf := e.Evaluate(&fine)
+	if bf.Total() <= bc.Total() {
+		t.Errorf("72 cores (%v) should cost more than 9 (%v) at equal TOPs", bf.Total(), bc.Total())
+	}
+}
+
+func TestDRAMCost(t *testing.T) {
+	e := New()
+	cfg := arch.GArch72() // 144 GB/s -> 5 dies
+	b := e.Evaluate(&cfg)
+	if want := 5 * e.Tech.DRAMDiePrice; b.DRAM != want {
+		t.Errorf("DRAM cost = %v, want %v", b.DRAM, want)
+	}
+}
+
+func TestTierPrice(t *testing.T) {
+	tiers := DefaultTech().ChipletTiers
+	if tierPrice(tiers, 100) != 0.02 {
+		t.Error("small substrate should use first tier")
+	}
+	if tierPrice(tiers, 1000) != 0.03 {
+		t.Error("medium substrate should use second tier")
+	}
+	if tierPrice(tiers, 5000) != 0.045 {
+		t.Error("large substrate should use last tier")
+	}
+	if tierPrice(nil, 100) != 0 {
+		t.Error("no tiers should price 0")
+	}
+}

@@ -1,0 +1,56 @@
+package cost
+
+// NRE models the non-recurring engineering costs the paper's Sec. VII-B
+// argues chiplet reuse amortizes: design, verification, IP licensing, and
+// mask/tape-out, paid once per distinct die design and divided over the
+// production volume. The paper discusses this qualitatively ("NRE costs
+// tend to grow non-linearly with process advancement"); this extension
+// makes the reuse argument quantitative.
+type NRE struct {
+	// PerDesignBase is the fixed cost of taping out one die design
+	// (masks, verification) in dollars.
+	PerDesignBase float64
+	// PerMM2 adds design/IP effort proportional to the die area.
+	PerMM2 float64
+}
+
+// DefaultNRE returns 12 nm-class NRE constants: a mask set plus design and
+// verification effort in the low tens of millions, growing with die size.
+func DefaultNRE() NRE {
+	return NRE{
+		PerDesignBase: 15e6,
+		PerMM2:        50e3,
+	}
+}
+
+// DesignCost returns the one-time cost of a die design of the given area.
+func (n NRE) DesignCost(area float64) float64 {
+	return n.PerDesignBase + n.PerMM2*area
+}
+
+// AmortizedMC is a Breakdown extended with per-unit NRE for a product line.
+type AmortizedMC struct {
+	Recurring Breakdown
+	// NREPerUnit is the summed design costs of all distinct dies divided
+	// by the production volume.
+	NREPerUnit float64
+}
+
+// Total is the effective per-unit cost.
+func (a AmortizedMC) Total() float64 { return a.Recurring.Total() + a.NREPerUnit }
+
+// AmortizeProductLine computes per-accelerator effective MC for a product
+// line: distinctDieAreas lists the unique die designs the line requires
+// (compute chiplets counted once when shared across accelerators, IO dies
+// once per distinct design), volume is the total units shipped across the
+// line, and recurring is the per-unit manufacturing breakdown.
+func AmortizeProductLine(n NRE, recurring Breakdown, distinctDieAreas []float64, volume float64) AmortizedMC {
+	if volume <= 0 {
+		volume = 1
+	}
+	nre := 0.0
+	for _, a := range distinctDieAreas {
+		nre += n.DesignCost(a)
+	}
+	return AmortizedMC{Recurring: recurring, NREPerUnit: nre / volume}
+}

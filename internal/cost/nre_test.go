@@ -1,0 +1,57 @@
+package cost
+
+import (
+	"testing"
+
+	"gemini/internal/arch"
+)
+
+func TestNREDesignCostGrowsWithArea(t *testing.T) {
+	n := DefaultNRE()
+	small, big := n.DesignCost(20), n.DesignCost(200)
+	if big <= small {
+		t.Errorf("bigger die should cost more NRE: %v vs %v", big, small)
+	}
+	if small <= n.PerDesignBase {
+		t.Errorf("area term missing: %v", small)
+	}
+}
+
+func TestAmortizationFavorsReuseAtLowVolume(t *testing.T) {
+	// Two accelerators built from one shared chiplet design pay one NRE;
+	// two bespoke designs pay two. At low volume the shared line wins even
+	// with a worse recurring cost — the paper's Sec. VII-B argument.
+	e := New()
+	n := DefaultNRE()
+	g := arch.GArch72()
+	b := e.Evaluate(&g)
+	chipletArea := e.ComputeChipletArea(&g)
+
+	volume := 10_000.0
+	shared := AmortizeProductLine(n, b, []float64{chipletArea}, volume)
+	// The bespoke line needs two die designs for the two scales.
+	bespokeRecurring := b
+	bespokeRecurring.ComputeSilicon *= 0.9 // bespoke dies are 10% cheaper to make
+	bespoke := AmortizeProductLine(n, bespokeRecurring, []float64{chipletArea, chipletArea * 2}, volume)
+
+	if shared.Total() >= bespoke.Total() {
+		t.Errorf("at %0.f units, shared design (%v) should beat bespoke (%v)",
+			volume, shared.Total(), bespoke.Total())
+	}
+	// At huge volume the NRE washes out and the cheaper recurring wins.
+	volume = 100_000_000
+	shared = AmortizeProductLine(n, b, []float64{chipletArea}, volume)
+	bespoke = AmortizeProductLine(n, bespokeRecurring, []float64{chipletArea, chipletArea * 2}, volume)
+	if bespoke.Total() >= shared.Total() {
+		t.Errorf("at huge volume, bespoke recurring advantage should win: %v vs %v",
+			bespoke.Total(), shared.Total())
+	}
+}
+
+func TestAmortizeDegenerateVolume(t *testing.T) {
+	n := DefaultNRE()
+	a := AmortizeProductLine(n, Breakdown{}, []float64{40}, 0)
+	if a.NREPerUnit != n.DesignCost(40) {
+		t.Errorf("zero volume should clamp to 1 unit: %v", a.NREPerUnit)
+	}
+}

@@ -1,0 +1,305 @@
+package dnn
+
+import "fmt"
+
+// Ref identifies the output of one or more layers during graph construction.
+// A multi-part Ref is a virtual concatenation along the channel dimension:
+// Builder eliminates concat layers by rewiring consumers with channel
+// offsets, as the Gemini analyzer requires.
+type Ref struct {
+	parts []refPart
+}
+
+type refPart struct {
+	src int // layer ID or ExternalInput
+	k   int // channels supplied by this part
+	oh  int
+	ow  int
+}
+
+// Channels returns the channel count of the (possibly virtual) tensor.
+func (r Ref) Channels() int {
+	k := 0
+	for _, p := range r.parts {
+		k += p.k
+	}
+	return k
+}
+
+// Height returns the spatial height of the referenced tensor.
+func (r Ref) Height() int {
+	if len(r.parts) == 0 {
+		return 0
+	}
+	return r.parts[0].oh
+}
+
+// Width returns the spatial width of the referenced tensor.
+func (r Ref) Width() int {
+	if len(r.parts) == 0 {
+		return 0
+	}
+	return r.parts[0].ow
+}
+
+// Builder incrementally constructs a Graph in topological order.
+type Builder struct {
+	g   *Graph
+	err error
+}
+
+// NewBuilder returns a Builder for a named graph.
+func NewBuilder(name string) *Builder {
+	return &Builder{g: &Graph{Name: name}}
+}
+
+// Input declares the external input tensor of the DNN.
+func (b *Builder) Input(h, w, c int) Ref {
+	return Ref{parts: []refPart{{src: ExternalInput, k: c, oh: h, ow: w}}}
+}
+
+func (b *Builder) fail(format string, args ...any) Ref {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+	return Ref{}
+}
+
+func (b *Builder) add(l *Layer, in Ref, role Role) Ref {
+	l.ID = len(b.g.Layers)
+	off := 0
+	for _, p := range in.parts {
+		l.Inputs = append(l.Inputs, Input{Src: p.src, DstOff: off, Role: role})
+		off += p.k
+	}
+	b.g.Layers = append(b.g.Layers, l)
+	return Ref{parts: []refPart{{src: l.ID, k: l.OK, oh: l.OH, ow: l.OW}}}
+}
+
+// Conv appends a convolution with fused BN+ReLU (two vector post-ops).
+func (b *Builder) Conv(name string, in Ref, k, r, s, stride, pad int) Ref {
+	return b.GroupedConv(name, in, k, r, s, stride, pad, 1)
+}
+
+// ConvHW appends a convolution with per-dimension padding, as needed by the
+// factorized 1x7 / 7x1 kernels of Inception-style networks.
+func (b *Builder) ConvHW(name string, in Ref, k, r, s, stride, padH, padW int) Ref {
+	ic := in.Channels()
+	if ic == 0 {
+		return b.fail("conv %q: empty input", name)
+	}
+	oh := outDim(in.Height(), r, stride, padH)
+	ow := outDim(in.Width(), s, stride, padW)
+	if oh <= 0 || ow <= 0 {
+		return b.fail("conv %q: non-positive output %dx%d", name, oh, ow)
+	}
+	return b.add(&Layer{
+		Name: name, Kind: Conv,
+		OH: oh, OW: ow, OK: k,
+		R: r, S: s, Stride: stride, PadH: padH, PadW: padW,
+		IC: ic, Groups: 1,
+		HasWeights: true, FusedOps: 2,
+	}, in, RoleMain)
+}
+
+// GroupedConv appends a grouped convolution (groups = in-channels gives a
+// depthwise convolution).
+func (b *Builder) GroupedConv(name string, in Ref, k, r, s, stride, pad, groups int) Ref {
+	ic := in.Channels()
+	if ic == 0 {
+		return b.fail("conv %q: empty input", name)
+	}
+	if groups <= 0 {
+		groups = 1
+	}
+	if ic%groups != 0 || k%groups != 0 {
+		return b.fail("conv %q: groups=%d does not divide ic=%d k=%d", name, groups, ic, k)
+	}
+	oh := outDim(in.Height(), r, stride, pad)
+	ow := outDim(in.Width(), s, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		return b.fail("conv %q: non-positive output %dx%d", name, oh, ow)
+	}
+	return b.add(&Layer{
+		Name: name, Kind: Conv,
+		OH: oh, OW: ow, OK: k,
+		R: r, S: s, Stride: stride, PadH: pad, PadW: pad,
+		IC: ic, Groups: groups,
+		HasWeights: true, FusedOps: 2,
+	}, in, RoleMain)
+}
+
+// SepConv appends a depthwise + pointwise separable convolution pair and
+// returns the pointwise output.
+func (b *Builder) SepConv(name string, in Ref, k, r, stride, pad int) Ref {
+	dw := b.GroupedConv(name+".dw", in, in.Channels(), r, r, stride, pad, in.Channels())
+	return b.Conv(name+".pw", dw, k, 1, 1, 1, 0)
+}
+
+// Pool appends a pooling layer.
+func (b *Builder) Pool(name string, in Ref, r, stride, pad int) Ref {
+	oh := outDim(in.Height(), r, stride, pad)
+	ow := outDim(in.Width(), r, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		return b.fail("pool %q: non-positive output %dx%d", name, oh, ow)
+	}
+	return b.add(&Layer{
+		Name: name, Kind: Pool,
+		OH: oh, OW: ow, OK: in.Channels(),
+		R: r, S: r, Stride: stride, PadH: pad, PadW: pad,
+		IC: in.Channels(),
+	}, in, RoleMain)
+}
+
+// GlobalPool appends a pooling layer that reduces the spatial dims to 1x1.
+func (b *Builder) GlobalPool(name string, in Ref) Ref {
+	return b.Pool(name, in, in.Height(), in.Height(), 0)
+}
+
+// Add appends an element-wise residual addition of same-shape tensors.
+func (b *Builder) Add(name string, ins ...Ref) Ref {
+	if len(ins) < 2 {
+		return b.fail("add %q: needs at least two inputs", name)
+	}
+	h, w, k := ins[0].Height(), ins[0].Width(), ins[0].Channels()
+	for _, in := range ins[1:] {
+		if in.Height() != h || in.Width() != w || in.Channels() != k {
+			return b.fail("add %q: shape mismatch %dx%dx%d vs %dx%dx%d",
+				name, h, w, k, in.Height(), in.Width(), in.Channels())
+		}
+	}
+	l := &Layer{
+		Name: name, Kind: Eltwise,
+		OH: h, OW: w, OK: k, IC: k,
+		FusedOps: 1,
+	}
+	l.ID = len(b.g.Layers)
+	for _, in := range ins {
+		// Each element-wise input aligns at channel 0; a virtually
+		// concatenated input keeps its per-part offsets within [0, k).
+		off := 0
+		for _, p := range in.parts {
+			l.Inputs = append(l.Inputs, Input{Src: p.src, DstOff: off})
+			off += p.k
+		}
+	}
+	b.g.Layers = append(b.g.Layers, l)
+	return Ref{parts: []refPart{{src: l.ID, k: k, oh: h, ow: w}}}
+}
+
+// Concat virtually concatenates tensors along channels (no layer emitted).
+func (b *Builder) Concat(ins ...Ref) Ref {
+	var out Ref
+	if len(ins) == 0 {
+		return b.fail("concat: no inputs")
+	}
+	h, w := ins[0].Height(), ins[0].Width()
+	for _, in := range ins {
+		if in.Height() != h || in.Width() != w {
+			return b.fail("concat: spatial mismatch %dx%d vs %dx%d", h, w, in.Height(), in.Width())
+		}
+		out.parts = append(out.parts, in.parts...)
+	}
+	return out
+}
+
+// FC appends a fully connected layer over the flattened input.
+func (b *Builder) FC(name string, in Ref, k int) Ref {
+	ic := in.Channels() * in.Height() * in.Width()
+	l := &Layer{
+		Name: name, Kind: FC,
+		OH: 1, OW: 1, OK: k,
+		IC: ic, HasWeights: true, FusedOps: 1,
+	}
+	// FC flattens; treat the virtual concat as a single dense input space.
+	l.ID = len(b.g.Layers)
+	off := 0
+	for _, p := range in.parts {
+		l.Inputs = append(l.Inputs, Input{Src: p.src, DstOff: off})
+		off += p.k
+	}
+	b.g.Layers = append(b.g.Layers, l)
+	return Ref{parts: []refPart{{src: l.ID, k: k, oh: 1, ow: 1}}}
+}
+
+// Proj appends a weighted token projection (rows = in.Height(), contraction
+// = in.Channels()), i.e. a MatMul with a stationary weight matrix.
+func (b *Builder) Proj(name string, in Ref, k int) Ref {
+	return b.add(&Layer{
+		Name: name, Kind: MatMul,
+		OH: in.Height(), OW: 1, OK: k,
+		IC: in.Channels(), HasWeights: true, FusedOps: 1,
+	}, in, RoleMain)
+}
+
+// MatMulT appends C = A·Bᵀ over activations: A is (H × IC), B is (K × IC);
+// the output is (H × K) with K = bT.Height(). Used for attention scores.
+func (b *Builder) MatMulT(name string, a, bT Ref) Ref {
+	if bT.Channels() != a.Channels() {
+		return b.fail("matmulT %q: contraction mismatch %d vs %d", name, a.Channels(), bT.Channels())
+	}
+	return b.matmul2(name, a, bT, bT.Height(), RoleB)
+}
+
+// MatMul appends C = A·B over activations: A is (H × IC), B is (IC × K)
+// given row-major with IC rows; the output is (H × K) with K = bm.Channels().
+// Used for the attention context matmul.
+func (b *Builder) MatMul(name string, a, bm Ref) Ref {
+	if bm.Height() != a.Channels() {
+		return b.fail("matmul %q: contraction mismatch %d vs %d rows", name, a.Channels(), bm.Height())
+	}
+	return b.matmul2(name, a, bm, bm.Channels(), RoleBT)
+}
+
+func (b *Builder) matmul2(name string, a, other Ref, k int, role Role) Ref {
+	l := &Layer{
+		Name: name, Kind: MatMul,
+		OH: a.Height(), OW: 1, OK: k,
+		IC: a.Channels(),
+	}
+	l.ID = len(b.g.Layers)
+	for _, p := range a.parts {
+		l.Inputs = append(l.Inputs, Input{Src: p.src, DstOff: 0, Role: RoleMain})
+	}
+	for _, p := range other.parts {
+		l.Inputs = append(l.Inputs, Input{Src: p.src, DstOff: 0, Role: role})
+	}
+	b.g.Layers = append(b.g.Layers, l)
+	return Ref{parts: []refPart{{src: l.ID, k: k, oh: a.Height(), ow: 1}}}
+}
+
+// Softmax appends a row softmax.
+func (b *Builder) Softmax(name string, in Ref) Ref {
+	return b.add(&Layer{
+		Name: name, Kind: Softmax,
+		OH: in.Height(), OW: in.Width(), OK: in.Channels(), IC: in.Channels(),
+	}, in, RoleMain)
+}
+
+// Build validates and returns the constructed graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}
+
+// MustBuild is Build that panics on error; model-zoo constructors use it
+// since their topologies are fixed at compile time.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func outDim(in, k, stride, pad int) int {
+	if stride <= 0 {
+		stride = 1
+	}
+	return (in+2*pad-k)/stride + 1
+}

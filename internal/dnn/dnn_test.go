@@ -1,0 +1,276 @@
+package dnn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitDimCoversExactly(t *testing.T) {
+	cases := []struct{ n, parts int }{
+		{10, 1}, {10, 3}, {7, 7}, {224, 6}, {1, 1}, {5, 4}, {128, 5},
+	}
+	for _, c := range cases {
+		covered := 0
+		prevHi := 0
+		for i := 0; i < c.parts; i++ {
+			r := SplitDim(c.n, c.parts, i)
+			if r.Lo != prevHi {
+				t.Fatalf("SplitDim(%d,%d,%d): gap or overlap at %d (lo=%d)", c.n, c.parts, i, prevHi, r.Lo)
+			}
+			prevHi = r.Hi
+			covered += r.Len()
+		}
+		if covered != c.n || prevHi != c.n {
+			t.Errorf("SplitDim(%d,%d): covered %d, end %d", c.n, c.parts, covered, prevHi)
+		}
+	}
+}
+
+func TestSplitDimBalanced(t *testing.T) {
+	// Part sizes differ by at most one, and earlier parts get the extras.
+	f := func(n, parts uint8) bool {
+		nn := int(n%200) + 1
+		pp := int(parts%16) + 1
+		if pp > nn {
+			pp = nn
+		}
+		minSz, maxSz := nn, 0
+		for i := 0; i < pp; i++ {
+			sz := SplitDim(nn, pp, i).Len()
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		return maxSz-minSz <= 1 && minSz >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitDimInvalid(t *testing.T) {
+	if r := SplitDim(10, 0, 0); !r.Empty() {
+		t.Errorf("parts=0 should be empty, got %+v", r)
+	}
+	if r := SplitDim(10, 3, 3); !r.Empty() {
+		t.Errorf("idx out of range should be empty, got %+v", r)
+	}
+	if r := SplitDim(10, 3, -1); !r.Empty() {
+		t.Errorf("negative idx should be empty, got %+v", r)
+	}
+}
+
+func TestRangeOps(t *testing.T) {
+	a := Range{2, 8}
+	if a.Len() != 6 {
+		t.Errorf("Len = %d", a.Len())
+	}
+	if got := a.Intersect(Range{5, 20}); got != (Range{5, 8}) {
+		t.Errorf("Intersect = %+v", got)
+	}
+	if got := a.Intersect(Range{10, 20}); !got.Empty() {
+		t.Errorf("disjoint Intersect not empty: %+v", got)
+	}
+	if got := a.Shift(3); got != (Range{5, 11}) {
+		t.Errorf("Shift = %+v", got)
+	}
+	if (Range{5, 5}).Len() != 0 || (Range{6, 5}).Len() != 0 {
+		t.Error("degenerate ranges should have zero length")
+	}
+}
+
+func TestConvDims(t *testing.T) {
+	l := &Layer{Kind: Conv, OH: 56, OW: 56, OK: 64, R: 3, S: 3, Stride: 1, PadH: 1, PadW: 1, IC: 64, Groups: 1, HasWeights: true}
+	if got := l.IH(); got != 56 {
+		t.Errorf("IH = %d, want 56", got)
+	}
+	if got := l.MACs(); got != 56*56*64*64*9 {
+		t.Errorf("MACs = %d", got)
+	}
+	if got := l.WeightVol(); got != 3*3*64*64 {
+		t.Errorf("WeightVol = %d", got)
+	}
+	strided := &Layer{Kind: Conv, OH: 112, OW: 112, OK: 64, R: 7, S: 7, Stride: 2, PadH: 3, PadW: 3, IC: 3, Groups: 1}
+	if got := strided.IH(); got != 223 { // (112-1)*2 + 7 - 6
+		t.Errorf("strided IH = %d, want 223", got)
+	}
+}
+
+func TestGroupedConvChannels(t *testing.T) {
+	l := &Layer{Kind: Conv, OH: 28, OW: 28, OK: 128, R: 3, S: 3, Stride: 1, PadH: 1, PadW: 1, IC: 128, Groups: 32}
+	// K range [4, 8) lies entirely in group 1 (4 K per group, 4 C per group).
+	got := l.InputCRange(Range{4, 8})
+	if got != (Range{4, 8}) {
+		t.Errorf("grouped InputCRange = %+v, want {4 8}", got)
+	}
+	// Spanning groups 0..1 needs channels of both groups.
+	got = l.InputCRange(Range{2, 6})
+	if got != (Range{0, 8}) {
+		t.Errorf("spanning InputCRange = %+v, want {0 8}", got)
+	}
+	dense := &Layer{Kind: Conv, OK: 128, IC: 64, Groups: 1}
+	if got := dense.InputCRange(Range{10, 20}); got != (Range{0, 64}) {
+		t.Errorf("dense InputCRange = %+v, want all channels", got)
+	}
+	dw := &Layer{Kind: Conv, OK: 64, IC: 64, Groups: 64}
+	if got := dw.InputCRange(Range{10, 20}); got != (Range{10, 20}) {
+		t.Errorf("depthwise InputCRange = %+v, want identity", got)
+	}
+}
+
+func TestNeededRegionConvHalo(t *testing.T) {
+	// 3x3 stride-1 pad-1 conv: output rows [4,8) need input rows [3,9).
+	l := &Layer{Kind: Conv, OH: 16, OW: 16, OK: 8, R: 3, S: 3, Stride: 1, PadH: 1, PadW: 1, IC: 4, Groups: 1}
+	in := Input{Src: 0}
+	reg := l.NeededRegion(in, Range{4, 8}, Range{0, 16}, Range{0, 1}, Range{0, 8}, 16, 16, 4)
+	if reg.H != (Range{3, 9}) {
+		t.Errorf("halo H = %+v, want {3 9}", reg.H)
+	}
+	if reg.K != (Range{0, 4}) {
+		t.Errorf("K = %+v, want all input channels", reg.K)
+	}
+	// Boundary rows clamp at the feature-map edge.
+	reg = l.NeededRegion(in, Range{0, 4}, Range{0, 16}, Range{0, 1}, Range{0, 8}, 16, 16, 4)
+	if reg.H != (Range{0, 5}) {
+		t.Errorf("clamped H = %+v, want {0 5}", reg.H)
+	}
+}
+
+func TestNeededRegionConcatOffsets(t *testing.T) {
+	// Consumer with IC=96 fed by two producers at offsets 0 (64ch) and 64 (32ch).
+	l := &Layer{Kind: Conv, OH: 8, OW: 8, OK: 16, R: 1, S: 1, Stride: 1, IC: 96, Groups: 1}
+	e0 := Input{Src: 0, DstOff: 0}
+	e1 := Input{Src: 1, DstOff: 64}
+	r0 := l.NeededRegion(e0, Range{0, 8}, Range{0, 8}, Range{0, 1}, Range{0, 16}, 8, 8, 64)
+	r1 := l.NeededRegion(e1, Range{0, 8}, Range{0, 8}, Range{0, 1}, Range{0, 16}, 8, 8, 32)
+	if r0.K != (Range{0, 64}) {
+		t.Errorf("edge0 K = %+v", r0.K)
+	}
+	if r1.K != (Range{0, 32}) {
+		t.Errorf("edge1 K = %+v", r1.K)
+	}
+	if r0.Vol()+r1.Vol() != 8*8*96 {
+		t.Errorf("total ifmap = %d, want %d", r0.Vol()+r1.Vol(), 8*8*96)
+	}
+}
+
+func TestNeededRegionEltwiseChannelCoupling(t *testing.T) {
+	l := &Layer{Kind: Eltwise, OH: 8, OW: 8, OK: 32, IC: 32}
+	reg := l.NeededRegion(Input{Src: 0}, Range{2, 4}, Range{0, 8}, Range{0, 2}, Range{8, 16}, 8, 8, 32)
+	want := EdgeRegion{H: Range{2, 4}, W: Range{0, 8}, B: Range{0, 2}, K: Range{8, 16}}
+	if reg != want {
+		t.Errorf("eltwise region = %+v, want %+v", reg, want)
+	}
+}
+
+func TestNeededRegionMatMulRoles(t *testing.T) {
+	// C(HxK) = A(HxIC) · Bᵀ with B (K x IC): consumer k-range follows B rows.
+	l := &Layer{Kind: MatMul, OH: 16, OW: 1, OK: 16, IC: 64}
+	rb := l.NeededRegion(Input{Src: 1, Role: RoleB}, Range{0, 4}, Range{0, 1}, Range{0, 1}, Range{4, 8}, 16, 1, 64)
+	if rb.H != (Range{4, 8}) || rb.K != (Range{0, 64}) {
+		t.Errorf("RoleB region = %+v", rb)
+	}
+	// C = A · B with B (IC x K): consumer k-range follows B channels.
+	rbt := l.NeededRegion(Input{Src: 1, Role: RoleBT}, Range{0, 4}, Range{0, 1}, Range{0, 1}, Range{4, 8}, 64, 1, 16)
+	if rbt.H != (Range{0, 64}) || rbt.K != (Range{4, 8}) {
+		t.Errorf("RoleBT region = %+v", rbt)
+	}
+	ra := l.NeededRegion(Input{Src: 0, Role: RoleMain}, Range{2, 6}, Range{0, 1}, Range{0, 1}, Range{4, 8}, 16, 1, 64)
+	if ra.H != (Range{2, 6}) || ra.K != (Range{0, 64}) {
+		t.Errorf("RoleMain region = %+v", ra)
+	}
+}
+
+// Partition coverage property: for any layer kind and any partition, the
+// union of all partitioned-workload input needs through an edge covers at
+// least the union of what the whole layer needs (no dropped data).
+func TestNeededRegionCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	kinds := []Kind{Conv, Pool, Eltwise}
+	for trial := 0; trial < 200; trial++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		oh, ow, ok := 4+rng.Intn(16), 4+rng.Intn(16), 4+4*rng.Intn(8)
+		pad := rng.Intn(2)
+		l := &Layer{Kind: kind, OH: oh, OW: ow, OK: ok, IC: ok, R: 1 + rng.Intn(3), S: 1 + rng.Intn(3), Stride: 1 + rng.Intn(2), PadH: pad, PadW: pad, Groups: 1}
+		if kind == Conv {
+			l.IC = 8
+		}
+		// A kernel narrower than the stride legitimately skips input rows;
+		// the coverage invariant holds only for R,S >= stride.
+		if l.R < l.Stride {
+			l.R = l.Stride
+		}
+		if l.S < l.Stride {
+			l.S = l.Stride
+		}
+		srcOH, srcOW, srcOK := l.IH(), l.IW(), l.IC
+		hp := 1 + rng.Intn(3)
+		kp := 1 + rng.Intn(3)
+		covH := make([]bool, srcOH)
+		covK := make([]bool, srcOK)
+		for hi := 0; hi < hp; hi++ {
+			for ki := 0; ki < kp; ki++ {
+				hr := SplitDim(oh, hp, hi)
+				kr := SplitDim(ok, kp, ki)
+				reg := l.NeededRegion(Input{Src: 0}, hr, Range{0, ow}, Range{0, 1}, kr, srcOH, srcOW, srcOK)
+				for h := reg.H.Lo; h < reg.H.Hi; h++ {
+					covH[h] = true
+				}
+				for k := reg.K.Lo; k < reg.K.Hi; k++ {
+					covK[k] = true
+				}
+			}
+		}
+		whole := l.NeededRegion(Input{Src: 0}, Range{0, oh}, Range{0, ow}, Range{0, 1}, Range{0, ok}, srcOH, srcOW, srcOK)
+		for h := whole.H.Lo; h < whole.H.Hi; h++ {
+			if !covH[h] {
+				t.Fatalf("trial %d kind %v: input row %d uncovered", trial, kind, h)
+			}
+		}
+		for k := whole.K.Lo; k < whole.K.Hi; k++ {
+			if !covK[k] {
+				t.Fatalf("trial %d kind %v: input channel %d uncovered", trial, kind, k)
+			}
+		}
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	pool := &Layer{Kind: Pool, OH: 4, OW: 4, OK: 8, R: 3, S: 3}
+	if got := pool.VectorOps(); got != 4*4*8*9 {
+		t.Errorf("pool ops = %d", got)
+	}
+	add := &Layer{Kind: Eltwise, OH: 4, OW: 4, OK: 8, Inputs: []Input{{}, {}, {}}}
+	if got := add.VectorOps(); got != 4*4*8*3 {
+		t.Errorf("eltwise ops = %d", got)
+	}
+	conv := &Layer{Kind: Conv, OH: 4, OW: 4, OK: 8, FusedOps: 2}
+	if got := conv.VectorOps(); got != 4*4*8*2 {
+		t.Errorf("fused ops = %d", got)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	g := TinyCNN()
+	// c1 -> c2 -> add -> p1 -> c3 -> gap -> fc is the longest chain.
+	if got := g.Depth(); got != 7 {
+		t.Errorf("depth = %d, want 7", got)
+	}
+}
+
+func TestConsumers(t *testing.T) {
+	g := TinyCNN()
+	cons := g.Consumers()
+	// c1 (id 0) feeds c2 and the residual add.
+	if len(cons[0]) != 2 {
+		t.Errorf("c1 consumers = %v, want 2 edges", cons[0])
+	}
+	last := len(g.Layers) - 1
+	if len(cons[last]) != 0 {
+		t.Errorf("fc should have no consumers, got %v", cons[last])
+	}
+}

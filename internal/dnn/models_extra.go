@@ -1,0 +1,77 @@
+package dnn
+
+import "fmt"
+
+func init() {
+	modelZoo["vgg16"] = VGG16
+	modelZoo["mobilenetv2"] = MobileNetV2
+}
+
+// VGG16 builds the classic 16-layer VGG network: large dense convolutions
+// with very heavy FC layers, the weight-dominated extreme of the zoo.
+func VGG16() *Graph {
+	b := NewBuilder("vgg16")
+	x := b.Input(224, 224, 3)
+	block := func(name string, in Ref, convs, k int) Ref {
+		out := in
+		for i := 0; i < convs; i++ {
+			out = b.Conv(fmt.Sprintf("%s.c%d", name, i+1), out, k, 3, 3, 1, 1)
+		}
+		return b.Pool(name+".pool", out, 2, 2, 0)
+	}
+	x = block("b1", x, 2, 64)
+	x = block("b2", x, 2, 128)
+	x = block("b3", x, 3, 256)
+	x = block("b4", x, 3, 512)
+	x = block("b5", x, 3, 512)
+	x = b.FC("fc6", x, 4096)
+	x = b.FC("fc7", x, 4096)
+	b.FC("fc8", x, 1000)
+	return b.MustBuild()
+}
+
+// MobileNetV2 builds the inverted-residual depthwise network: the
+// communication-heavy, compute-light extreme that stresses the mapping
+// engine's channel-coupled flow inference.
+func MobileNetV2() *Graph {
+	b := NewBuilder("mobilenetv2")
+	x := b.Input(224, 224, 3)
+	x = b.Conv("stem", x, 32, 3, 3, 2, 1)
+
+	bottleneck := func(name string, in Ref, expand, out, stride int) Ref {
+		mid := in.Channels() * expand
+		h := in
+		if expand != 1 {
+			h = b.Conv(name+".exp", in, mid, 1, 1, 1, 0)
+		}
+		h = b.GroupedConv(name+".dw", h, mid, 3, 3, stride, 1, mid)
+		h = b.Conv(name+".prj", h, out, 1, 1, 1, 0)
+		if stride == 1 && in.Channels() == out {
+			return b.Add(name+".add", h, in)
+		}
+		return h
+	}
+	type stage struct{ t, c, n, s int }
+	stages := []stage{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	for si, st := range stages {
+		for i := 0; i < st.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = st.s
+			}
+			x = bottleneck(fmt.Sprintf("s%d.b%d", si, i), x, st.t, st.c, stride)
+		}
+	}
+	x = b.Conv("head", x, 1280, 1, 1, 1, 0)
+	x = b.GlobalPool("gap", x)
+	b.FC("fc", x, 1000)
+	return b.MustBuild()
+}

@@ -1,0 +1,66 @@
+package dnn
+
+import "testing"
+
+func TestVGG16Shape(t *testing.T) {
+	g := VGG16()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	weighted := 0
+	for _, l := range g.Layers {
+		if l.HasWeights {
+			weighted++
+		}
+	}
+	if weighted != 16 {
+		t.Errorf("weighted layers = %d, want 16", weighted)
+	}
+	// ~15.5 GMACs and ~138M parameters.
+	if m := g.TotalMACs(); m < 14_000_000_000 || m > 17_000_000_000 {
+		t.Errorf("VGG16 MACs = %d, want ~15.5G", m)
+	}
+	if w := g.TotalWeights(); w < 130_000_000 || w > 145_000_000 {
+		t.Errorf("VGG16 params = %d, want ~138M", w)
+	}
+}
+
+func TestMobileNetV2Shape(t *testing.T) {
+	g := MobileNetV2()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dw, adds := 0, 0
+	for _, l := range g.Layers {
+		if l.Kind == Conv && l.Groups == l.IC && l.Groups > 1 {
+			dw++
+		}
+		if l.Kind == Eltwise {
+			adds++
+		}
+	}
+	if dw != 17 {
+		t.Errorf("depthwise convs = %d, want 17", dw)
+	}
+	if adds != 10 {
+		t.Errorf("residual adds = %d, want 10", adds)
+	}
+	// ~0.3 GMACs and ~3.4M parameters.
+	if m := g.TotalMACs(); m < 250_000_000 || m > 450_000_000 {
+		t.Errorf("MobileNetV2 MACs = %d, want ~0.3G", m)
+	}
+	if w := g.TotalWeights(); w < 2_500_000 || w > 4_500_000 {
+		t.Errorf("MobileNetV2 params = %d, want ~3.4M", w)
+	}
+}
+
+func TestExtraModelsRegistered(t *testing.T) {
+	for _, name := range []string{"vgg16", "mobilenetv2"} {
+		if _, err := Model(name); err != nil {
+			t.Errorf("Model(%q): %v", name, err)
+		}
+	}
+	if len(ModelNames()) != 9 {
+		t.Errorf("zoo size = %d, want 9", len(ModelNames()))
+	}
+}

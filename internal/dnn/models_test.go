@@ -1,0 +1,209 @@
+package dnn
+
+import "testing"
+
+func TestModelZooValidates(t *testing.T) {
+	for _, name := range ModelNames() {
+		g, err := Model(name)
+		if err != nil {
+			t.Fatalf("Model(%q): %v", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if g.TotalMACs() <= 0 {
+			t.Errorf("%s: no MACs", name)
+		}
+	}
+}
+
+func TestModelUnknown(t *testing.T) {
+	if _, err := Model("nope"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestModelCaseInsensitive(t *testing.T) {
+	if _, err := Model("ResNet50"); err != nil {
+		t.Fatalf("case-insensitive lookup failed: %v", err)
+	}
+}
+
+func TestResNet50Shape(t *testing.T) {
+	g := ResNet50()
+	// 1 stem + 16 blocks x 3 convs + 4 projection shortcuts + 1 fc = 54
+	// weighted layers.
+	weighted := 0
+	for _, l := range g.Layers {
+		if l.HasWeights {
+			weighted++
+		}
+	}
+	if weighted != 54 {
+		t.Errorf("weighted layers = %d, want 54", weighted)
+	}
+	// ~4.1 GMACs per sample for standard ResNet-50.
+	macs := g.TotalMACs()
+	if macs < 3_500_000_000 || macs > 4_500_000_000 {
+		t.Errorf("ResNet-50 MACs = %d, want ~4.1G", macs)
+	}
+	// ~25.5M parameters.
+	w := g.TotalWeights()
+	if w < 20_000_000 || w > 30_000_000 {
+		t.Errorf("ResNet-50 weights = %d, want ~25M", w)
+	}
+}
+
+func TestResNeXt50Grouped(t *testing.T) {
+	g := ResNeXt50()
+	grouped := 0
+	for _, l := range g.Layers {
+		if l.Kind == Conv && l.Groups == 32 {
+			grouped++
+		}
+	}
+	if grouped != 16 {
+		t.Errorf("grouped convs = %d, want 16", grouped)
+	}
+	macs := g.TotalMACs()
+	if macs < 3_500_000_000 || macs > 5_000_000_000 {
+		t.Errorf("ResNeXt-50 MACs = %d, want ~4.2G", macs)
+	}
+}
+
+func TestGoogLeNetShape(t *testing.T) {
+	g := GoogLeNet()
+	convs := 0
+	for _, l := range g.Layers {
+		if l.Kind == Conv {
+			convs++
+		}
+	}
+	// Stem (3) + 9 modules x 6 convs = 57.
+	if convs != 57 {
+		t.Errorf("convs = %d, want 57", convs)
+	}
+	macs := g.TotalMACs()
+	if macs < 1_200_000_000 || macs > 2_200_000_000 {
+		t.Errorf("GoogLeNet MACs = %d, want ~1.6G", macs)
+	}
+}
+
+func TestTransformerShape(t *testing.T) {
+	g := Transformer()
+	// Per layer: 4 weighted projections + 2 FFN matmuls; plus embed + head.
+	weighted := 0
+	matmuls := 0
+	for _, l := range g.Layers {
+		if l.HasWeights {
+			weighted++
+		}
+		if l.Kind == MatMul && !l.HasWeights {
+			matmuls++
+		}
+	}
+	if weighted != 6*6+2 {
+		t.Errorf("weighted = %d, want 38", weighted)
+	}
+	if matmuls != 12 {
+		t.Errorf("activation matmuls = %d, want 12", matmuls)
+	}
+	// Base encoder @ seq=128: ~2.4 GMACs.
+	macs := g.TotalMACs()
+	if macs < 1_500_000_000 || macs > 3_500_000_000 {
+		t.Errorf("Transformer MACs = %d", macs)
+	}
+}
+
+func TestTransformerLargeBigger(t *testing.T) {
+	small, large := Transformer(), TransformerLarge()
+	if large.TotalMACs() <= 2*small.TotalMACs() {
+		t.Errorf("large (%d MACs) should be >2x base (%d)", large.TotalMACs(), small.TotalMACs())
+	}
+}
+
+func TestPNASNetHasDepthwise(t *testing.T) {
+	g := PNASNet()
+	dw := 0
+	for _, l := range g.Layers {
+		if l.Kind == Conv && l.Groups > 1 && l.Groups == l.IC {
+			dw++
+		}
+	}
+	if dw == 0 {
+		t.Error("PNASNet should contain depthwise convolutions")
+	}
+}
+
+func TestInceptionResNetResiduals(t *testing.T) {
+	g := InceptionResNetV1()
+	adds := 0
+	for _, l := range g.Layers {
+		if l.Kind == Eltwise {
+			adds++
+		}
+	}
+	if adds != 9 { // 3 A + 4 B + 2 C blocks
+		t.Errorf("residual adds = %d, want 9", adds)
+	}
+}
+
+func TestConcatRewiring(t *testing.T) {
+	g := GoogLeNet()
+	// The layer after the first inception module consumes four producers
+	// through channel offsets; offsets must tile the input channel space.
+	for _, l := range g.Layers {
+		if len(l.Inputs) < 3 || l.Kind == Eltwise {
+			continue
+		}
+		total := 0
+		for _, in := range l.Inputs {
+			src := g.Layer(in.Src)
+			if src == nil {
+				t.Fatalf("%s: missing producer %d", l.Name, in.Src)
+			}
+			if in.DstOff != total {
+				t.Fatalf("%s: edge offset %d, want %d", l.Name, in.DstOff, total)
+			}
+			total += src.OK
+		}
+		if total != l.IC {
+			t.Fatalf("%s: concat channels %d != IC %d", l.Name, total, l.IC)
+		}
+		return // one checked module is enough
+	}
+	t.Fatal("no concat consumer found in GoogLeNet")
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("bad")
+	in := b.Input(8, 8, 3)
+	b.GroupedConv("g", in, 16, 3, 3, 1, 1, 5) // 5 does not divide 3
+	if _, err := b.Build(); err == nil {
+		t.Error("expected group divisibility error")
+	}
+
+	b2 := NewBuilder("bad2")
+	in2 := b2.Input(8, 8, 4)
+	x := b2.Conv("c", in2, 8, 3, 3, 1, 1)
+	y := b2.Conv("d", in2, 16, 3, 3, 1, 1)
+	b2.Add("a", x, y) // channel mismatch
+	if _, err := b2.Build(); err == nil {
+		t.Error("expected shape mismatch error")
+	}
+
+	b3 := NewBuilder("bad3")
+	in3 := b3.Input(4, 4, 4)
+	b3.Pool("p", in3, 9, 1, 0) // window larger than input
+	if _, err := b3.Build(); err == nil {
+		t.Error("expected non-positive output error")
+	}
+}
+
+func TestGraphValidateCatchesCorruption(t *testing.T) {
+	g := TinyCNN()
+	g.Layers[2].Inputs[0].Src = 5 // forward edge
+	if err := g.Validate(); err == nil {
+		t.Error("expected topological-order error")
+	}
+}

@@ -1,0 +1,94 @@
+package dnn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SynthParams bounds the random graph generator.
+type SynthParams struct {
+	// Layers is the number of compute layers to generate (>= 2).
+	Layers int
+	// MaxChannels caps channel widths (rounded to multiples of 8).
+	MaxChannels int
+	// Spatial is the input height/width.
+	Spatial int
+	// ResidualProb is the chance a layer gets a residual partner,
+	// BranchProb the chance of starting a two-branch concat section.
+	ResidualProb, BranchProb float64
+}
+
+// DefaultSynthParams returns moderate generator bounds.
+func DefaultSynthParams() SynthParams {
+	return SynthParams{
+		Layers:       12,
+		MaxChannels:  64,
+		Spatial:      32,
+		ResidualProb: 0.3,
+		BranchProb:   0.3,
+	}
+}
+
+// Synth generates a random but always-valid CNN-style DAG: conv/pool
+// chains, residual adds between same-shape tensors, and two-branch concat
+// sections, exercising the analyzer's halo, channel-offset and coupling
+// logic. The same seed yields the same graph.
+func Synth(seed int64, p SynthParams) *Graph {
+	if p.Layers < 2 {
+		p.Layers = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(fmt.Sprintf("synth-%d", seed))
+	cur := b.Input(p.Spatial, p.Spatial, 8)
+
+	channels := func() int {
+		c := 8 * (1 + rng.Intn(p.MaxChannels/8))
+		return c
+	}
+	var sameShape Ref
+	haveSkip := false
+	emitted := 0
+	name := func(kind string) string {
+		emitted++
+		return fmt.Sprintf("%s%d", kind, emitted)
+	}
+
+	for emitted < p.Layers {
+		switch {
+		case haveSkip && rng.Float64() < p.ResidualProb &&
+			sameShape.Height() == cur.Height() && sameShape.Channels() == cur.Channels():
+			cur = b.Add(name("add"), cur, sameShape)
+			haveSkip = false
+		case rng.Float64() < p.BranchProb && p.Layers-emitted >= 3:
+			k1, k2 := channels(), channels()
+			left := b.Conv(name("bl"), cur, k1, 1, 1, 1, 0)
+			right := b.Conv(name("br"), cur, k2, 3, 3, 1, 1)
+			cur = b.Concat(left, right)
+			// A fuse conv keeps downstream shapes simple.
+			cur = b.Conv(name("fuse"), cur, channels(), 1, 1, 1, 0)
+		case rng.Float64() < 0.2 && cur.Height() >= 8:
+			cur = b.Pool(name("pool"), cur, 2, 2, 0)
+		default:
+			r := []int{1, 3, 5}[rng.Intn(3)]
+			stride := 1
+			if rng.Float64() < 0.15 && cur.Height() >= 8 {
+				stride = 2
+			}
+			k := channels()
+			gr := 1
+			if r == 3 && rng.Float64() < 0.2 {
+				// depthwise block
+				gr = cur.Channels()
+				k = cur.Channels()
+			}
+			cur = b.GroupedConv(name("conv"), cur, k, r, r, stride, r/2, gr)
+			if rng.Float64() < 0.5 {
+				sameShape = cur
+				haveSkip = true
+			}
+		}
+	}
+	cur = b.GlobalPool("gap", cur)
+	b.FC("head", cur, 10)
+	return b.MustBuild()
+}

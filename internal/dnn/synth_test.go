@@ -1,0 +1,66 @@
+package dnn
+
+import "testing"
+
+func TestSynthAlwaysValid(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		g := Synth(seed, DefaultSynthParams())
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(g.Layers) < 4 {
+			t.Fatalf("seed %d: only %d layers", seed, len(g.Layers))
+		}
+	}
+}
+
+func TestSynthDeterministic(t *testing.T) {
+	a := Synth(42, DefaultSynthParams())
+	b := Synth(42, DefaultSynthParams())
+	if len(a.Layers) != len(b.Layers) || a.TotalMACs() != b.TotalMACs() {
+		t.Fatal("same seed produced different graphs")
+	}
+	c := Synth(43, DefaultSynthParams())
+	if a.TotalMACs() == c.TotalMACs() && len(a.Layers) == len(c.Layers) && a.Depth() == c.Depth() {
+		t.Log("seeds 42/43 coincide on all summary stats (unlikely but not fatal)")
+	}
+}
+
+func TestSynthExercisesVariety(t *testing.T) {
+	kinds := map[Kind]bool{}
+	groups := false
+	multiEdge := false
+	for seed := int64(0); seed < 40; seed++ {
+		g := Synth(seed, DefaultSynthParams())
+		for _, l := range g.Layers {
+			kinds[l.Kind] = true
+			if l.Groups > 1 {
+				groups = true
+			}
+			if len(l.Inputs) > 1 {
+				multiEdge = true
+			}
+		}
+	}
+	for _, k := range []Kind{Conv, Pool, Eltwise, FC} {
+		if !kinds[k] {
+			t.Errorf("40 seeds never produced a %v layer", k)
+		}
+	}
+	if !groups {
+		t.Error("no depthwise conv generated")
+	}
+	if !multiEdge {
+		t.Error("no multi-input layer generated")
+	}
+}
+
+func TestSynthRespectsLayerBudget(t *testing.T) {
+	p := DefaultSynthParams()
+	p.Layers = 30
+	g := Synth(7, p)
+	// Budget + gap + head, with small overshoot from branch sections.
+	if len(g.Layers) < 30 || len(g.Layers) > 40 {
+		t.Errorf("layers = %d, want ~30-40", len(g.Layers))
+	}
+}

@@ -1,0 +1,23 @@
+package dse
+
+import "testing"
+
+func TestCoresForCutFriendly(t *testing.T) {
+	// 128 TOPs @ 1024 MACs: 62.5 ideal -> 64 (8x8) so cuts 2/4/8 divide.
+	if got := Space128().CoresFor(1024); got != 64 {
+		t.Errorf("128T@1024 cores = %d, want 64", got)
+	}
+	if got := Space128().CoresFor(2048); got != 32 {
+		t.Errorf("128T@2048 cores = %d, want 32", got)
+	}
+	if got := Space512().CoresFor(4096); got != 64 {
+		t.Errorf("512T@4096 cores = %d, want 64", got)
+	}
+	// The paper's 72 TOPs arrangements survive the bonus.
+	sp := Space72()
+	for macs, want := range map[int]int{1024: 36, 2048: 18, 4096: 9, 512: 72} {
+		if got := sp.CoresFor(macs); got != want {
+			t.Errorf("72T@%d cores = %d, want %d", macs, got, want)
+		}
+	}
+}

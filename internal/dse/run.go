@@ -1,0 +1,245 @@
+package dse
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gemini/internal/arch"
+	"gemini/internal/cost"
+	"gemini/internal/dnn"
+	"gemini/internal/eval"
+	"gemini/internal/graphpart"
+	"gemini/internal/sa"
+)
+
+// Objective holds the DSE exponents of MC^alpha * E^beta * D^gamma
+// (paper Sec. V-A). The default DSE objective is MC*E*D.
+type Objective struct {
+	Alpha, Beta, Gamma float64
+}
+
+// MCED is the paper's default DSE objective.
+var MCED = Objective{1, 1, 1}
+
+// Options configures a DSE run.
+type Options struct {
+	Objective Objective
+	Batch     int
+	// SAIterations per (candidate, DNN) mapping search.
+	SAIterations int
+	// Workers bounds parallelism (default: GOMAXPROCS).
+	Workers int
+	Seed    int64
+	// MaxGroupLayers and BatchUnits forward to the graph partitioner.
+	MaxGroupLayers int
+	BatchUnits     []int
+}
+
+// DefaultOptions returns throughput-scenario settings (batch 64, Sec. VI-A1).
+func DefaultOptions() Options {
+	return Options{
+		Objective:    MCED,
+		Batch:        64,
+		SAIterations: 600,
+		Seed:         1,
+		BatchUnits:   []int{1, 2, 4, 8},
+	}
+}
+
+// MapResult is the outcome of mapping one DNN onto one architecture.
+type MapResult struct {
+	Model             string
+	Energy            float64 // joules
+	Delay             float64 // seconds
+	Eval              eval.Result
+	SA                sa.Result
+	Groups            int
+	AvgLayersPerGroup float64
+}
+
+// MapModel runs the full Mapping Engine pipeline for one DNN on one
+// architecture: DP graph partition, then SA refinement of the LP SPM.
+func MapModel(cfg *arch.Config, g *dnn.Graph, opt Options) (*MapResult, error) {
+	ev := eval.New(cfg)
+	gp := graphpart.DefaultOptions()
+	gp.Beta, gp.Gamma = opt.Objective.Beta, opt.Objective.Gamma
+	if opt.MaxGroupLayers > 0 {
+		gp.MaxGroupLayers = opt.MaxGroupLayers
+	}
+	if len(opt.BatchUnits) > 0 {
+		gp.BatchUnits = opt.BatchUnits
+	}
+	part, err := graphpart.Partition(g, cfg, ev, opt.Batch, gp)
+	if err != nil {
+		return nil, err
+	}
+	so := sa.DefaultOptions()
+	so.Iterations = opt.SAIterations
+	so.Seed = opt.Seed
+	so.Beta, so.Gamma = opt.Objective.Beta, opt.Objective.Gamma
+	res := sa.Optimize(part.Scheme, ev, so)
+	if !res.Eval.Feasible {
+		return nil, fmt.Errorf("dse: no feasible mapping for %s on %s", g.Name, cfg.Name)
+	}
+	return &MapResult{
+		Model:             g.Name,
+		Energy:            res.Eval.Energy.Total(),
+		Delay:             res.Eval.Delay,
+		Eval:              res.Eval,
+		SA:                res,
+		Groups:            len(res.Scheme.Groups),
+		AvgLayersPerGroup: eval.AvgLayersPerGroup(res.Scheme),
+	}, nil
+}
+
+// CandidateResult is one architecture candidate's DSE evaluation.
+type CandidateResult struct {
+	Cfg      arch.Config
+	MC       cost.Breakdown
+	Energy   float64 // geometric mean over DNNs (J)
+	Delay    float64 // geometric mean over DNNs (s)
+	Obj      float64
+	Feasible bool
+	PerModel []*MapResult
+}
+
+// EDP returns the candidate's energy-delay product.
+func (c *CandidateResult) EDP() float64 { return c.Energy * c.Delay }
+
+// Run explores every candidate with a parallel worker pool and returns
+// results sorted by ascending objective (infeasible candidates last).
+func Run(cands []arch.Config, models []*dnn.Graph, opt Options) []CandidateResult {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	mce := cost.New()
+	results := make([]CandidateResult, len(cands))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range cands {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = evaluateCandidate(&cands[i], models, mce, opt)
+		}(i)
+	}
+	wg.Wait()
+	sort.Slice(results, func(a, b int) bool {
+		ra, rb := results[a], results[b]
+		if ra.Feasible != rb.Feasible {
+			return ra.Feasible
+		}
+		if ra.Obj != rb.Obj {
+			return ra.Obj < rb.Obj
+		}
+		return ra.Cfg.Name < rb.Cfg.Name
+	})
+	return results
+}
+
+func evaluateCandidate(cfg *arch.Config, models []*dnn.Graph, mce *cost.Evaluator, opt Options) CandidateResult {
+	res := CandidateResult{Cfg: *cfg, MC: mce.Evaluate(cfg)}
+	prodE, prodD := 1.0, 1.0
+	for _, g := range models {
+		mr, err := MapModel(cfg, g, opt)
+		if err != nil {
+			res.Feasible = false
+			res.Obj = math.Inf(1)
+			return res
+		}
+		res.PerModel = append(res.PerModel, mr)
+		prodE *= mr.Energy
+		prodD *= mr.Delay
+	}
+	n := float64(len(models))
+	if n == 0 {
+		res.Obj = math.Inf(1)
+		return res
+	}
+	res.Energy = math.Pow(prodE, 1/n)
+	res.Delay = math.Pow(prodD, 1/n)
+	res.Feasible = true
+	res.Obj = Score(res.MC.Total(), res.Energy, res.Delay, opt.Objective)
+	return res
+}
+
+// Score computes MC^alpha * E^beta * D^gamma.
+func Score(mc, e, d float64, o Objective) float64 {
+	return math.Pow(mc, o.Alpha) * math.Pow(e, o.Beta) * math.Pow(d, o.Gamma)
+}
+
+// Best returns the first feasible result, or nil.
+func Best(results []CandidateResult) *CandidateResult {
+	for i := range results {
+		if results[i].Feasible {
+			return &results[i]
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the result table in the artifact's result.csv style.
+func WriteCSV(w io.Writer, results []CandidateResult) error {
+	if _, err := fmt.Fprintln(w, "arch,chiplets,cores,dram_gbps,noc_gbps,d2d_gbps,glb_kb,macs,mc_usd,energy_j,delay_s,edp,objective,feasible"); err != nil {
+		return err
+	}
+	for i := range results {
+		r := &results[i]
+		_, err := fmt.Fprintf(w, "%q,%d,%d,%.0f,%.0f,%.0f,%d,%d,%.3f,%.6g,%.6g,%.6g,%.6g,%t\n",
+			r.Cfg.Name, r.Cfg.Chiplets(), r.Cfg.Cores(), r.Cfg.DRAMBW, r.Cfg.NoCBW, r.Cfg.D2DBW,
+			r.Cfg.GLBPerCore/arch.KB, r.Cfg.MACsPerCore,
+			r.MC.Total(), r.Energy, r.Delay, r.EDP(), r.Obj, r.Feasible)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JointResult is the Sec. VII-B multi-accelerator chiplet-reuse outcome for
+// one base (lowest-TOPs) candidate.
+type JointResult struct {
+	Base     arch.Config
+	Scaled   []CandidateResult // one per target factor, including factor 1
+	Product  float64           // product of MC*E*D over all accelerators
+	Feasible bool
+}
+
+// JointRun explores chiplet reuse: each base candidate's chiplet is
+// replicated to build accelerators at every factor in factors (1 = the base
+// itself), and candidates are ranked by the product of their objectives
+// (paper Sec. VII-B "Joint Optimal").
+func JointRun(bases []arch.Config, factors []int, models []*dnn.Graph, opt Options) []JointResult {
+	out := make([]JointResult, 0, len(bases))
+	mce := cost.New()
+	for i := range bases {
+		jr := JointResult{Base: bases[i], Feasible: true, Product: 1}
+		for _, f := range factors {
+			scaled, err := ScaleUp(bases[i], f)
+			if err != nil {
+				jr.Feasible = false
+				break
+			}
+			cr := evaluateCandidate(&scaled, models, mce, opt)
+			jr.Scaled = append(jr.Scaled, cr)
+			if !cr.Feasible {
+				jr.Feasible = false
+				break
+			}
+			jr.Product *= cr.Obj
+		}
+		if !jr.Feasible {
+			jr.Product = math.Inf(1)
+		}
+		out = append(out, jr)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Product < out[b].Product })
+	return out
+}

@@ -1,0 +1,90 @@
+package eval
+
+// Params holds the technology constants of the evaluator's energy model.
+// All values are picojoules. The absolute values are calibrated analytic
+// constants (the paper's come from a chip tape-out); the ratios that drive
+// every trend the paper reports are preserved:
+//
+//   - D2D transfers cost ~8x an on-chip hop per bit (paper Sec. II-A:
+//     "several to dozens of times more energy than the less than 0.1 pJ/bit
+//     on-chip cost"; GRS is 1.17 pJ/b).
+//   - DRAM accesses dwarf on-chip transfers, so LP mapping's DRAM savings
+//     dominate (paper Sec. VII-A2).
+type Params struct {
+	MACpJ           float64 // per int8 multiply-accumulate incl. local regs
+	VecOppJ         float64 // per vector-unit operation
+	GLBpJPerByte    float64 // per GLB byte read/written
+	NoCHoppJPerByte float64 // per byte per on-chip link traversed
+	RouterpJPerByte float64 // per byte per router (input buffer + crossbar)
+	D2DpJPerByte    float64 // per byte over a D2D link (clock-forwarding GRS)
+	DRAMpJPerByte   float64 // per DRAM byte (device + PHY)
+
+	// D2DModel selects between the paper's two D2D energy models
+	// (Sec. V-B2). GRS (clock-forwarding) is the default for parity with
+	// the Simba baseline.
+	D2DModel D2DModel
+	// SerDesPJPerBit is the always-on per-bit cost of the clock-embedded
+	// model: power per interface = bandwidth x this.
+	SerDesPJPerBit float64
+}
+
+// D2DModel enumerates the two D2D energy models of Sec. V-B2.
+type D2DModel int
+
+const (
+	// GRS is clock-forwarding: energy proportional to transferred volume,
+	// low-power idle state.
+	GRS D2DModel = iota
+	// SerDes is clock-embedded: near-constant power whether or not data is
+	// being transmitted, so energy = interfaces x power x latency.
+	SerDes
+)
+
+// DefaultParams returns the calibrated constants used throughout the
+// experiments.
+func DefaultParams() Params {
+	return Params{
+		MACpJ:           0.25,
+		VecOppJ:         0.4,
+		GLBpJPerByte:    1.0,
+		NoCHoppJPerByte: 0.8, // 0.1 pJ/bit on-chip lines
+		RouterpJPerByte: 0.4,
+		D2DpJPerByte:    9.4, // 1.17 pJ/bit GRS
+		DRAMpJPerByte:   60,
+		D2DModel:        GRS,
+		SerDesPJPerBit:  1.55,
+	}
+}
+
+const pJ = 1e-12
+
+// EnergyBreakdown is the per-component energy of a mapping, in joules,
+// matching the stacks of Fig. 5/7/8 (network split into router/wire on-chip
+// energy, D2D, intra-core compute+buffer, DRAM).
+type EnergyBreakdown struct {
+	MAC  float64
+	GLB  float64
+	NoC  float64
+	D2D  float64
+	DRAM float64
+}
+
+// Total sums all components.
+func (e EnergyBreakdown) Total() float64 {
+	return e.MAC + e.GLB + e.NoC + e.D2D + e.DRAM
+}
+
+// IntraCore groups the components the paper plots as "intra-tile energy".
+func (e EnergyBreakdown) IntraCore() float64 { return e.MAC + e.GLB }
+
+// Network groups the on-chip plus D2D transfer energy.
+func (e EnergyBreakdown) Network() float64 { return e.NoC + e.D2D }
+
+// add accumulates o scaled by f.
+func (e *EnergyBreakdown) add(o EnergyBreakdown, f float64) {
+	e.MAC += o.MAC * f
+	e.GLB += o.GLB * f
+	e.NoC += o.NoC * f
+	e.D2D += o.D2D * f
+	e.DRAM += o.DRAM * f
+}

@@ -1,0 +1,270 @@
+// Package eval implements the Gemini Evaluator (Sec. V-B2): it turns an
+// analyzed LP SPM scheme into delay and energy numbers using the analytic
+// bottleneck model — per-pass stage time is the maximum of per-core compute
+// time, the most loaded NoC/D2D link, and the most loaded DRAM controller;
+// a layer group's delay accounts for pipeline fill/drain via its dependency
+// depth; energy sums per-component operation counts times unit energies.
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"gemini/internal/arch"
+	"gemini/internal/core"
+	"gemini/internal/intracore"
+	"gemini/internal/noc"
+)
+
+// GroupResult is the evaluation of one layer group.
+type GroupResult struct {
+	Feasible bool
+
+	Passes    int
+	Depth     int
+	StageTime float64 // seconds per batch-unit pass at steady state
+	Delay     float64 // seconds for the whole batch through this group
+
+	Energy EnergyBreakdown
+
+	// Per-pass traffic statistics for the Fig. 7 / Fig. 9 analyses.
+	NoCBytes, D2DBytes, DRAMBytes float64
+	MaxLinkLoad                   float64
+	AvgUtil                       float64
+}
+
+// Result is the evaluation of a full scheme.
+type Result struct {
+	Feasible bool
+	Delay    float64 // seconds
+	Energy   EnergyBreakdown
+	Groups   []GroupResult
+
+	// DRAMBytes is total DRAM traffic, the quantity Fig. 7 tracks against
+	// core count.
+	DRAMBytes float64
+}
+
+// EnergyJ returns total energy in joules.
+func (r *Result) EnergyJ() float64 { return r.Energy.Total() }
+
+// EDP returns the energy-delay product (J*s), the Fig. 6 metric.
+func (r *Result) EDP() float64 { return r.Energy.Total() * r.Delay }
+
+// AvgLayersPerGroup reports the mean number of layers processed
+// simultaneously (paper Sec. VII-A2).
+func AvgLayersPerGroup(s *core.Scheme) float64 {
+	if len(s.Groups) == 0 {
+		return 0
+	}
+	n := 0
+	for _, g := range s.Groups {
+		n += len(g.MSs)
+	}
+	return float64(n) / float64(len(s.Groups))
+}
+
+// Evaluator evaluates schemes for one architecture. It is safe for
+// concurrent use.
+type Evaluator struct {
+	Cfg    *arch.Config
+	Net    *noc.Network
+	Memo   *intracore.Memo
+	Params Params
+}
+
+// New builds an evaluator with default energy parameters.
+func New(cfg *arch.Config) *Evaluator {
+	return &Evaluator{
+		Cfg:    cfg,
+		Net:    noc.New(cfg),
+		Memo:   intracore.NewMemo(),
+		Params: DefaultParams(),
+	}
+}
+
+func (e *Evaluator) coreParams() intracore.Core {
+	return intracore.Core{MACs: e.Cfg.MACsPerCore, GLB: e.Cfg.GLBPerCore, FreqGHz: e.Cfg.FreqGHz}
+}
+
+// EvaluateGroup evaluates one layer group of a validated scheme.
+func (e *Evaluator) EvaluateGroup(s *core.Scheme, gi int) GroupResult {
+	an, err := core.Analyze(s, gi, e.Cfg)
+	if err != nil {
+		return GroupResult{}
+	}
+	return e.evaluateAnalysis(an, s.Batch)
+}
+
+func (e *Evaluator) evaluateAnalysis(an *core.Analysis, batch int) GroupResult {
+	cp := e.coreParams()
+	freqHz := e.Cfg.FreqGHz * 1e9
+
+	// Intra-core exploration per occupied core.
+	var maxComp float64
+	var compEnergy EnergyBreakdown
+	var utilSum float64
+	nUtil := 0
+	resident := make(map[arch.CoreID]bool, len(an.Works))
+	coreOrder := make([]arch.CoreID, 0, len(an.Works))
+	for c := range an.Works {
+		coreOrder = append(coreOrder, c)
+	}
+	sort.Slice(coreOrder, func(i, j int) bool { return coreOrder[i] < coreOrder[j] })
+	for _, c := range coreOrder {
+		w := an.Works[c]
+		r := e.Memo.Explore(w, cp)
+		if !r.Feasible {
+			return GroupResult{}
+		}
+		resident[c] = r.WeightsResident
+		cycles := r.Cycles
+		if r.VecCycles > cycles {
+			cycles = r.VecCycles
+		}
+		if t := float64(cycles) / freqHz; t > maxComp {
+			maxComp = t
+		}
+		compEnergy.MAC += float64(w.MACs)*e.Params.MACpJ*pJ + float64(w.VecOps)*e.Params.VecOppJ*pJ
+		compEnergy.GLB += r.GLBBytes * e.Params.GLBpJPerByte * pJ
+		if w.MACs > 0 {
+			utilSum += r.Util
+			nUtil++
+		}
+	}
+
+	// Per-pass activation traffic.
+	tr := e.Net.NewTraffic()
+	for _, f := range an.ActFlows {
+		tr.AddMulticast(f.Src, f.Dsts, f.Bytes)
+	}
+	for _, f := range an.ActDRAM {
+		if f.Write {
+			tr.AddDRAMWrite(f.Ctrl, f.Cores[0], f.Bytes)
+		} else {
+			tr.AddDRAMReadMulticast(f.Ctrl, f.Cores, f.Bytes)
+		}
+	}
+
+	// Weight loading: GLB-resident slices load once per run; slices that do
+	// not fit stream every pass.
+	wOnce := e.Net.NewTraffic()
+	for _, f := range an.WeightFlows {
+		var res, str []arch.CoreID
+		for _, c := range f.Cores {
+			if resident[c] {
+				res = append(res, c)
+			} else {
+				str = append(str, c)
+			}
+		}
+		if len(res) > 0 {
+			wOnce.AddDRAMReadMulticast(f.Ctrl, res, f.Bytes)
+		}
+		if len(str) > 0 {
+			tr.AddDRAMReadMulticast(f.Ctrl, str, f.Bytes)
+		}
+	}
+
+	passes := (batch + an.BatchUnit - 1) / an.BatchUnit
+	commTime := tr.BottleneckTime()
+	stage := math.Max(maxComp, commTime)
+	if stage <= 0 {
+		return GroupResult{}
+	}
+	preload := wOnce.BottleneckTime()
+	delay := float64(passes+an.Depth-1)*stage + preload
+
+	res := GroupResult{
+		Feasible:  true,
+		Passes:    passes,
+		Depth:     an.Depth,
+		StageTime: stage,
+		Delay:     delay,
+	}
+	res.NoCBytes, res.D2DBytes, res.DRAMBytes = tr.TotalBytes()
+	res.MaxLinkLoad, _ = tr.MaxLinkLoad()
+	if nUtil > 0 {
+		res.AvgUtil = utilSum / float64(nUtil)
+	}
+
+	perPass := e.transferEnergy(tr)
+	once := e.transferEnergy(wOnce)
+	res.Energy.add(compEnergy, float64(passes))
+	res.Energy.add(perPass, float64(passes))
+	res.Energy.add(once, 1)
+
+	if e.Params.D2DModel == SerDes && e.Cfg.Chiplets() > 1 {
+		// Clock-embedded D2D: interfaces burn power for the whole group
+		// runtime regardless of traffic.
+		n := e.countD2DInterfaces()
+		powerW := e.Cfg.D2DBW * 1e9 * 8 * e.Params.SerDesPJPerBit * pJ
+		res.Energy.D2D = float64(n) * powerW * delay
+	}
+	res.DRAMBytes *= float64(passes)
+	res.NoCBytes *= float64(passes)
+	res.D2DBytes *= float64(passes)
+	ow, dw, drw := wOnce.TotalBytes()
+	res.NoCBytes += ow
+	res.D2DBytes += dw
+	res.DRAMBytes += drw
+	return res
+}
+
+// transferEnergy converts accumulated traffic into a per-pass energy
+// breakdown under the clock-forwarding (volume-proportional) model.
+func (e *Evaluator) transferEnergy(tr *noc.Traffic) EnergyBreakdown {
+	onchip, d2d, dram := tr.TotalBytes()
+	var b EnergyBreakdown
+	b.NoC = onchip * (e.Params.NoCHoppJPerByte + e.Params.RouterpJPerByte) * pJ
+	b.D2D = d2d * (e.Params.D2DpJPerByte + e.Params.RouterpJPerByte) * pJ
+	b.DRAM = dram * e.Params.DRAMpJPerByte * pJ
+	return b
+}
+
+// countD2DInterfaces counts directed D2D channels of the network.
+func (e *Evaluator) countD2DInterfaces() int {
+	n := 0
+	for _, l := range e.Net.Links {
+		if l.D2D {
+			n++
+		}
+	}
+	return n
+}
+
+// Evaluate evaluates a full scheme: groups run one after another, so delays
+// and energies sum.
+func (e *Evaluator) Evaluate(s *core.Scheme) Result {
+	res := Result{Feasible: true, Groups: make([]GroupResult, len(s.Groups))}
+	for gi := range s.Groups {
+		gr := e.EvaluateGroup(s, gi)
+		res.Groups[gi] = gr
+		if !gr.Feasible {
+			res.Feasible = false
+			res.Delay = math.Inf(1)
+			return res
+		}
+		res.Delay += gr.Delay
+		res.Energy.add(gr.Energy, 1)
+		res.DRAMBytes += gr.DRAMBytes
+	}
+	return res
+}
+
+// Cost computes the mapping objective E^beta * D^gamma (paper Sec. V-A).
+// Infeasible results cost +Inf.
+func Cost(r Result, beta, gamma float64) float64 {
+	if !r.Feasible || r.Delay <= 0 {
+		return math.Inf(1)
+	}
+	return math.Pow(r.Energy.Total(), beta) * math.Pow(r.Delay, gamma)
+}
+
+// GroupCost is the incremental SA objective for a single group.
+func GroupCost(g GroupResult, beta, gamma float64) float64 {
+	if !g.Feasible || g.Delay <= 0 {
+		return math.Inf(1)
+	}
+	return math.Pow(g.Energy.Total(), beta) * math.Pow(g.Delay, gamma)
+}

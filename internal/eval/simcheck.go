@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"gemini/internal/core"
+	"gemini/internal/noc"
+)
+
+// SimulateGroupNet cross-validates the analytic per-pass network time of a
+// layer group against the event-driven max-min contention simulator:
+// multicast flows are conservatively expanded to per-destination unicasts
+// and DRAM transfers enter at their port cores. It returns the simulated
+// and the analytic drain times; the simulated time is an upper bound on the
+// analytic bottleneck for the same unicast expansion.
+func (e *Evaluator) SimulateGroupNet(s *core.Scheme, gi int) (simulated, analytic float64, err error) {
+	an, err := core.Analyze(s, gi, e.Cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	var flows []noc.SimFlow
+	for _, f := range an.ActFlows {
+		for _, d := range f.Dsts {
+			flows = append(flows, noc.SimFlow{Src: f.Src, Dst: d, Bytes: f.Bytes})
+		}
+	}
+	ctrls := e.Net.Controllers()
+	for _, f := range an.ActDRAM {
+		ctrlList := []int{f.Ctrl}
+		bytes := f.Bytes
+		if f.Ctrl < 0 { // interleaved: spread over all controllers
+			ctrlList = ctrlList[:0]
+			for c := 0; c < ctrls; c++ {
+				ctrlList = append(ctrlList, c)
+			}
+			bytes /= float64(ctrls)
+		}
+		for _, ctrl := range ctrlList {
+			if f.Write {
+				port := e.Net.PortCore(ctrl, f.Cores[0])
+				flows = append(flows, noc.SimFlow{Src: f.Cores[0], Dst: port, Bytes: bytes})
+				continue
+			}
+			for _, c := range f.Cores {
+				port := e.Net.PortCore(ctrl, c)
+				flows = append(flows, noc.SimFlow{Src: port, Dst: c, Bytes: bytes})
+			}
+		}
+	}
+	res, err := e.Net.Simulate(flows)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.DrainTime, e.Net.AnalyticDrain(flows), nil
+}

@@ -1,0 +1,46 @@
+package eval
+
+import (
+	"testing"
+
+	"gemini/internal/arch"
+	"gemini/internal/core"
+	"gemini/internal/dnn"
+)
+
+func TestSimulateGroupNetBounds(t *testing.T) {
+	cfg := arch.GArch72()
+	s, ev := tinyOn(t, &cfg, 4, 2)
+	sim, analytic, err := ev.SimulateGroupNet(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim <= 0 || analytic <= 0 {
+		t.Fatalf("degenerate times: sim=%v analytic=%v", sim, analytic)
+	}
+	if sim < analytic*(1-1e-9) {
+		t.Errorf("simulated %v below analytic bottleneck %v", sim, analytic)
+	}
+	// The analytic model is a steady-state bound; contention can stretch
+	// the drain, but not unboundedly for these small groups.
+	if sim > analytic*10 {
+		t.Errorf("simulated %v implausibly above analytic %v", sim, analytic)
+	}
+}
+
+func TestSimulateGroupNetAfterSA(t *testing.T) {
+	cfg := arch.GArch72()
+	g := dnn.TinyTransformer()
+	s, err := core.StripeScheme(g, &cfg, [][]int{allLayers(g)}, []int{1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := New(&cfg)
+	sim, analytic, err := ev.SimulateGroupNet(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim < analytic*(1-1e-9) {
+		t.Errorf("simulated %v below analytic %v", sim, analytic)
+	}
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quick() Options {
+	o := QuickOptions()
+	o.SAIterations = 80
+	o.Batches = []int{2}
+	return o
+}
+
+func TestFig5Quick(t *testing.T) {
+	r, err := Fig5(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 models x 1 batch x 3 settings.
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Setting == "S-Arch+T-Map" && (row.NormDelay != 1 || row.NormEnergy != 1) {
+			t.Errorf("baseline not normalized to 1: %+v", row)
+		}
+		if row.Delay <= 0 || row.Energy.Total() <= 0 {
+			t.Errorf("degenerate row: %+v", row)
+		}
+	}
+	// The co-exploration shape: G wins on both axes vs the baseline.
+	if r.PerfGain < 1 {
+		t.Errorf("perf gain %.2f < 1", r.PerfGain)
+	}
+	if r.EnergyGain < 1 {
+		t.Errorf("energy gain %.2f < 1", r.EnergyGain)
+	}
+	// Mapping-only gains cannot exceed... they can, but must be >= 1 since
+	// SA starts from the baseline scheme.
+	if r.MapOnlyPerfGain < 1 || r.MapOnlyEnergyGain < 1 {
+		t.Errorf("mapping-only gains below 1: %v / %v", r.MapOnlyPerfGain, r.MapOnlyEnergyGain)
+	}
+	var sb strings.Builder
+	r.Print(&sb)
+	if !strings.Contains(sb.String(), "headline") {
+		t.Error("print output missing headline")
+	}
+}
+
+func TestTArchQuick(t *testing.T) {
+	r, err := TArch(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerfGain < 1 {
+		t.Errorf("perf gain %.2f < 1 (paper: 1.74)", r.PerfGain)
+	}
+	if r.MCReduction <= 0 {
+		t.Errorf("MC reduction %.2f, want positive (paper: 40.1%%)", r.MCReduction)
+	}
+	var sb strings.Builder
+	r.Print(&sb)
+	if !strings.Contains(sb.String(), "folded torus") {
+		t.Error("missing print output")
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	o := quick()
+	r, err := Fig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) == 0 {
+		t.Fatal("no scatter points")
+	}
+	// Every point is normalized to the optimum, so >= some point near 1.
+	minEDP := r.Points[0].EDP
+	for _, p := range r.Points {
+		if p.EDP < minEDP {
+			minEDP = p.EDP
+		}
+		if p.EDP <= 0 || p.MC <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	if minEDP > 1.0001 {
+		t.Errorf("min normalized EDP = %v, want <= 1", minEDP)
+	}
+	if len(r.Optima) != 8 { // 2 spaces x 4 objectives
+		t.Errorf("optima = %d, want 8", len(r.Optima))
+	}
+	for k, ch := range r.OptimaChiplets {
+		if ch < 1 {
+			t.Errorf("%s: chiplets = %d", k, ch)
+		}
+	}
+	var sb strings.Builder
+	r.Print(&sb)
+	if !strings.Contains(sb.String(), "objective optima") {
+		t.Error("print incomplete")
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	r, err := Fig7(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 objectives", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Delay <= 0 || row.DRAMBytes <= 0 || row.AvgLayersPerGroup <= 0 {
+			t.Errorf("degenerate row %+v", row)
+		}
+	}
+	var sb strings.Builder
+	r.Print(&sb)
+	if !strings.Contains(sb.String(), "MC*E*D") {
+		t.Error("print incomplete")
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	r, err := Fig8(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(r.Rows))
+	}
+	byScheme := map[string]map[float64]float64{}
+	for _, row := range r.Rows {
+		if byScheme[row.Scheme] == nil {
+			byScheme[row.Scheme] = map[float64]float64{}
+		}
+		byScheme[row.Scheme][row.TOPS] = row.MCED
+	}
+	for tops, v := range byScheme["Optimal"] {
+		if v < 0.999 || v > 1.001 {
+			t.Errorf("Optimal at %.0f TOPs normalized to %v, want 1", tops, v)
+		}
+		// Paper shape: Simba-chiplet constructions are far worse than the
+		// per-scale optimum, and worse than the joint optimum.
+		if byScheme["Simba-chiplets"][tops] <= v {
+			t.Errorf("Simba construction at %.0f TOPs should be worse than Optimal", tops)
+		}
+		if byScheme["Simba-chiplets"][tops] < byScheme["JointOptimal"][tops] {
+			t.Errorf("Joint optimal should beat Simba construction at %.0f TOPs", tops)
+		}
+	}
+	if r.JointGap < 0 {
+		t.Errorf("joint gap %v, want >= 0 (joint cannot beat per-scale optimum)", r.JointGap)
+	}
+	var sb strings.Builder
+	r.Print(&sb)
+	if !strings.Contains(sb.String(), "joint-optimal gap") {
+		t.Error("print incomplete")
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	r, err := Fig9(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TangramHops <= 0 || r.GeminiHops <= 0 {
+		t.Fatal("missing hop counts")
+	}
+	// The paper's Fig. 9 claim: Gemini reduces hops and especially D2D hops.
+	if r.HopReduction < 0 {
+		t.Errorf("hop reduction %.2f negative", r.HopReduction)
+	}
+	if r.GeminiD2DHops > r.TangramD2DHops {
+		t.Errorf("SA increased D2D hops: %v -> %v", r.TangramD2DHops, r.GeminiD2DHops)
+	}
+	if !strings.Contains(r.TangramASCII, "|") || !strings.Contains(r.GeminiASCII, "|") {
+		t.Error("heatmaps missing chiplet markers")
+	}
+	if !strings.HasPrefix(r.TangramCSV, "from_x") {
+		t.Error("csv malformed")
+	}
+	var sb strings.Builder
+	r.Print(&sb)
+	if !strings.Contains(sb.String(), "hop reduction") {
+		t.Error("print incomplete")
+	}
+}
+
+func TestSpaceSizesTable(t *testing.T) {
+	rows := SpaceSizes()
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.AdvantageLog10 <= 0 {
+			t.Errorf("M=%d N=%d: Gemini space should dwarf Tangram's", r.M, r.N)
+		}
+	}
+	var sb strings.Builder
+	PrintSpaceSizes(&sb)
+	if !strings.Contains(sb.String(), "Sec. IV-B") {
+		t.Error("print incomplete")
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChipletGranularityQuick(t *testing.T) {
+	r, err := ChipletGranularity(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byChiplets := map[int]GranularityRow{}
+	for _, row := range r.Rows {
+		byChiplets[row.Chiplets] = row
+		if row.Yield <= 0 || row.Yield > 1 {
+			t.Errorf("%d chiplets: yield %v", row.Chiplets, row.Yield)
+		}
+	}
+	// Paper insight 1 shape: finer partitioning raises the D2D share and
+	// per-chiplet yield, and 36 chiplets are strictly worse than 2 under
+	// MC*E*D.
+	if byChiplets[36].D2DShare <= byChiplets[2].D2DShare {
+		t.Error("finer chiplets should spend more area on D2D")
+	}
+	if byChiplets[36].Yield <= byChiplets[1].Yield {
+		t.Error("smaller chiplets must yield better")
+	}
+	if byChiplets[36].MCED <= byChiplets[2].MCED {
+		t.Errorf("36 chiplets (%.2f) should be worse than 2 (%.2f) under MC*E*D",
+			byChiplets[36].MCED, byChiplets[2].MCED)
+	}
+	if byChiplets[36].MC.Total() <= byChiplets[2].MC.Total() {
+		t.Error("36 chiplets should cost more than 2")
+	}
+	var sb strings.Builder
+	r.Print(&sb)
+	if !strings.Contains(sb.String(), "chiplet granularity") {
+		t.Error("print incomplete")
+	}
+}
+
+func TestCoreGranularityQuick(t *testing.T) {
+	// Pipeline-length benefits need the throughput scenario: with tiny
+	// batches, fill/drain overhead legitimately suppresses fusion.
+	o := quick()
+	o.Batches = []int{16}
+	r, err := CoreGranularity(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// MC rises with core count (insight 2's monotone claim).
+	byCores := map[int]CoreGranularityRow{}
+	maxCores, minCores := 0, 1<<30
+	for _, row := range r.Rows {
+		byCores[row.Cores] = row
+		if row.Cores > maxCores {
+			maxCores = row.Cores
+		}
+		if row.Cores < minCores {
+			minCores = row.Cores
+		}
+	}
+	if byCores[maxCores].MC <= byCores[minCores].MC {
+		t.Errorf("MC should rise with core count: %v @%d vs %v @%d",
+			byCores[maxCores].MC, maxCores, byCores[minCores].MC, minCores)
+	}
+	// More cores enable longer pipelines.
+	if byCores[maxCores].AvgLayersPerGroup < byCores[minCores].AvgLayersPerGroup {
+		t.Errorf("more cores should allow longer pipelines: %.1f @%d vs %.1f @%d",
+			byCores[maxCores].AvgLayersPerGroup, maxCores,
+			byCores[minCores].AvgLayersPerGroup, minCores)
+	}
+	var sb strings.Builder
+	r.Print(&sb)
+	if !strings.Contains(sb.String(), "core granularity") {
+		t.Error("print incomplete")
+	}
+}

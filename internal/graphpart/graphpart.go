@@ -1,0 +1,149 @@
+// Package graphpart implements the DP-based graph partition engine the
+// Gemini framework shares with its Tangram baseline (Sec. V-B): it cuts the
+// topologically ordered DNN into layer groups and selects the batch unit
+// (samples per pipeline stage) of each group, minimizing the summed
+// stripe-mapped group cost under the E^beta * D^gamma objective.
+package graphpart
+
+import (
+	"fmt"
+	"math"
+
+	"gemini/internal/arch"
+	"gemini/internal/core"
+	"gemini/internal/dnn"
+	"gemini/internal/eval"
+)
+
+// Options configures the partitioner.
+type Options struct {
+	// MaxGroupLayers bounds segment length (defaults to min(cores, 20)).
+	MaxGroupLayers int
+	// BatchUnits are the candidate samples-per-pass values (filtered to
+	// divisors-or-batch <= batch).
+	BatchUnits []int
+	// Beta, Gamma are the objective exponents.
+	Beta, Gamma float64
+}
+
+// DefaultOptions returns the engine defaults.
+func DefaultOptions() Options {
+	return Options{BatchUnits: []int{1, 2, 4, 8}, Beta: 1, Gamma: 1}
+}
+
+// Result is the chosen partition.
+type Result struct {
+	Scheme *core.Scheme
+	// Groups and BatchUnits mirror the scheme for inspection.
+	Groups     [][]int
+	BatchUnits []int
+	Cost       float64
+}
+
+// Partition runs the DP over topological segments and returns the stripe-
+// mapped scheme (the SA engine refines it afterwards).
+func Partition(g *dnn.Graph, cfg *arch.Config, ev *eval.Evaluator, batch int, opt Options) (*Result, error) {
+	n := len(g.Layers)
+	if n == 0 {
+		return nil, fmt.Errorf("graphpart: empty graph")
+	}
+	maxLen := opt.MaxGroupLayers
+	if maxLen <= 0 {
+		maxLen = cfg.Cores()
+		if maxLen > 20 {
+			maxLen = 20
+		}
+	}
+	if maxLen > cfg.Cores() {
+		maxLen = cfg.Cores()
+	}
+	bus := make([]int, 0, len(opt.BatchUnits))
+	for _, b := range opt.BatchUnits {
+		if b >= 1 && b <= batch {
+			bus = append(bus, b)
+		}
+	}
+	if len(bus) == 0 {
+		bus = []int{1}
+	}
+
+	type choice struct {
+		from int
+		bu   int
+	}
+	dp := make([]float64, n+1)
+	ch := make([]choice, n+1)
+	for i := 1; i <= n; i++ {
+		dp[i] = math.Inf(1)
+	}
+
+	segCost := func(j, i, bu int) float64 {
+		layers := make([]int, 0, i-j)
+		for id := j; id < i; id++ {
+			layers = append(layers, id)
+		}
+		lms, err := core.Stripes(g, layers, cfg, bu)
+		if err != nil {
+			return math.Inf(1)
+		}
+		s := &core.Scheme{Graph: g, Batch: batch, Groups: []*core.LMS{lms}}
+		gr := ev.EvaluateGroup(s, 0)
+		if !gr.Feasible {
+			return math.Inf(1)
+		}
+		// Normalize the objective to be 1-homogeneous in workload size:
+		// summing raw E^b * D^g over segments would reward splitting (two
+		// halves score 2*(E/2)^b*(D/2)^g < E^b*D^g for b+g > 1). The
+		// (b+g)-th root keeps the DP size-unbiased while preserving the
+		// objective's E/D weighting; for pure-delay objectives it is exact.
+		c := math.Pow(gr.Energy.Total(), opt.Beta) * math.Pow(gr.Delay, opt.Gamma)
+		if exp := opt.Beta + opt.Gamma; exp > 1 {
+			c = math.Pow(c, 1/exp)
+		}
+		return c
+	}
+
+	for i := 1; i <= n; i++ {
+		lo := i - maxLen
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			if math.IsInf(dp[j], 1) {
+				continue
+			}
+			for _, bu := range bus {
+				c := segCost(j, i, bu)
+				if dp[j]+c < dp[i] {
+					dp[i] = dp[j] + c
+					ch[i] = choice{from: j, bu: bu}
+				}
+			}
+		}
+	}
+	if math.IsInf(dp[n], 1) {
+		return nil, fmt.Errorf("graphpart: no feasible partition for %s on %s", g.Name, cfg.Name)
+	}
+
+	// Reconstruct.
+	var groups [][]int
+	var batchUnits []int
+	for i := n; i > 0; {
+		j := ch[i].from
+		seg := make([]int, 0, i-j)
+		for id := j; id < i; id++ {
+			seg = append(seg, id)
+		}
+		groups = append([][]int{seg}, groups...)
+		batchUnits = append([]int{ch[i].bu}, batchUnits...)
+		i = j
+	}
+	scheme, err := core.StripeScheme(g, cfg, groups, batchUnits, batch)
+	if err != nil {
+		return nil, err
+	}
+	if err := scheme.Validate(cfg); err != nil {
+		return nil, fmt.Errorf("graphpart: produced invalid scheme: %w", err)
+	}
+	return &Result{Scheme: scheme, Groups: groups, BatchUnits: batchUnits, Cost: dp[n]}, nil
+}

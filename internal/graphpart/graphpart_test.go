@@ -1,0 +1,120 @@
+package graphpart
+
+import (
+	"testing"
+
+	"gemini/internal/arch"
+	"gemini/internal/dnn"
+	"gemini/internal/eval"
+)
+
+func TestPartitionTinyCNN(t *testing.T) {
+	cfg := arch.GArch72()
+	g := dnn.TinyCNN()
+	ev := eval.New(&cfg)
+	r, err := Partition(g, &cfg, ev, 8, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Scheme.Validate(&cfg); err != nil {
+		t.Fatalf("partition scheme invalid: %v", err)
+	}
+	// All layers covered exactly once in order.
+	next := 0
+	for _, grp := range r.Groups {
+		for _, id := range grp {
+			if id != next {
+				t.Fatalf("layer order broken: got %d, want %d", id, next)
+			}
+			next++
+		}
+	}
+	if next != len(g.Layers) {
+		t.Fatalf("covered %d layers of %d", next, len(g.Layers))
+	}
+	if len(r.BatchUnits) != len(r.Groups) {
+		t.Fatal("batch unit per group missing")
+	}
+	for _, bu := range r.BatchUnits {
+		if bu < 1 || bu > 8 {
+			t.Errorf("batch unit %d outside [1,8]", bu)
+		}
+	}
+}
+
+func TestPartitionRespectsMaxLen(t *testing.T) {
+	cfg := arch.GArch72()
+	g := dnn.TinyCNN()
+	ev := eval.New(&cfg)
+	opt := DefaultOptions()
+	opt.MaxGroupLayers = 3
+	r, err := Partition(g, &cfg, ev, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, grp := range r.Groups {
+		if len(grp) > 3 {
+			t.Errorf("group of %d layers exceeds max 3", len(grp))
+		}
+	}
+	if len(r.Groups) < 3 {
+		t.Errorf("7 layers with max 3 needs >= 3 groups, got %d", len(r.Groups))
+	}
+}
+
+func TestPartitionPrefersFusionOverSplit(t *testing.T) {
+	// With generous cores, keeping dependent layers in one group avoids
+	// DRAM round trips, so the DP should produce few groups for a tiny net.
+	cfg := arch.GArch72()
+	g := dnn.TinyCNN()
+	ev := eval.New(&cfg)
+	r, err := Partition(g, &cfg, ev, 8, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Groups) > 3 {
+		t.Errorf("expected aggressive fusion, got %d groups", len(r.Groups))
+	}
+}
+
+func TestPartitionTransformer(t *testing.T) {
+	cfg := arch.GArch72()
+	g := dnn.TinyTransformer()
+	ev := eval.New(&cfg)
+	r, err := Partition(g, &cfg, ev, 4, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Scheme.Validate(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	res := ev.Evaluate(r.Scheme)
+	if !res.Feasible {
+		t.Fatal("partitioned transformer infeasible")
+	}
+}
+
+func TestPartitionEmptyGraphErrors(t *testing.T) {
+	cfg := arch.GArch72()
+	ev := eval.New(&cfg)
+	if _, err := Partition(&dnn.Graph{Name: "empty"}, &cfg, ev, 1, DefaultOptions()); err == nil {
+		t.Error("expected error for empty graph")
+	}
+}
+
+func TestPartitionBatchUnitCandidatesFiltered(t *testing.T) {
+	cfg := arch.GArch72()
+	g := dnn.TinyCNN()
+	ev := eval.New(&cfg)
+	opt := DefaultOptions()
+	opt.BatchUnits = []int{4, 16, 64} // batch is 2: only fallback 1 valid? no: all > 2 filtered
+	r, err := Partition(g, &cfg, ev, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bu := range r.BatchUnits {
+		if bu > 2 {
+			t.Errorf("batch unit %d exceeds batch 2", bu)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package intracore implements the intra-core exploration engine of the
+// Gemini framework (Sec. V-B1): for each partitioned workload it performs an
+// exhaustive search over output tilings and the implied loop orders for an
+// NVDLA-style PE array, minimizing an energy-delay product subject to the
+// core's global-buffer capacity, and reports cycle counts plus buffer
+// traffic for the Evaluator.
+package intracore
+
+import (
+	"math"
+	"sync"
+
+	"gemini/internal/dnn"
+)
+
+// Workload is a partitioned layer slice assigned to one core, per
+// batch-unit pass.
+type Workload struct {
+	Kind       dnn.Kind
+	H, W, B, K int // output cube extents of this part
+	IC         int // input channels this part consumes (per group set)
+	R, S       int
+	Groups     int
+
+	MACs     int64 // multiply-accumulates for this part
+	VecOps   int64 // vector-unit operations for this part
+	InBytes  int64 // activation bytes delivered to the GLB per pass
+	WBytes   int64 // stationary weight bytes of this part
+	OutBytes int64 // output bytes produced per pass
+}
+
+// Core describes the compute resources relevant to intra-core scheduling.
+type Core struct {
+	MACs    int
+	GLB     int // bytes
+	FreqGHz float64
+}
+
+// Result is the optimum found by the exhaustive tiling search.
+type Result struct {
+	Cycles    int64   // compute + GLB-bound cycles on the PE array
+	VecCycles int64   // vector-unit cycles (overlappable with PE array)
+	GLBBytes  float64 // GLB<->PE traffic for energy accounting
+	Util      float64 // PE array utilization in [0,1]
+
+	// TileH/TileW/TileK describe the chosen tiling, KOuterTiles and
+	// SpatialTiles the loop structure, for inspection and tests.
+	TileH, TileW, TileK int
+
+	// WeightsResident reports whether the part's weights fit in the GLB
+	// alongside working tiles; when false the Evaluator streams weights
+	// from DRAM every pass instead of once per run.
+	WeightsResident bool
+
+	// Feasible is false when even the minimal tiling exceeds the GLB; the
+	// Evaluator treats such schemes as invalid.
+	Feasible bool
+}
+
+// array returns the PE-array spatial unrolling (Kpar x Cpar): the largest
+// power-of-two split with Cpar <= Kpar, e.g. 1024 -> 32x32, 512 -> 32x16.
+func array(macs int) (kpar, cpar int) {
+	cpar = 1
+	for cpar*cpar*4 <= macs {
+		cpar *= 2
+	}
+	kpar = macs / cpar
+	if kpar < 1 {
+		kpar = 1
+	}
+	return kpar, cpar
+}
+
+// tileCandidates returns a small divisor-like candidate set for dim n.
+func tileCandidates(n int) []int {
+	if n <= 1 {
+		return []int{1}
+	}
+	set := map[int]bool{1: true, n: true}
+	for v := 2; v < n; v *= 2 {
+		set[v] = true
+	}
+	if n >= 3 {
+		set[(n+1)/2] = true
+		set[(n+3)/4] = true
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		if v >= 1 && v <= n {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func ceilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// glbBudget is the GLB fraction usable for data (the rest holds
+// instructions and message buffers).
+const glbBudget = 0.95
+
+// glbBytesPerCycle scales GLB bandwidth with the PE array width.
+func glbBytesPerCycle(macs int) float64 { return float64(macs) / 4 }
+
+// Explore runs the exhaustive tiling/loop-order search for one workload.
+func Explore(w Workload, c Core) Result {
+	if w.MACs == 0 {
+		// Vector-only layer (pool/eltwise/softmax): no PE-array work.
+		lanes := vecLanes(c.MACs)
+		res := Result{
+			VecCycles:       ceilDiv64(w.VecOps, int64(lanes)),
+			GLBBytes:        float64(w.InBytes + w.OutBytes),
+			Util:            0,
+			WeightsResident: true,
+			Feasible:        float64(w.InBytes+w.OutBytes) <= float64(c.GLB)*glbBudget,
+			TileH:           w.H, TileW: w.W, TileK: w.K,
+		}
+		return res
+	}
+
+	kpar, cpar := array(c.MACs)
+	icg := w.IC
+	if w.Groups > 1 {
+		icg = w.IC / w.Groups
+		if icg < 1 {
+			icg = 1
+		}
+	}
+	rs := w.R * w.S
+	if rs <= 0 {
+		rs = 1
+	}
+
+	// PE-array cycles are tiling independent: the dot-product unrolling is
+	// (Kpar output channels) x (Cpar input channels) per cycle.
+	kTilesHW := ceilDiv(w.K, kpar)
+	cTilesHW := ceilDiv(icg, cpar)
+	macCycles := int64(kTilesHW) * int64(cTilesHW) * int64(w.H) * int64(w.W) * int64(w.B) * int64(rs)
+	if w.Kind == dnn.FC || w.Kind == dnn.MatMul {
+		macCycles = int64(kTilesHW) * int64(cTilesHW) * int64(w.H) * int64(w.W) * int64(w.B)
+	}
+	util := float64(w.MACs) / float64(macCycles*int64(c.MACs))
+	if util > 1 {
+		util = 1
+	}
+
+	budget := float64(c.GLB) * glbBudget
+	weightsResident := float64(w.WBytes)+float64(w.InBytes)+float64(w.OutBytes) <= budget
+
+	best := Result{Feasible: false}
+	bestCost := math.Inf(1)
+
+	ths := tileCandidates(w.H)
+	tws := tileCandidates(w.W)
+	tks := tileCandidates(w.K)
+	for _, th := range ths {
+		for _, tw := range tws {
+			for _, tk := range tks {
+				// Working set: an input tile with halo, a weight tile over
+				// all (grouped) input channels, and a psum tile.
+				ihT := th
+				iwT := tw
+				if w.Kind == dnn.Conv || w.Kind == dnn.Pool {
+					ihT = (th-1)*1 + w.R
+					iwT = (tw-1)*1 + w.S
+				}
+				inTile := float64(ihT) * float64(iwT) * float64(icg)
+				wTile := float64(tk) * float64(icg) * float64(rs)
+				if w.WBytes == 0 {
+					wTile = float64(tk) * float64(icg) // activation operand B
+				}
+				psumTile := float64(th) * float64(tw) * float64(tk) * 4 // 32-bit partials
+				work := (inTile+wTile)*1.5 + psumTile                   // 1.5x: double buffering
+				if work > budget {
+					continue
+				}
+
+				nKT := ceilDiv(w.K, tk)
+				nSpT := ceilDiv(w.H, th) * ceilDiv(w.W, tw) * w.B
+				// GLB traffic under the K-outer / spatial-inner nest the
+				// tiling implies: inputs re-read per K tile, weights
+				// re-read per spatial tile, outputs written once.
+				inReads := float64(w.InBytes) * float64(nKT)
+				wReads := float64(w.WBytes) * float64(nSpT)
+				if w.WBytes == 0 {
+					wReads = wTile * float64(nKT) * float64(nSpT)
+				}
+				outWrites := float64(w.OutBytes)
+				traffic := inReads + wReads + outWrites
+
+				glbCycles := int64(traffic / glbBytesPerCycle(c.MACs))
+				cycles := macCycles
+				if glbCycles > cycles {
+					cycles = glbCycles
+				}
+				cost := float64(cycles) * (traffic + float64(w.MACs))
+				if cost < bestCost {
+					bestCost = cost
+					best = Result{
+						Cycles:          cycles,
+						GLBBytes:        traffic,
+						Util:            util,
+						TileH:           th,
+						TileW:           tw,
+						TileK:           tk,
+						WeightsResident: weightsResident,
+						Feasible:        true,
+					}
+				}
+			}
+		}
+	}
+	best.VecCycles = ceilDiv64(w.VecOps, int64(vecLanes(c.MACs)))
+	return best
+}
+
+func vecLanes(macs int) int {
+	l := macs / 16
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// Memo is a concurrency-safe cache of Explore results keyed by workload and
+// core parameters; the SA loop re-evaluates identical parts constantly.
+type Memo struct {
+	mu sync.Mutex
+	m  map[memoKey]Result
+}
+
+type memoKey struct {
+	w Workload
+	c Core
+}
+
+// NewMemo returns an empty cache.
+func NewMemo() *Memo { return &Memo{m: make(map[memoKey]Result)} }
+
+// Explore returns the cached optimum, computing it on a miss.
+func (mm *Memo) Explore(w Workload, c Core) Result {
+	k := memoKey{w, c}
+	mm.mu.Lock()
+	if r, ok := mm.m[k]; ok {
+		mm.mu.Unlock()
+		return r
+	}
+	mm.mu.Unlock()
+	r := Explore(w, c)
+	mm.mu.Lock()
+	mm.m[k] = r
+	mm.mu.Unlock()
+	return r
+}
+
+// Len reports the number of cached entries.
+func (mm *Memo) Len() int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return len(mm.m)
+}

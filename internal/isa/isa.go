@@ -1,0 +1,180 @@
+// Package isa implements the instruction-generation backend of the Gemini
+// framework (Fig. 4 "Instruction Gen."; Sec. III: cores are managed by
+// "statically-compiled instructions"): it compiles an analyzed LP SPM
+// scheme into per-core instruction streams — DRAM loads, core-to-core
+// sends/receives, compute, and DRAM stores — and provides a functional
+// interpreter that executes a program to verify deadlock freedom and byte
+// conservation of the compiled schedule.
+package isa
+
+import (
+	"fmt"
+	"sort"
+
+	"gemini/internal/arch"
+	"gemini/internal/core"
+)
+
+// OpCode enumerates the core's instruction set.
+type OpCode int
+
+const (
+	// OpLoad moves bytes from a DRAM controller into the core's GLB.
+	OpLoad OpCode = iota
+	// OpRecv blocks until the matching OpSend's payload has arrived.
+	OpRecv
+	// OpCompute runs the PE array / vector unit for one layer slice.
+	OpCompute
+	// OpSend pushes bytes from the GLB to a peer core's GLB.
+	OpSend
+	// OpStore moves bytes from the GLB to a DRAM controller.
+	OpStore
+)
+
+// String names the opcode.
+func (o OpCode) String() string {
+	switch o {
+	case OpLoad:
+		return "LOAD"
+	case OpRecv:
+		return "RECV"
+	case OpCompute:
+		return "COMPUTE"
+	case OpSend:
+		return "SEND"
+	case OpStore:
+		return "STORE"
+	}
+	return "OP?"
+}
+
+// Instr is one instruction of a core's stream.
+type Instr struct {
+	Op    OpCode
+	Layer int
+	// Peer is the counterpart core for Send/Recv.
+	Peer arch.CoreID
+	// Ctrl is the DRAM controller for Load/Store (-1 = interleaved).
+	Ctrl int
+	// Bytes is the payload (Load/Send/Recv/Store) per pass.
+	Bytes float64
+	// Tag pairs a Send with its Recv.
+	Tag int
+	// Weights marks a Load that fetches stationary parameters.
+	Weights bool
+}
+
+// Program is the per-core instruction streams of one layer group pass.
+type Program struct {
+	Streams map[arch.CoreID][]Instr
+	// Tags counts the send/recv pairs, for diagnostics.
+	Tags int
+}
+
+// Len returns the total instruction count.
+func (p *Program) Len() int {
+	n := 0
+	for _, s := range p.Streams {
+		n += len(s)
+	}
+	return n
+}
+
+// Compile turns one analyzed layer group into per-core instruction streams.
+// Instructions are ordered by the group's layer order (producers first), so
+// a round-robin execution cannot deadlock.
+func Compile(an *core.Analysis) (*Program, error) {
+	p := &Program{Streams: make(map[arch.CoreID][]Instr)}
+
+	// Layer order: the analyzer enumerates PWs per layer in group order;
+	// reconstruct that order from ByLayer via the smallest PW index.
+	type layerPos struct {
+		layer int
+		first int
+	}
+	var order []layerPos
+	for layer, idxs := range an.ByLayer {
+		if len(idxs) == 0 {
+			continue
+		}
+		min := idxs[0]
+		for _, i := range idxs {
+			if i < min {
+				min = i
+			}
+		}
+		order = append(order, layerPos{layer, min})
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].first < order[b].first })
+
+	emit := func(c arch.CoreID, in Instr) {
+		p.Streams[c] = append(p.Streams[c], in)
+	}
+
+	// Weight loads precede everything (preloaded once per run).
+	for _, f := range an.WeightFlows {
+		for _, c := range f.Cores {
+			emit(c, Instr{Op: OpLoad, Layer: f.Layer, Ctrl: f.Ctrl, Bytes: f.Bytes, Weights: true})
+		}
+	}
+
+	// Index activation flows by layer.
+	dramByLayer := map[int][]core.DRAMFlow{}
+	for _, f := range an.ActDRAM {
+		dramByLayer[f.Layer] = append(dramByLayer[f.Layer], f)
+	}
+	// A core-to-core flow belongs to the consumer layer; the analyzer does
+	// not record it, so recover it from the destination core's workload.
+	layerOf := map[arch.CoreID]int{}
+	for _, pw := range an.PWs {
+		layerOf[pw.Core] = pw.Layer
+	}
+	sendsByLayer := map[int][]core.CoreFlow{}
+	for _, f := range an.ActFlows {
+		if len(f.Dsts) == 0 {
+			continue
+		}
+		consumer, ok := layerOf[f.Dsts[0]]
+		if !ok {
+			return nil, fmt.Errorf("isa: flow destination %d hosts no workload", f.Dsts[0])
+		}
+		sendsByLayer[consumer] = append(sendsByLayer[consumer], f)
+	}
+
+	for _, lp := range order {
+		layer := lp.layer
+		// Inbound DRAM activations for this layer's cores.
+		for _, f := range dramByLayer[layer] {
+			if f.Write {
+				continue
+			}
+			for _, c := range f.Cores {
+				emit(c, Instr{Op: OpLoad, Layer: layer, Ctrl: f.Ctrl, Bytes: f.Bytes})
+			}
+		}
+		// Producer->consumer transfers: the producer Sends (it has already
+		// computed, since producers precede consumers in group order), each
+		// consumer Recvs.
+		for _, f := range sendsByLayer[layer] {
+			for _, d := range f.Dsts {
+				tag := p.Tags
+				p.Tags++
+				emit(f.Src, Instr{Op: OpSend, Layer: layer, Peer: d, Bytes: f.Bytes, Tag: tag})
+				emit(d, Instr{Op: OpRecv, Layer: layer, Peer: f.Src, Bytes: f.Bytes, Tag: tag})
+			}
+		}
+		// Compute on every core hosting this layer.
+		for _, pi := range an.ByLayer[layer] {
+			pw := &an.PWs[pi]
+			emit(pw.Core, Instr{Op: OpCompute, Layer: layer})
+		}
+		// Outbound DRAM stores.
+		for _, f := range dramByLayer[layer] {
+			if !f.Write {
+				continue
+			}
+			emit(f.Cores[0], Instr{Op: OpStore, Layer: layer, Ctrl: f.Ctrl, Bytes: f.Bytes})
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,387 @@
+// Package noc models the template's network-on-chip: mesh or folded-torus
+// topologies with dimension-ordered (XY) routing, D2D link identification at
+// chiplet boundaries, multicast tree accumulation, and per-link traffic
+// loads used by the evaluator and the Fig. 9 heatmaps.
+package noc
+
+import (
+	"fmt"
+	"sync"
+
+	"gemini/internal/arch"
+)
+
+// Link is one directed channel between adjacent routers. D2D links cross a
+// chiplet boundary and use the D2D bandwidth and energy model.
+type Link struct {
+	From, To arch.CoreID
+	D2D      bool
+}
+
+// Network is the static link graph for an architecture.
+type Network struct {
+	Cfg   *arch.Config
+	Links []Link
+
+	idx      map[[2]arch.CoreID]int
+	ports    []arch.DRAMPort
+	pathMu   sync.Mutex
+	pathMemo map[[2]arch.CoreID][]int
+}
+
+// New builds the network for a validated configuration.
+func New(cfg *arch.Config) *Network {
+	n := &Network{
+		Cfg:      cfg,
+		idx:      make(map[[2]arch.CoreID]int),
+		ports:    cfg.DRAMPorts(),
+		pathMemo: make(map[[2]arch.CoreID][]int),
+	}
+	addLink := func(a, b arch.CoreID) {
+		n.idx[[2]arch.CoreID{a, b}] = len(n.Links)
+		n.Links = append(n.Links, Link{From: a, To: b, D2D: !cfg.SameChiplet(a, b)})
+	}
+	w, h := cfg.CoresX, cfg.CoresY
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := cfg.CoreAt(x, y)
+			if x+1 < w {
+				addLink(c, cfg.CoreAt(x+1, y))
+				addLink(cfg.CoreAt(x+1, y), c)
+			}
+			if y+1 < h {
+				addLink(c, cfg.CoreAt(x, y+1))
+				addLink(cfg.CoreAt(x, y+1), c)
+			}
+		}
+	}
+	if cfg.Topology == arch.FoldedTorus {
+		for y := 0; y < h; y++ {
+			if w > 2 {
+				addLink(cfg.CoreAt(w-1, y), cfg.CoreAt(0, y))
+				addLink(cfg.CoreAt(0, y), cfg.CoreAt(w-1, y))
+			}
+		}
+		for x := 0; x < w; x++ {
+			if h > 2 {
+				addLink(cfg.CoreAt(x, h-1), cfg.CoreAt(x, 0))
+				addLink(cfg.CoreAt(x, 0), cfg.CoreAt(x, h-1))
+			}
+		}
+	}
+	return n
+}
+
+// LinkBW returns the bandwidth of link l in GB/s.
+func (n *Network) LinkBW(l int) float64 {
+	if n.Links[l].D2D {
+		return n.Cfg.D2DBW
+	}
+	return n.Cfg.NoCBW
+}
+
+// step returns the next hop coordinate along one dimension under
+// dimension-ordered routing, honoring the shorter torus direction.
+func (n *Network) step(cur, dst, size int) int {
+	if cur == dst {
+		return cur
+	}
+	fwd := dst - cur
+	if n.Cfg.Topology == arch.FoldedTorus && size > 2 {
+		alt := fwd
+		if fwd > 0 && size-fwd < fwd {
+			alt = fwd - size
+		} else if fwd < 0 && size+fwd < -fwd {
+			alt = fwd + size
+		}
+		fwd = alt
+	}
+	var nxt int
+	if fwd > 0 {
+		nxt = cur + 1
+	} else {
+		nxt = cur - 1
+	}
+	if nxt < 0 {
+		nxt = size - 1
+	}
+	if nxt >= size {
+		nxt = 0
+	}
+	return nxt
+}
+
+// Route returns the link IDs of the XY path from src to dst. Paths are
+// memoized; the returned slice must not be modified.
+func (n *Network) Route(src, dst arch.CoreID) []int {
+	if src == dst {
+		return nil
+	}
+	key := [2]arch.CoreID{src, dst}
+	n.pathMu.Lock()
+	if p, ok := n.pathMemo[key]; ok {
+		n.pathMu.Unlock()
+		return p
+	}
+	n.pathMu.Unlock()
+
+	var path []int
+	sx, sy := n.Cfg.CoreXY(src)
+	dx, dy := n.Cfg.CoreXY(dst)
+	x, y := sx, sy
+	for x != dx {
+		nx := n.step(x, dx, n.Cfg.CoresX)
+		path = append(path, n.idx[[2]arch.CoreID{n.Cfg.CoreAt(x, y), n.Cfg.CoreAt(nx, y)}])
+		x = nx
+	}
+	for y != dy {
+		ny := n.step(y, dy, n.Cfg.CoresY)
+		path = append(path, n.idx[[2]arch.CoreID{n.Cfg.CoreAt(x, y), n.Cfg.CoreAt(x, ny)}])
+		y = ny
+	}
+	n.pathMu.Lock()
+	n.pathMemo[key] = path
+	n.pathMu.Unlock()
+	return path
+}
+
+// PortCore returns the edge router a DRAM controller uses to reach peer:
+// the attachment core of the controller closest (in rows) to the peer, so
+// controller traffic spreads over the controller's span.
+func (n *Network) PortCore(ctrl int, peer arch.CoreID) arch.CoreID {
+	p := n.ports[ctrl%len(n.ports)]
+	_, py := n.Cfg.CoreXY(peer)
+	best := p.Cores[0]
+	bestD := 1 << 30
+	for _, c := range p.Cores {
+		_, cy := n.Cfg.CoreXY(c)
+		d := cy - py
+		if d < 0 {
+			d = -d
+		}
+		if d < bestD {
+			bestD = d
+			best = c
+		}
+	}
+	return best
+}
+
+// Controllers returns the number of DRAM controllers.
+func (n *Network) Controllers() int { return len(n.ports) }
+
+// Traffic accumulates byte loads per link and per DRAM controller for one
+// pipeline pass.
+type Traffic struct {
+	net  *Network
+	Load []float64 // bytes per link
+
+	DRAMRead  []float64 // bytes read from each controller
+	DRAMWrite []float64 // bytes written to each controller
+
+	Hops    float64 // byte-hops over on-chip links
+	D2DHops float64 // byte-hops over D2D links
+
+	scratch map[int]struct{} // multicast link dedup
+}
+
+// NewTraffic returns an empty accumulator for the network.
+func (n *Network) NewTraffic() *Traffic {
+	return &Traffic{
+		net:       n,
+		Load:      make([]float64, len(n.Links)),
+		DRAMRead:  make([]float64, n.Controllers()),
+		DRAMWrite: make([]float64, n.Controllers()),
+		scratch:   make(map[int]struct{}),
+	}
+}
+
+// Reset clears all accumulated loads.
+func (t *Traffic) Reset() {
+	for i := range t.Load {
+		t.Load[i] = 0
+	}
+	for i := range t.DRAMRead {
+		t.DRAMRead[i] = 0
+		t.DRAMWrite[i] = 0
+	}
+	t.Hops, t.D2DHops = 0, 0
+}
+
+func (t *Traffic) addPath(path []int, bytes float64) {
+	for _, l := range path {
+		t.Load[l] += bytes
+		if t.net.Links[l].D2D {
+			t.D2DHops += bytes
+		} else {
+			t.Hops += bytes
+		}
+	}
+}
+
+// AddUnicast accumulates a core-to-core transfer.
+func (t *Traffic) AddUnicast(src, dst arch.CoreID, bytes float64) {
+	if bytes <= 0 {
+		return
+	}
+	t.addPath(t.net.Route(src, dst), bytes)
+}
+
+// AddMulticast accumulates a transfer of the same bytes from src to every
+// destination, counting each link of the union routing tree once (the
+// template's NoC supports multicast, paper Sec. IV-C).
+func (t *Traffic) AddMulticast(src arch.CoreID, dsts []arch.CoreID, bytes float64) {
+	if bytes <= 0 || len(dsts) == 0 {
+		return
+	}
+	if len(dsts) == 1 {
+		t.AddUnicast(src, dsts[0], bytes)
+		return
+	}
+	clear(t.scratch)
+	for _, d := range dsts {
+		for _, l := range t.net.Route(src, d) {
+			t.scratch[l] = struct{}{}
+		}
+	}
+	for l := range t.scratch {
+		t.Load[l] += bytes
+		if t.net.Links[l].D2D {
+			t.D2DHops += bytes
+		} else {
+			t.Hops += bytes
+		}
+	}
+}
+
+// AddDRAMRead accumulates a controller-to-core transfer. ctrl < 0 means
+// interleaved: the bytes spread evenly over all controllers (FD value 0).
+func (t *Traffic) AddDRAMRead(ctrl int, dst arch.CoreID, bytes float64) {
+	t.addDRAM(ctrl, dst, bytes, true)
+}
+
+// AddDRAMWrite accumulates a core-to-controller transfer. ctrl < 0 means
+// interleaved.
+func (t *Traffic) AddDRAMWrite(ctrl int, src arch.CoreID, bytes float64) {
+	t.addDRAM(ctrl, src, bytes, false)
+}
+
+// AddDRAMReadMulticast accumulates a DRAM read multicast to several cores
+// (e.g. a weight slice shared by replicated workloads).
+func (t *Traffic) AddDRAMReadMulticast(ctrl int, dsts []arch.CoreID, bytes float64) {
+	if bytes <= 0 || len(dsts) == 0 {
+		return
+	}
+	if ctrl < 0 {
+		d := float64(t.net.Controllers())
+		for c := 0; c < t.net.Controllers(); c++ {
+			t.dramReadMulticastOne(c, dsts, bytes/d)
+		}
+		return
+	}
+	t.dramReadMulticastOne(ctrl, dsts, bytes)
+}
+
+func (t *Traffic) dramReadMulticastOne(ctrl int, dsts []arch.CoreID, bytes float64) {
+	t.DRAMRead[ctrl] += bytes
+	clear(t.scratch)
+	for _, d := range dsts {
+		port := t.net.PortCore(ctrl, d)
+		for _, l := range t.net.Route(port, d) {
+			t.scratch[l] = struct{}{}
+		}
+	}
+	for l := range t.scratch {
+		t.Load[l] += bytes
+		if t.net.Links[l].D2D {
+			t.D2DHops += bytes
+		} else {
+			t.Hops += bytes
+		}
+	}
+}
+
+func (t *Traffic) addDRAM(ctrl int, core arch.CoreID, bytes float64, read bool) {
+	if bytes <= 0 {
+		return
+	}
+	if ctrl < 0 {
+		d := float64(t.net.Controllers())
+		for c := 0; c < t.net.Controllers(); c++ {
+			t.addDRAM(c, core, bytes/d, read)
+		}
+		return
+	}
+	ctrl %= t.net.Controllers()
+	port := t.net.PortCore(ctrl, core)
+	if read {
+		t.DRAMRead[ctrl] += bytes
+		t.addPath(t.net.Route(port, core), bytes)
+	} else {
+		t.DRAMWrite[ctrl] += bytes
+		t.addPath(t.net.Route(core, port), bytes)
+	}
+}
+
+// AddFrom merges another accumulator scaled by factor.
+func (t *Traffic) AddFrom(o *Traffic, factor float64) {
+	for i, v := range o.Load {
+		t.Load[i] += v * factor
+	}
+	for i := range o.DRAMRead {
+		t.DRAMRead[i] += o.DRAMRead[i] * factor
+		t.DRAMWrite[i] += o.DRAMWrite[i] * factor
+	}
+	t.Hops += o.Hops * factor
+	t.D2DHops += o.D2DHops * factor
+}
+
+// BottleneckTime returns the seconds needed to drain the accumulated loads:
+// the maximum over links of load/bandwidth and over DRAM controllers of
+// traffic/controller-bandwidth. Bandwidths are GB/s (1e9 bytes/s).
+func (t *Traffic) BottleneckTime() float64 {
+	worst := 0.0
+	for i, load := range t.Load {
+		if load == 0 {
+			continue
+		}
+		bw := t.net.LinkBW(i)
+		if bw <= 0 {
+			return inf
+		}
+		if s := load / (bw * 1e9); s > worst {
+			worst = s
+		}
+	}
+	per := t.net.Cfg.DRAMBW / float64(t.net.Controllers()) * 1e9
+	for i := range t.DRAMRead {
+		if s := (t.DRAMRead[i] + t.DRAMWrite[i]) / per; s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// TotalBytes returns aggregate on-chip and D2D byte-hops plus total DRAM
+// traffic, for energy accounting.
+func (t *Traffic) TotalBytes() (onchip, d2d, dram float64) {
+	for i := range t.DRAMRead {
+		dram += t.DRAMRead[i] + t.DRAMWrite[i]
+	}
+	return t.Hops, t.D2DHops, dram
+}
+
+// MaxLinkLoad returns the largest per-link byte load and its index.
+func (t *Traffic) MaxLinkLoad() (float64, int) {
+	best, idx := 0.0, -1
+	for i, v := range t.Load {
+		if v > best {
+			best, idx = v, i
+		}
+	}
+	return best, idx
+}
+
+const inf = 1e300
+
+var _ = fmt.Sprintf // keep fmt for heatmap.go

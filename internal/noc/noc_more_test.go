@@ -1,0 +1,95 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+
+	"gemini/internal/arch"
+)
+
+func TestD2DPressureDoubling(t *testing.T) {
+	// Fig. 9 note: with D2D bandwidth at half the NoC's, equal byte loads
+	// show double the pressure on D2D links. HeatmapRows' pressure metric
+	// (load / bandwidth) encodes exactly that.
+	c := meshCfg() // NoC 32, D2D 16
+	n := New(c)
+	tr := n.NewTraffic()
+	tr.AddUnicast(c.CoreAt(1, 0), c.CoreAt(2, 0), 1000) // on-chip
+	tr.AddUnicast(c.CoreAt(2, 1), c.CoreAt(3, 1), 1000) // D2D crossing
+	var onP, d2dP float64
+	for _, r := range tr.HeatmapRows() {
+		if r.Bytes == 0 {
+			continue
+		}
+		if r.D2D {
+			d2dP = r.Pressure
+		} else {
+			onP = r.Pressure
+		}
+	}
+	if d2dP != 2*onP {
+		t.Errorf("D2D pressure %v, want 2x on-chip %v", d2dP, onP)
+	}
+}
+
+func TestTorusChipletCutD2D(t *testing.T) {
+	// A folded torus with cuts still marks boundary (and wrap) links D2D.
+	cfg := arch.GArchTorus() // 10x6, 2x3 cuts
+	n := New(&cfg)
+	d2d := 0
+	for _, l := range n.Links {
+		if l.D2D {
+			d2d++
+		}
+	}
+	if d2d == 0 {
+		t.Fatal("torus with cuts should have D2D links")
+	}
+	// Wrap links connect opposite edges, which lie in different chiplets.
+	wrap := n.Route(cfg.CoreAt(0, 0), cfg.CoreAt(9, 0))
+	if len(wrap) != 1 {
+		t.Fatalf("expected single wrap hop, got %d", len(wrap))
+	}
+	if !n.Links[wrap[0]].D2D {
+		t.Error("wrap link between edge chiplets should be D2D")
+	}
+}
+
+func TestTwoByTwoTorusHasNoWrap(t *testing.T) {
+	cfg := arch.Config{
+		CoresX: 2, CoresY: 2, XCut: 1, YCut: 1,
+		NoCBW: 32, DRAMBW: 64, MACsPerCore: 1024, GLBPerCore: 1 << 20,
+		FreqGHz: 1, Topology: arch.FoldedTorus,
+	}
+	n := New(&cfg)
+	// Wrap links on a 2-wide dimension would duplicate the direct link.
+	want := 2*(2-1)*2 + 2*2*(2-1)
+	if len(n.Links) != want {
+		t.Errorf("2x2 torus links = %d, want %d (no wraps)", len(n.Links), want)
+	}
+}
+
+func TestCSVStable(t *testing.T) {
+	c := meshCfg()
+	n := New(c)
+	tr := n.NewTraffic()
+	tr.AddUnicast(c.CoreAt(0, 0), c.CoreAt(5, 5), 500)
+	a, b := tr.CSV(), tr.CSV()
+	if a != b {
+		t.Error("CSV output not deterministic")
+	}
+	if !strings.Contains(a, "true") {
+		t.Error("no D2D rows serialized despite crossing the cut")
+	}
+}
+
+func TestBottleneckInfiniteOnZeroBW(t *testing.T) {
+	cfg := arch.GArch72()
+	cfg.D2DBW = 0
+	n := New(&cfg)
+	tr := n.NewTraffic()
+	tr.AddUnicast(cfg.CoreAt(2, 0), cfg.CoreAt(3, 0), 100)
+	if got := tr.BottleneckTime(); got < 1e100 {
+		t.Errorf("zero-bandwidth link should give effectively infinite time, got %v", got)
+	}
+}

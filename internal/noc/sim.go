@@ -1,0 +1,180 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+
+	"gemini/internal/arch"
+)
+
+// SimFlow is one transfer for the event-driven contention simulator.
+type SimFlow struct {
+	Src, Dst arch.CoreID
+	Bytes    float64
+}
+
+// SimResult reports a contention simulation.
+type SimResult struct {
+	// DrainTime is the simulated seconds until the last flow completes.
+	DrainTime float64
+	// Completions holds each flow's finish time, in input order.
+	Completions []float64
+	// Rounds counts rate-recomputation events (diagnostics).
+	Rounds int
+}
+
+// Simulate runs an event-driven max-min fair-share simulation of the flows:
+// all flows start together, every link's bandwidth is divided fairly among
+// the flows crossing it (progressive filling), and rates are recomputed
+// whenever a flow completes. It cross-validates the analytic bottleneck
+// model: the simulated drain time is never below the analytic
+// BottleneckTime of the same flows and coincides with it when a single
+// bottleneck dominates.
+func (n *Network) Simulate(flows []SimFlow) (*SimResult, error) {
+	type state struct {
+		path      []int
+		remaining float64
+		rate      float64
+		done      bool
+		finish    float64
+	}
+	sts := make([]state, len(flows))
+	for i, f := range flows {
+		if f.Bytes < 0 {
+			return nil, fmt.Errorf("noc: flow %d has negative bytes", i)
+		}
+		sts[i] = state{path: n.Route(f.Src, f.Dst), remaining: f.Bytes}
+		if len(sts[i].path) == 0 || f.Bytes == 0 {
+			sts[i].done = true // same-core or empty transfer is instant
+			sts[i].remaining = 0
+		}
+	}
+
+	res := &SimResult{Completions: make([]float64, len(flows))}
+	now := 0.0
+	for {
+		// Collect active flows.
+		active := 0
+		for i := range sts {
+			if !sts[i].done {
+				active++
+			}
+		}
+		if active == 0 {
+			break
+		}
+		res.Rounds++
+
+		// Max-min fair rates via progressive filling.
+		fixed := make([]bool, len(sts))
+		rate := make([]float64, len(sts))
+		capLeft := make([]float64, len(n.Links))
+		for l := range capLeft {
+			capLeft[l] = n.LinkBW(l) * 1e9
+		}
+		for {
+			// Count unfixed flows per link.
+			cnt := make([]int, len(n.Links))
+			for i := range sts {
+				if sts[i].done || fixed[i] {
+					continue
+				}
+				for _, l := range sts[i].path {
+					cnt[l]++
+				}
+			}
+			// Most constrained link.
+			bottleneck, share := -1, math.Inf(1)
+			for l := range cnt {
+				if cnt[l] == 0 {
+					continue
+				}
+				s := capLeft[l] / float64(cnt[l])
+				if s < share {
+					share, bottleneck = s, l
+				}
+			}
+			if bottleneck < 0 {
+				break // all active flows fixed
+			}
+			// Fix every unfixed flow crossing the bottleneck at the share.
+			for i := range sts {
+				if sts[i].done || fixed[i] {
+					continue
+				}
+				crosses := false
+				for _, l := range sts[i].path {
+					if l == bottleneck {
+						crosses = true
+						break
+					}
+				}
+				if !crosses {
+					continue
+				}
+				fixed[i] = true
+				rate[i] = share
+				for _, l := range sts[i].path {
+					capLeft[l] -= share
+					if capLeft[l] < 0 {
+						capLeft[l] = 0
+					}
+				}
+			}
+		}
+
+		// Advance to the earliest completion under current rates.
+		dt := math.Inf(1)
+		for i := range sts {
+			if sts[i].done {
+				continue
+			}
+			if rate[i] <= 0 {
+				return nil, fmt.Errorf("noc: flow %d starved (zero-bandwidth link on path)", i)
+			}
+			if t := sts[i].remaining / rate[i]; t < dt {
+				dt = t
+			}
+		}
+		now += dt
+		for i := range sts {
+			if sts[i].done {
+				continue
+			}
+			sts[i].remaining -= rate[i] * dt
+			if sts[i].remaining <= 1e-9 {
+				sts[i].remaining = 0
+				sts[i].done = true
+				sts[i].finish = now
+			}
+		}
+	}
+	for i := range sts {
+		res.Completions[i] = sts[i].finish
+		if sts[i].finish > res.DrainTime {
+			res.DrainTime = sts[i].finish
+		}
+	}
+	return res, nil
+}
+
+// AnalyticDrain computes the analytic bottleneck time of the same flows
+// (load summed per link, divided by bandwidth), for cross-validation.
+func (n *Network) AnalyticDrain(flows []SimFlow) float64 {
+	load := make([]float64, len(n.Links))
+	for _, f := range flows {
+		for _, l := range n.Route(f.Src, f.Dst) {
+			load[l] += f.Bytes
+		}
+	}
+	worst := 0.0
+	for l, v := range load {
+		if v == 0 {
+			continue
+		}
+		if t := v / (n.LinkBW(l) * 1e9); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}

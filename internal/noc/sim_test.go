@@ -1,0 +1,148 @@
+package noc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gemini/internal/arch"
+)
+
+func TestSimulateSingleFlowMatchesAnalytic(t *testing.T) {
+	c := meshCfg()
+	n := New(c)
+	flows := []SimFlow{{Src: c.CoreAt(0, 0), Dst: c.CoreAt(1, 0), Bytes: 32e9}}
+	r, err := n.Simulate(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n.AnalyticDrain(flows) // 32e9 bytes at 32 GB/s = 1 s
+	if math.Abs(r.DrainTime-want) > 1e-9 || math.Abs(want-1) > 1e-9 {
+		t.Errorf("drain = %v, analytic = %v, want 1s", r.DrainTime, want)
+	}
+}
+
+func TestSimulateSharedLinkFairness(t *testing.T) {
+	c := meshCfg()
+	n := New(c)
+	// Two equal flows over the same single link: each gets half bandwidth,
+	// so both finish at exactly the analytic bottleneck time.
+	flows := []SimFlow{
+		{Src: c.CoreAt(0, 0), Dst: c.CoreAt(1, 0), Bytes: 16e9},
+		{Src: c.CoreAt(0, 0), Dst: c.CoreAt(1, 0), Bytes: 16e9},
+	}
+	r, err := n.Simulate(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n.AnalyticDrain(flows)
+	if math.Abs(r.DrainTime-want) > want*1e-9 {
+		t.Errorf("drain = %v, want %v", r.DrainTime, want)
+	}
+	if math.Abs(r.Completions[0]-r.Completions[1]) > want*1e-9 {
+		t.Errorf("equal flows should finish together: %v", r.Completions)
+	}
+}
+
+func TestSimulateUnequalFlowsStaggered(t *testing.T) {
+	c := meshCfg()
+	n := New(c)
+	flows := []SimFlow{
+		{Src: c.CoreAt(0, 0), Dst: c.CoreAt(1, 0), Bytes: 8e9},
+		{Src: c.CoreAt(0, 0), Dst: c.CoreAt(1, 0), Bytes: 24e9},
+	}
+	r, err := n.Simulate(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completions[0] >= r.Completions[1] {
+		t.Errorf("smaller flow should finish first: %v", r.Completions)
+	}
+	// After the small flow drains, the big one gets the full link, so the
+	// total equals the analytic serialized time.
+	want := n.AnalyticDrain(flows)
+	if math.Abs(r.DrainTime-want) > want*1e-6 {
+		t.Errorf("drain = %v, want %v", r.DrainTime, want)
+	}
+	if r.Rounds < 2 {
+		t.Errorf("expected a rate recomputation after first completion")
+	}
+}
+
+// Property: the simulated drain is never below the analytic bottleneck and
+// never above the fully serialized time.
+func TestSimulateBounds(t *testing.T) {
+	c := meshCfg()
+	n := New(c)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + rng.Intn(12)
+		flows := make([]SimFlow, k)
+		serial := 0.0
+		for i := range flows {
+			flows[i] = SimFlow{
+				Src:   arch.CoreID(rng.Intn(c.Cores())),
+				Dst:   arch.CoreID(rng.Intn(c.Cores())),
+				Bytes: float64(1+rng.Intn(100)) * 1e8,
+			}
+			one := n.AnalyticDrain(flows[i : i+1])
+			serial += one
+		}
+		r, err := n.Simulate(flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic := n.AnalyticDrain(flows)
+		if r.DrainTime < analytic*(1-1e-9) {
+			t.Fatalf("trial %d: simulated %v below analytic %v", trial, r.DrainTime, analytic)
+		}
+		if r.DrainTime > serial+1e-9 {
+			t.Fatalf("trial %d: simulated %v above serialized %v", trial, r.DrainTime, serial)
+		}
+	}
+}
+
+func TestSimulateD2DSlowdown(t *testing.T) {
+	c := meshCfg()
+	n := New(c)
+	// Crossing the chiplet cut is slower than an equal-length on-chip path.
+	cross, err := n.Simulate([]SimFlow{{Src: c.CoreAt(2, 0), Dst: c.CoreAt(3, 0), Bytes: 16e9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := n.Simulate([]SimFlow{{Src: c.CoreAt(1, 0), Dst: c.CoreAt(2, 0), Bytes: 16e9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross.DrainTime <= local.DrainTime {
+		t.Errorf("D2D crossing (%v) should be slower than on-chip (%v)", cross.DrainTime, local.DrainTime)
+	}
+}
+
+func TestSimulateDegenerateFlows(t *testing.T) {
+	c := meshCfg()
+	n := New(c)
+	r, err := n.Simulate([]SimFlow{
+		{Src: c.CoreAt(2, 2), Dst: c.CoreAt(2, 2), Bytes: 100}, // same core
+		{Src: c.CoreAt(0, 0), Dst: c.CoreAt(1, 1), Bytes: 0},   // empty
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DrainTime != 0 {
+		t.Errorf("degenerate flows should drain instantly, got %v", r.DrainTime)
+	}
+	if _, err := n.Simulate([]SimFlow{{Src: 0, Dst: 1, Bytes: -5}}); err == nil {
+		t.Error("negative bytes should error")
+	}
+}
+
+func TestSimulateStarvationOnZeroBW(t *testing.T) {
+	cfg := arch.GArch72()
+	cfg.D2DBW = 0 // invalid config, but the simulator must not hang
+	n := New(&cfg)
+	_, err := n.Simulate([]SimFlow{{Src: cfg.CoreAt(2, 0), Dst: cfg.CoreAt(3, 0), Bytes: 100}})
+	if err == nil {
+		t.Fatal("expected starvation error for zero-bandwidth link")
+	}
+}

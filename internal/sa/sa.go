@@ -1,0 +1,207 @@
+// Package sa implements the Gemini LP SPM exploration engine (Sec. V-B1):
+// a simulated-annealing search over the optimization space defined by the
+// layer-centric encoding, driven by the five operators of internal/core.
+// Layer groups are selected with probability proportional to their
+// optimization-space size, and each accepted move is evaluated through the
+// full Evaluator, so the search inherently minimizes costly D2D traffic.
+package sa
+
+import (
+	"math"
+	"math/rand"
+
+	"gemini/internal/core"
+	"gemini/internal/eval"
+	"gemini/internal/space"
+)
+
+// Options configures the annealer.
+type Options struct {
+	// Iterations is the number of SA steps.
+	Iterations int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Beta and Gamma are the objective exponents of E^beta * D^gamma.
+	Beta, Gamma float64
+	// InitTemp is the initial relative temperature: a move that worsens the
+	// cost by InitTemp x 100% is accepted with probability 1/e at start.
+	InitTemp float64
+	// FinalTemp is the relative temperature at the last iteration.
+	FinalTemp float64
+	// Ops restricts the search to a subset of the five operators
+	// (nil/empty = all). Used by the operator ablation.
+	Ops []core.Op
+}
+
+// DefaultOptions returns the settings used by the experiments.
+func DefaultOptions() Options {
+	return Options{
+		Iterations: 2000,
+		Seed:       1,
+		Beta:       1,
+		Gamma:      1,
+		InitTemp:   0.25,
+		FinalTemp:  0.002,
+	}
+}
+
+// Result reports the annealing outcome.
+type Result struct {
+	Scheme   *core.Scheme
+	Eval     eval.Result
+	Cost     float64
+	InitCost float64
+
+	Attempted, Applied, Accepted int
+	OpAccepted                   [5]int
+}
+
+// Improvement returns InitCost / Cost (>= 1 when the search helped).
+func (r Result) Improvement() float64 {
+	if r.Cost <= 0 {
+		return 1
+	}
+	return r.InitCost / r.Cost
+}
+
+type state struct {
+	energy []float64 // per-group energy (J)
+	delay  []float64 // per-group delay (s)
+	feas   []bool
+}
+
+func (st *state) cost(beta, gamma float64) float64 {
+	var e, d float64
+	for i := range st.energy {
+		if !st.feas[i] {
+			return math.Inf(1)
+		}
+		e += st.energy[i]
+		d += st.delay[i]
+	}
+	if d <= 0 || e <= 0 {
+		return math.Inf(1)
+	}
+	return math.Pow(e, beta) * math.Pow(d, gamma)
+}
+
+func measure(ev *eval.Evaluator, s *core.Scheme, st *state, gi int) {
+	gr := ev.EvaluateGroup(s, gi)
+	st.feas[gi] = gr.Feasible
+	st.energy[gi] = gr.Energy.Total()
+	st.delay[gi] = gr.Delay
+}
+
+// Optimize anneals the scheme in place and returns the best scheme found.
+// The input scheme is not modified.
+func Optimize(input *core.Scheme, ev *eval.Evaluator, opt Options) Result {
+	s := input.Clone()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	mu := &core.Mutator{Graph: s.Graph, Drams: ev.Cfg.DRAMControllers(), Rng: rng}
+	pickOp := func() (core.Op, bool) {
+		if len(opt.Ops) == 0 {
+			return 0, false
+		}
+		return opt.Ops[rng.Intn(len(opt.Ops))], true
+	}
+
+	n := len(s.Groups)
+	st := &state{energy: make([]float64, n), delay: make([]float64, n), feas: make([]bool, n)}
+	for gi := range s.Groups {
+		measure(ev, s, st, gi)
+	}
+	cur := st.cost(opt.Beta, opt.Gamma)
+	res := Result{InitCost: cur}
+
+	// Group selection weights proportional to optimization-space size.
+	weights := make([]float64, n)
+	totalW := 0.0
+	for gi, g := range s.Groups {
+		weights[gi] = space.GroupWeight(ev.Cfg.Cores(), len(g.MSs))
+		totalW += weights[gi]
+	}
+	pick := func() int {
+		x := rng.Float64() * totalW
+		for gi, w := range weights {
+			x -= w
+			if x <= 0 {
+				return gi
+			}
+		}
+		return n - 1
+	}
+
+	best := s.Clone()
+	bestCost := cur
+	temp := opt.InitTemp
+	cooling := 1.0
+	if opt.Iterations > 1 && opt.FinalTemp > 0 && opt.InitTemp > 0 {
+		cooling = math.Pow(opt.FinalTemp/opt.InitTemp, 1/float64(opt.Iterations-1))
+	}
+
+	saveE := make([]float64, n)
+	saveD := make([]float64, n)
+	saveF := make([]bool, n)
+
+	for it := 0; it < opt.Iterations; it++ {
+		gi := pick()
+		res.Attempted++
+		old := s.Groups[gi]
+		cand := old.Clone()
+		s.Groups[gi] = cand
+		var op core.Op
+		var ok bool
+		if restricted, use := pickOp(); use {
+			op, ok = restricted, mu.ApplyOp(cand, restricted)
+		} else {
+			op, ok = mu.Apply(cand)
+		}
+		if !ok {
+			s.Groups[gi] = old
+			temp *= cooling
+			continue
+		}
+		res.Applied++
+
+		copy(saveE, st.energy)
+		copy(saveD, st.delay)
+		copy(saveF, st.feas)
+		if op == core.OpFD {
+			// OF changes alter where downstream groups fetch data from.
+			for gj := range s.Groups {
+				measure(ev, s, st, gj)
+			}
+		} else {
+			measure(ev, s, st, gi)
+		}
+		next := st.cost(opt.Beta, opt.Gamma)
+
+		accept := false
+		if next <= cur {
+			accept = true
+		} else if !math.IsInf(next, 1) {
+			rel := (next - cur) / cur
+			accept = rng.Float64() < math.Exp(-rel/temp)
+		}
+		if accept {
+			cur = next
+			res.Accepted++
+			res.OpAccepted[int(op)]++
+			if cur < bestCost {
+				bestCost = cur
+				best = s.Clone()
+			}
+		} else {
+			s.Groups[gi] = old
+			copy(st.energy, saveE)
+			copy(st.delay, saveD)
+			copy(st.feas, saveF)
+		}
+		temp *= cooling
+	}
+
+	res.Scheme = best
+	res.Cost = bestCost
+	res.Eval = ev.Evaluate(best)
+	return res
+}
