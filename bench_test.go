@@ -162,6 +162,48 @@ func BenchmarkIVB_SpaceSize(b *testing.B) {
 
 // --- Micro-benchmarks of the framework's hot paths. ---
 
+// BenchmarkSAOptimize measures the full Mapping Engine hot loop — one SA
+// search over the DP-partitioned resnet50 LP SPM on GArch72 — the path every
+// DSE candidate and every figure pays. A fresh Evaluator per run mirrors
+// dse.MapModel, so per-run route-table and memo build costs are included.
+func BenchmarkSAOptimize(b *testing.B) {
+	cfg := arch.GArch72()
+	g := dnn.ResNet50()
+	part, err := graphpart.Partition(g, &cfg, eval.New(&cfg), 64, graphpart.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := sa.DefaultOptions()
+	opt.Iterations = 200
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := sa.Optimize(part.Scheme, eval.New(&cfg), opt); !r.Eval.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkEvaluateGroup measures repeated evaluation of one resnet50 layer
+// group on a shared Evaluator — the SA engine's per-iteration unit of work,
+// dominated by rejected-then-retried states that revisit identical groups.
+func BenchmarkEvaluateGroup(b *testing.B) {
+	cfg := arch.GArch72()
+	g := dnn.ResNet50()
+	ev := eval.New(&cfg)
+	part, err := graphpart.Partition(g, &cfg, ev, 64, graphpart.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if gr := ev.EvaluateGroup(part.Scheme, i%len(part.Scheme.Groups)); !gr.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
 func benchScheme(b *testing.B) (*core.Scheme, *arch.Config) {
 	b.Helper()
 	cfg := arch.GArch72()

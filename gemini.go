@@ -13,6 +13,39 @@
 //	model, _ := gemini.LoadModel("resnet50")
 //	m, _ := gemini.Map(&cfg, model, gemini.DefaultMapOptions())
 //	fmt.Println(m.Result.Delay, m.Result.Energy.Total())
+//
+// # Performance notes
+//
+// The Mapping Engine's hot loop — one SA iteration evaluating a mutated
+// layer group — is incremental and allocation-free at steady state:
+//
+//   - The NoC route table is fully precomputed when an evaluator is built,
+//     so routing is a lock-free table lookup, and multicast-tree dedup uses
+//     an epoch-stamped visited array instead of per-call map churn.
+//   - Group parsing (core.AnalyzeInto) and traffic accumulation reuse
+//     pooled per-evaluator scratch buffers; after warm-up an evaluation
+//     touches no heap.
+//   - Evaluators memoize per-group results keyed by a fingerprint of the
+//     group's encoding, the batch, the energy parameters, and — for inputs
+//     produced outside the group — the DRAM where each producer's ofmaps
+//     live. A group result is therefore invalidated exactly when one of
+//     those inputs changes: mutating a group's Partition, Core Groups, or
+//     Flow of Data re-evaluates that group, and an ofmap-destination (OF)
+//     change additionally re-evaluates only the groups that fetch from it.
+//     Rejected-then-retried SA states hit the memo and skip analysis
+//     entirely.
+//
+// The contract this relies on: a *Model (dnn.Graph) must not be mutated
+// after schemes referencing it have been evaluated, since memoized results
+// are identified by graph pointer. Changing an Evaluator's Params between
+// evaluations is safe — parameters are part of the fingerprint — but not
+// concurrently with an in-flight evaluation.
+//
+// All of this is deterministic: a fixed SA seed yields a bit-identical best
+// cost and scheme whether results come from the memo or from scratch (see
+// TestGoldenSAResNet50), and the DSE layer's (candidate, model) worker pool
+// only reorders work, never results. Hot-loop throughput is tracked in
+// BENCH_1.json via BenchmarkSAOptimize and BenchmarkEvaluateGroup.
 package gemini
 
 import (

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"gemini/internal/arch"
 	"gemini/internal/dnn"
@@ -43,7 +43,9 @@ type DRAMFlow struct {
 
 // Analysis is the parsed form of one layer group's LMS: per-core workloads
 // for the intra-core engine plus all activation and weight flows for the
-// Evaluator.
+// Evaluator. An Analysis can be reused across AnalyzeInto calls: its public
+// slices and maps are overwritten in place and its private scratch buffers
+// are recycled, so the SA hot loop parses groups without allocating.
 type Analysis struct {
 	GroupIndex int
 	BatchUnit  int
@@ -65,6 +67,41 @@ type Analysis struct {
 
 	// Depth is the pipeline depth (longest dependency chain) of the group.
 	Depth int
+
+	// Reusable scratch. coreArena backs the Cores/Dsts slices of the
+	// emitted flows; pwIdx backs the ByLayer values (each layer's workloads
+	// occupy a contiguous index range).
+	pwIdx     []int
+	coreArena []arch.CoreID
+	group     map[int]*MS
+	ofDRAM    map[int]int
+	depthBuf  map[int]int
+	inBytes   []int64 // indexed by CoreID
+	needs     []needEntry
+	klists    []krEntry
+}
+
+// needEntry groups the consumer cores that fetch one identical input region
+// (the unit of multicast dedup). The small per-edge set is kept as a slice
+// with linear lookup: it is bounded by the group's core count and a slice
+// both avoids map allocation churn and keeps emission order deterministic.
+type needEntry struct {
+	region dnn.EdgeRegion
+	cores  []arch.CoreID
+}
+
+// krEntry groups the cores sharing one weight K-range slice.
+type krEntry struct {
+	kr    dnn.Range
+	cores []arch.CoreID
+}
+
+// internCores copies a core list into the analysis arena, returning a
+// capacity-clipped view that later arena appends cannot alias.
+func (an *Analysis) internCores(cs ...arch.CoreID) []arch.CoreID {
+	start := len(an.coreArena)
+	an.coreArena = append(an.coreArena, cs...)
+	return an.coreArena[start:len(an.coreArena):len(an.coreArena)]
 }
 
 // fdCtrl converts an FD value to the noc controller convention.
@@ -75,55 +112,98 @@ func fdCtrl(v int) int {
 	return v - 1
 }
 
-// Analyze parses group gi of the scheme into per-core workloads and flows.
+// Analyze parses group gi of the scheme into a fresh Analysis.
 // The scheme must have passed Validate.
 func Analyze(s *Scheme, gi int, cfg *arch.Config) (*Analysis, error) {
+	an := new(Analysis)
+	if err := AnalyzeInto(an, s, gi, cfg); err != nil {
+		return nil, err
+	}
+	return an, nil
+}
+
+// reset prepares a (possibly reused) Analysis for a new parse, recycling
+// every buffer it has grown so far.
+func (an *Analysis) reset(lms *LMS, gi, cores int) {
+	an.GroupIndex = gi
+	an.BatchUnit = lms.BatchUnit
+	an.PWs = an.PWs[:0]
+	an.ActFlows = an.ActFlows[:0]
+	an.ActDRAM = an.ActDRAM[:0]
+	an.WeightFlows = an.WeightFlows[:0]
+	an.coreArena = an.coreArena[:0]
+	an.Depth = 0
+	if an.ByLayer == nil {
+		an.ByLayer = make(map[int][]int, len(lms.MSs))
+		an.Works = make(map[arch.CoreID]intracore.Workload)
+		an.group = make(map[int]*MS, len(lms.MSs))
+		an.ofDRAM = make(map[int]int)
+		an.depthBuf = make(map[int]int, len(lms.MSs))
+	} else {
+		clear(an.ByLayer)
+		clear(an.Works)
+		clear(an.group)
+		clear(an.ofDRAM)
+		clear(an.depthBuf)
+	}
+	if cap(an.inBytes) < cores {
+		an.inBytes = make([]int64, cores)
+	}
+	an.inBytes = an.inBytes[:cores]
+	for i := range an.inBytes {
+		an.inBytes[i] = 0
+	}
+}
+
+// AnalyzeInto parses group gi of the scheme into an, reusing an's buffers.
+// It is the allocation-free core of the Evaluator's hot loop: after warm-up
+// a parse touches no heap. The scheme must have passed Validate.
+func AnalyzeInto(an *Analysis, s *Scheme, gi int, cfg *arch.Config) error {
 	lms := s.Groups[gi]
 	g := s.Graph
 	bu := lms.BatchUnit
-	ofDRAM := s.OFDram()
-
-	an := &Analysis{
-		GroupIndex: gi,
-		BatchUnit:  bu,
-		ByLayer:    make(map[int][]int, len(lms.MSs)),
-		Works:      make(map[arch.CoreID]intracore.Workload),
+	an.reset(lms, gi, cfg.Cores())
+	for _, grp := range s.Groups {
+		for _, ms := range grp.MSs {
+			if ms.FD.OF != FDImplicit {
+				an.ofDRAM[ms.Layer] = ms.FD.OF
+			}
+		}
 	}
-	group := make(map[int]*MS, len(lms.MSs))
 	for _, ms := range lms.MSs {
-		group[ms.Layer] = ms
+		an.group[ms.Layer] = ms
 	}
 
-	// Enumerate partitioned workloads per the correspondence rule.
+	// Enumerate partitioned workloads per the correspondence rule. Each
+	// layer's workloads occupy a contiguous range of PW indices, so the
+	// ByLayer values are views into the shared pwIdx buffer.
 	for _, ms := range lms.MSs {
 		l := g.Layer(ms.Layer)
 		p := ms.Part
+		start := len(an.PWs)
 		for h := 0; h < p.H; h++ {
 			for w := 0; w < p.W; w++ {
 				for b := 0; b < p.B; b++ {
 					for k := 0; k < p.K; k++ {
 						hr, wr, br, kr := p.Ranges(l, bu, h, w, b, k)
-						pw := PW{
+						an.PWs = append(an.PWs, PW{
 							Layer: ms.Layer,
 							Core:  ms.CG[p.NID(h, w, b, k)],
 							HR:    hr, WR: wr, BR: br, KR: kr,
-						}
-						an.ByLayer[ms.Layer] = append(an.ByLayer[ms.Layer], len(an.PWs))
-						an.PWs = append(an.PWs, pw)
+						})
 					}
 				}
 			}
 		}
+		an.ByLayer[ms.Layer] = an.pwIdxRange(start, len(an.PWs))
 	}
-
-	inBytes := make(map[arch.CoreID]int64)
 
 	// Infer activation flows for every consumer edge.
 	for _, ms := range lms.MSs {
 		l := g.Layer(ms.Layer)
 		for _, edge := range l.Inputs {
-			if err := an.analyzeEdge(s, cfg, group, l, ms, edge, ofDRAM, inBytes); err != nil {
-				return nil, err
+			if err := an.analyzeEdge(s, l, ms, edge); err != nil {
+				return err
 			}
 		}
 		// Explicit ofmap writes to DRAM.
@@ -133,7 +213,7 @@ func Analyze(s *Scheme, gi int, cfg *arch.Config) (*Analysis, error) {
 				an.ActDRAM = append(an.ActDRAM, DRAMFlow{
 					Layer: ms.Layer,
 					Ctrl:  fdCtrl(ms.FD.OF),
-					Cores: []arch.CoreID{pw.Core},
+					Cores: an.internCores(pw.Core),
 					Bytes: float64(pw.Vol()) * dnn.ElemBytes,
 					Write: true,
 				})
@@ -148,17 +228,29 @@ func Analyze(s *Scheme, gi int, cfg *arch.Config) (*Analysis, error) {
 			continue
 		}
 		perK := l.WeightVol() / int64(l.OK)
-		byKR := make(map[dnn.Range][]arch.CoreID)
+		an.klists = an.klists[:0]
 		for _, pi := range an.ByLayer[ms.Layer] {
 			pw := &an.PWs[pi]
-			byKR[pw.KR] = appendUnique(byKR[pw.KR], pw.Core)
+			ki := -1
+			for i := range an.klists {
+				if an.klists[i].kr == pw.KR {
+					ki = i
+					break
+				}
+			}
+			if ki < 0 {
+				an.klists = growKR(an.klists, pw.KR)
+				ki = len(an.klists) - 1
+			}
+			an.klists[ki].cores = appendUnique(an.klists[ki].cores, pw.Core)
 		}
-		for kr, cores := range byKR {
+		for i := range an.klists {
+			kl := &an.klists[i]
 			an.WeightFlows = append(an.WeightFlows, DRAMFlow{
 				Layer: ms.Layer,
 				Ctrl:  fdCtrl(ms.FD.WGT),
-				Cores: cores,
-				Bytes: float64(perK*int64(kr.Len())) * dnn.ElemBytes,
+				Cores: an.internCores(kl.cores...),
+				Bytes: float64(perK*int64(kl.kr.Len())) * dnn.ElemBytes,
 			})
 		}
 	}
@@ -185,68 +277,117 @@ func Analyze(s *Scheme, gi int, cfg *arch.Config) (*Analysis, error) {
 				Groups:   1, // IC already reduced per output channel
 				MACs:     partMACs(l, vol),
 				VecOps:   partVecOps(l, vol),
-				InBytes:  inBytes[pw.Core],
+				InBytes:  an.inBytes[pw.Core],
 				WBytes:   perK * int64(pw.KR.Len()) * dnn.ElemBytes,
 				OutBytes: vol * dnn.ElemBytes,
 			}
 			if prev, dup := an.Works[pw.Core]; dup {
-				return nil, fmt.Errorf("core: core %d assigned twice (%v and layer %d)", pw.Core, prev.Kind, pw.Layer)
+				return fmt.Errorf("core: core %d assigned twice (%v and layer %d)", pw.Core, prev.Kind, pw.Layer)
 			}
 			an.Works[pw.Core] = work
 		}
 	}
 
-	an.Depth = groupDepth(g, group)
+	an.Depth = groupDepth(g, an.group, an.depthBuf)
 	an.sortFlows()
-	return an, nil
+	return nil
 }
 
-// sortFlows orders all flow slices deterministically. Flow emission walks
-// maps, so without this the float summation order (and therefore SA
-// accept/reject decisions) would vary between runs with the same seed.
+// pwIdxRange returns the identity index slice [lo,hi) backed by the shared
+// grow-only pwIdx buffer.
+func (an *Analysis) pwIdxRange(lo, hi int) []int {
+	for len(an.pwIdx) < hi {
+		an.pwIdx = append(an.pwIdx, len(an.pwIdx))
+	}
+	return an.pwIdx[lo:hi:hi]
+}
+
+// growKR extends the klists buffer by one entry for kr, recycling the cores
+// backing of a previously used slot when available.
+func growKR(buf []krEntry, kr dnn.Range) []krEntry {
+	if len(buf) < cap(buf) {
+		buf = buf[:len(buf)+1]
+	} else {
+		buf = append(buf, krEntry{})
+	}
+	e := &buf[len(buf)-1]
+	e.kr = kr
+	e.cores = e.cores[:0]
+	return buf
+}
+
+// growNeed extends the needs buffer by one entry for region, recycling the
+// cores backing of a previously used slot when available.
+func growNeed(buf []needEntry, region dnn.EdgeRegion) []needEntry {
+	if len(buf) < cap(buf) {
+		buf = buf[:len(buf)+1]
+	} else {
+		buf = append(buf, needEntry{})
+	}
+	e := &buf[len(buf)-1]
+	e.region = region
+	e.cores = e.cores[:0]
+	return buf
+}
+
+// sortFlows orders all flow slices deterministically. Flow emission order
+// follows scratch-buffer insertion order, so without this the float
+// summation order (and therefore SA accept/reject decisions) could vary
+// between structurally identical schemes built along different paths.
 func (an *Analysis) sortFlows() {
-	coreLess := func(a, b []arch.CoreID) bool {
+	coreCmp := func(a, b []arch.CoreID) int {
 		for i := 0; i < len(a) && i < len(b); i++ {
 			if a[i] != b[i] {
-				return a[i] < b[i]
+				if a[i] < b[i] {
+					return -1
+				}
+				return 1
 			}
 		}
-		return len(a) < len(b)
+		return len(a) - len(b)
 	}
-	sort.Slice(an.ActFlows, func(i, j int) bool {
-		x, y := an.ActFlows[i], an.ActFlows[j]
+	slices.SortFunc(an.ActFlows, func(x, y CoreFlow) int {
 		if x.Src != y.Src {
-			return x.Src < y.Src
+			if x.Src < y.Src {
+				return -1
+			}
+			return 1
 		}
 		if x.Bytes != y.Bytes {
-			return x.Bytes < y.Bytes
+			if x.Bytes < y.Bytes {
+				return -1
+			}
+			return 1
 		}
-		return coreLess(x.Dsts, y.Dsts)
+		return coreCmp(x.Dsts, y.Dsts)
 	})
-	dramLess := func(s []DRAMFlow) func(i, j int) bool {
-		return func(i, j int) bool {
-			x, y := s[i], s[j]
-			if x.Layer != y.Layer {
-				return x.Layer < y.Layer
-			}
-			if x.Ctrl != y.Ctrl {
-				return x.Ctrl < y.Ctrl
-			}
-			if x.Write != y.Write {
-				return !x.Write
-			}
-			if x.Bytes != y.Bytes {
-				return x.Bytes < y.Bytes
-			}
-			return coreLess(x.Cores, y.Cores)
+	dramCmp := func(x, y DRAMFlow) int {
+		if x.Layer != y.Layer {
+			return x.Layer - y.Layer
 		}
+		if x.Ctrl != y.Ctrl {
+			return x.Ctrl - y.Ctrl
+		}
+		if x.Write != y.Write {
+			if y.Write {
+				return -1
+			}
+			return 1
+		}
+		if x.Bytes != y.Bytes {
+			if x.Bytes < y.Bytes {
+				return -1
+			}
+			return 1
+		}
+		return coreCmp(x.Cores, y.Cores)
 	}
-	sort.Slice(an.ActDRAM, dramLess(an.ActDRAM))
-	sort.Slice(an.WeightFlows, dramLess(an.WeightFlows))
+	slices.SortFunc(an.ActDRAM, dramCmp)
+	slices.SortFunc(an.WeightFlows, dramCmp)
 }
 
 // analyzeEdge infers the flows feeding layer l through one input edge.
-func (an *Analysis) analyzeEdge(s *Scheme, cfg *arch.Config, group map[int]*MS, l *dnn.Layer, ms *MS, edge dnn.Input, ofDRAM map[int]int, inBytes map[arch.CoreID]int64) error {
+func (an *Analysis) analyzeEdge(s *Scheme, l *dnn.Layer, ms *MS, edge dnn.Input) error {
 	g := s.Graph
 
 	var srcOH, srcOW, srcOK int
@@ -257,15 +398,11 @@ func (an *Analysis) analyzeEdge(s *Scheme, cfg *arch.Config, group map[int]*MS, 
 	default:
 		pl := g.Layer(edge.Src)
 		srcOH, srcOW, srcOK = pl.OH, pl.OW, pl.OK
-		prodMS = group[edge.Src]
+		prodMS = an.group[edge.Src]
 	}
 
 	// Consumer needs, grouped by identical region for multicast dedup.
-	type need struct {
-		region dnn.EdgeRegion
-		cores  []arch.CoreID
-	}
-	needs := make(map[dnn.EdgeRegion]*need)
+	an.needs = an.needs[:0]
 	for _, pi := range an.ByLayer[ms.Layer] {
 		pw := &an.PWs[pi]
 		reg := l.NeededRegion(edge, pw.HR, pw.WR, pw.BR, pw.KR, srcOH, srcOW, srcOK)
@@ -273,13 +410,19 @@ func (an *Analysis) analyzeEdge(s *Scheme, cfg *arch.Config, group map[int]*MS, 
 		if v == 0 {
 			continue
 		}
-		inBytes[pw.Core] += v * dnn.ElemBytes
-		n, ok := needs[reg]
-		if !ok {
-			n = &need{region: reg}
-			needs[reg] = n
+		an.inBytes[pw.Core] += v * dnn.ElemBytes
+		ni := -1
+		for i := range an.needs {
+			if an.needs[i].region == reg {
+				ni = i
+				break
+			}
 		}
-		n.cores = appendUnique(n.cores, pw.Core)
+		if ni < 0 {
+			an.needs = growNeed(an.needs, reg)
+			ni = len(an.needs) - 1
+		}
+		an.needs[ni].cores = appendUnique(an.needs[ni].cores, pw.Core)
 	}
 
 	if prodMS == nil {
@@ -288,18 +431,19 @@ func (an *Analysis) analyzeEdge(s *Scheme, cfg *arch.Config, group map[int]*MS, 
 		ctrl := 0
 		if edge.Src == dnn.ExternalInput {
 			ctrl = fdCtrl(ms.FD.IF)
-		} else if of, ok := ofDRAM[edge.Src]; ok {
+		} else if of, ok := an.ofDRAM[edge.Src]; ok {
 			ctrl = fdCtrl(of)
 		} else {
 			// Producer group not present (e.g. the graph-partition engine
 			// scoring an isolated segment): assume interleaved storage.
 			ctrl = -1
 		}
-		for _, n := range needs {
+		for i := range an.needs {
+			n := &an.needs[i]
 			an.ActDRAM = append(an.ActDRAM, DRAMFlow{
 				Layer: ms.Layer,
 				Ctrl:  ctrl,
-				Cores: n.cores,
+				Cores: an.internCores(n.cores...),
 				Bytes: float64(n.region.Vol()) * dnn.ElemBytes,
 			})
 		}
@@ -309,8 +453,8 @@ func (an *Analysis) analyzeEdge(s *Scheme, cfg *arch.Config, group map[int]*MS, 
 	// In-group producer: intersect each consumer need with every producer
 	// workload's owned region; identical payloads from one producer core to
 	// several consumers become one multicast flow.
-	pl := g.Layer(edge.Src)
-	for _, n := range needs {
+	for i := range an.needs {
+		n := &an.needs[i]
 		for _, qi := range an.ByLayer[edge.Src] {
 			q := &an.PWs[qi]
 			ovl := dnn.EdgeRegion{
@@ -323,23 +467,22 @@ func (an *Analysis) analyzeEdge(s *Scheme, cfg *arch.Config, group map[int]*MS, 
 			if v == 0 {
 				continue
 			}
-			dsts := make([]arch.CoreID, 0, len(n.cores))
+			start := len(an.coreArena)
 			for _, c := range n.cores {
 				if c != q.Core {
-					dsts = append(dsts, c)
+					an.coreArena = append(an.coreArena, c)
 				}
 			}
-			if len(dsts) == 0 {
+			if len(an.coreArena) == start {
 				continue // produced and consumed on the same core
 			}
 			an.ActFlows = append(an.ActFlows, CoreFlow{
 				Src:   q.Core,
-				Dsts:  dsts,
+				Dsts:  an.coreArena[start:len(an.coreArena):len(an.coreArena)],
 				Bytes: float64(v) * dnn.ElemBytes,
 			})
 		}
 	}
-	_ = pl
 	return nil
 }
 
@@ -383,9 +526,9 @@ func partVecOps(l *dnn.Layer, vol int64) int64 {
 	return vol * int64(l.FusedOps)
 }
 
-// groupDepth returns the longest dependency chain within the group.
-func groupDepth(g *dnn.Graph, group map[int]*MS) int {
-	depth := make(map[int]int, len(group))
+// groupDepth returns the longest dependency chain within the group. depth
+// is a caller-provided (cleared) scratch map.
+func groupDepth(g *dnn.Graph, group map[int]*MS, depth map[int]int) int {
 	best := 0
 	for _, l := range g.Layers { // topological order
 		if _, ok := group[l.ID]; !ok {

@@ -110,27 +110,17 @@ type CandidateResult struct {
 // EDP returns the candidate's energy-delay product.
 func (c *CandidateResult) EDP() float64 { return c.Energy * c.Delay }
 
-// Run explores every candidate with a parallel worker pool and returns
-// results sorted by ascending objective (infeasible candidates last).
+// Run explores every candidate and returns results sorted by ascending
+// objective (infeasible candidates last). Work is scheduled at (candidate,
+// model) granularity over a bounded worker pool, so all cores stay busy even
+// when one candidate's mapping search dominates the tail.
 func Run(cands []arch.Config, models []*dnn.Graph, opt Options) []CandidateResult {
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	mce := cost.New()
+	per := runPairs(cands, models, opt)
 	results := make([]CandidateResult, len(cands))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
 	for i := range cands {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = evaluateCandidate(&cands[i], models, mce, opt)
-		}(i)
+		results[i] = reduceCandidate(&cands[i], per[i], models, mce, opt)
 	}
-	wg.Wait()
 	sort.Slice(results, func(a, b int) bool {
 		ra, rb := results[a], results[b]
 		if ra.Feasible != rb.Feasible {
@@ -144,14 +134,60 @@ func Run(cands []arch.Config, models []*dnn.Graph, opt Options) []CandidateResul
 	return results
 }
 
-func evaluateCandidate(cfg *arch.Config, models []*dnn.Graph, mce *cost.Evaluator, opt Options) CandidateResult {
+// runPairs maps every model onto every candidate on a bounded worker pool —
+// at most opt.Workers (default GOMAXPROCS) goroutines total, fed from a task
+// channel rather than one goroutine per candidate. out[ci][mi] is nil when
+// the mapping was infeasible.
+func runPairs(cands []arch.Config, models []*dnn.Graph, opt Options) [][]*MapResult {
+	out := make([][]*MapResult, len(cands))
+	for i := range out {
+		out[i] = make([]*MapResult, len(models))
+	}
+	total := len(cands) * len(models)
+	if total == 0 {
+		return out
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range tasks {
+				ci, mi := k/len(models), k%len(models)
+				if mr, err := MapModel(&cands[ci], models[mi], opt); err == nil {
+					out[ci][mi] = mr
+				}
+			}
+		}()
+	}
+	for k := 0; k < total; k++ {
+		tasks <- k
+	}
+	close(tasks)
+	wg.Wait()
+	return out
+}
+
+// reduceCandidate folds one candidate's per-model mappings into its DSE
+// result (geometric-mean energy/delay, MC^alpha E^beta D^gamma objective).
+// A candidate with any infeasible model is infeasible and publishes no
+// per-model results.
+func reduceCandidate(cfg *arch.Config, per []*MapResult, models []*dnn.Graph, mce *cost.Evaluator, opt Options) CandidateResult {
 	res := CandidateResult{Cfg: *cfg, MC: mce.Evaluate(cfg)}
 	prodE, prodD := 1.0, 1.0
-	for _, g := range models {
-		mr, err := MapModel(cfg, g, opt)
-		if err != nil {
+	for _, mr := range per {
+		if mr == nil {
 			res.Feasible = false
 			res.Obj = math.Inf(1)
+			res.PerModel = nil
 			return res
 		}
 		res.PerModel = append(res.PerModel, mr)
@@ -215,25 +251,48 @@ type JointResult struct {
 // JointRun explores chiplet reuse: each base candidate's chiplet is
 // replicated to build accelerators at every factor in factors (1 = the base
 // itself), and candidates are ranked by the product of their objectives
-// (paper Sec. VII-B "Joint Optimal").
+// (paper Sec. VII-B "Joint Optimal"). All scalable (base, factor, model)
+// combinations are mapped concurrently on one bounded worker pool; the
+// results are then folded per base with the same early-stop semantics as a
+// serial sweep (factors after the first unscalable one are not reported).
 func JointRun(bases []arch.Config, factors []int, models []*dnn.Graph, opt Options) []JointResult {
-	out := make([]JointResult, 0, len(bases))
-	mce := cost.New()
-	for i := range bases {
-		jr := JointResult{Base: bases[i], Feasible: true, Product: 1}
+	// Flatten every (base, factor) that scales into one candidate list.
+	flatIdx := make([][]int, len(bases))
+	var flat []arch.Config
+	for bi := range bases {
+		flatIdx[bi] = make([]int, 0, len(factors))
 		for _, f := range factors {
-			scaled, err := ScaleUp(bases[i], f)
+			scaled, err := ScaleUp(bases[bi], f)
 			if err != nil {
+				flatIdx[bi] = append(flatIdx[bi], -1)
+				break
+			}
+			flatIdx[bi] = append(flatIdx[bi], len(flat))
+			flat = append(flat, scaled)
+		}
+	}
+
+	mce := cost.New()
+	per := runPairs(flat, models, opt)
+	crs := make([]CandidateResult, len(flat))
+	for i := range flat {
+		crs[i] = reduceCandidate(&flat[i], per[i], models, mce, opt)
+	}
+
+	out := make([]JointResult, 0, len(bases))
+	for bi := range bases {
+		jr := JointResult{Base: bases[bi], Feasible: true, Product: 1}
+		for _, k := range flatIdx[bi] {
+			if k < 0 {
 				jr.Feasible = false
 				break
 			}
-			cr := evaluateCandidate(&scaled, models, mce, opt)
-			jr.Scaled = append(jr.Scaled, cr)
-			if !cr.Feasible {
+			jr.Scaled = append(jr.Scaled, crs[k])
+			if !crs[k].Feasible {
 				jr.Feasible = false
 				break
 			}
-			jr.Product *= cr.Obj
+			jr.Product *= crs[k].Obj
 		}
 		if !jr.Feasible {
 			jr.Product = math.Inf(1)

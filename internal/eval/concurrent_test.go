@@ -1,0 +1,57 @@
+package eval
+
+import (
+	"sync"
+	"testing"
+
+	"gemini/internal/arch"
+	"gemini/internal/core"
+	"gemini/internal/dnn"
+)
+
+// TestConcurrentEvaluateGroup hammers one shared Evaluator — and therefore
+// one shared route table, scratch pool, and group memo — from many
+// goroutines. Run with -race it proves the documented "safe for concurrent
+// use" contract survives the allocation-free scratch machinery.
+func TestConcurrentEvaluateGroup(t *testing.T) {
+	cfg := arch.GArch72()
+	g := dnn.TinyTransformer()
+	ids := make([]int, len(g.Layers))
+	for i := range ids {
+		ids[i] = i
+	}
+	s, err := core.StripeScheme(g, &cfg, [][]int{ids}, []int{2}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := New(&cfg)
+	want := ev.EvaluateGroup(s, 0)
+	if !want.Feasible {
+		t.Fatal("reference evaluation infeasible")
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got := ev.EvaluateGroup(s, 0)
+				if got != want {
+					errs <- "concurrent evaluation diverged from reference"
+					return
+				}
+				if r := ev.Evaluate(s); r.Delay != want.Delay {
+					errs <- "full evaluation diverged from reference"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -8,10 +8,12 @@ package eval
 
 import (
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"gemini/internal/arch"
 	"gemini/internal/core"
+	"gemini/internal/dnn"
 	"gemini/internal/intracore"
 	"gemini/internal/noc"
 )
@@ -66,51 +68,128 @@ func AvgLayersPerGroup(s *core.Scheme) float64 {
 
 // Evaluator evaluates schemes for one architecture. It is safe for
 // concurrent use.
+//
+// The evaluator memoizes GroupResults keyed by a fingerprint of the group's
+// encoding (plus the cross-group flow-of-data context it reads), so SA
+// states that revisit a previously seen group configuration skip the whole
+// Analyze/explore/traffic pipeline. Graphs are identified by pointer: a
+// *dnn.Graph must not be mutated after schemes referencing it have been
+// evaluated. Params may change between evaluations (it is hashed into the
+// fingerprint) but must not be written concurrently with an in-flight
+// evaluation.
 type Evaluator struct {
 	Cfg    *arch.Config
 	Net    *noc.Network
 	Memo   *intracore.Memo
 	Params Params
+
+	d2dIfaces int
+	scratch   sync.Pool
+
+	memoMu    sync.Mutex
+	groupMemo map[groupKey]GroupResult
+}
+
+type groupKey struct {
+	graph *dnn.Graph
+	fp    uint64
+}
+
+// groupMemoLimit bounds the per-evaluator memo; the map is flushed when it
+// fills (a full flush is simpler than LRU and the working set of one SA run
+// is far below the limit).
+const groupMemoLimit = 1 << 16
+
+// evalScratch is the reusable per-evaluation state: one pooled Traffic pair
+// (per-pass and load-once), the parsed Analysis, and the resident/coreOrder
+// buffers. Pooled per evaluator so concurrent evaluations do not contend.
+type evalScratch struct {
+	an        *core.Analysis
+	tr, wOnce *noc.Traffic
+	resident  []bool // indexed by CoreID; valid only for occupied cores
+	coreOrder []arch.CoreID
+	resBuf    []arch.CoreID
+	strBuf    []arch.CoreID
 }
 
 // New builds an evaluator with default energy parameters.
 func New(cfg *arch.Config) *Evaluator {
-	return &Evaluator{
-		Cfg:    cfg,
-		Net:    noc.New(cfg),
-		Memo:   intracore.NewMemo(),
-		Params: DefaultParams(),
+	e := &Evaluator{
+		Cfg:       cfg,
+		Net:       noc.New(cfg),
+		Memo:      intracore.NewMemo(),
+		Params:    DefaultParams(),
+		groupMemo: make(map[groupKey]GroupResult),
 	}
+	for _, l := range e.Net.Links {
+		if l.D2D {
+			e.d2dIfaces++
+		}
+	}
+	e.scratch.New = func() any {
+		return &evalScratch{
+			an:       new(core.Analysis),
+			tr:       e.Net.NewTraffic(),
+			wOnce:    e.Net.NewTraffic(),
+			resident: make([]bool, cfg.Cores()),
+		}
+	}
+	return e
 }
 
 func (e *Evaluator) coreParams() intracore.Core {
 	return intracore.Core{MACs: e.Cfg.MACsPerCore, GLB: e.Cfg.GLBPerCore, FreqGHz: e.Cfg.FreqGHz}
 }
 
-// EvaluateGroup evaluates one layer group of a validated scheme.
+// EvaluateGroup evaluates one layer group of a validated scheme, consulting
+// the group-result memo first: a group configuration seen before (same
+// encoding, batch, cross-group data placement and energy parameters) is
+// returned without re-analysis.
 func (e *Evaluator) EvaluateGroup(s *core.Scheme, gi int) GroupResult {
-	an, err := core.Analyze(s, gi, e.Cfg)
-	if err != nil {
-		return GroupResult{}
+	key := groupKey{graph: s.Graph, fp: e.groupFingerprint(s, gi)}
+	e.memoMu.Lock()
+	if r, ok := e.groupMemo[key]; ok {
+		e.memoMu.Unlock()
+		return r
 	}
-	return e.evaluateAnalysis(an, s.Batch)
+	e.memoMu.Unlock()
+
+	sc := e.scratch.Get().(*evalScratch)
+	var r GroupResult
+	if err := core.AnalyzeInto(sc.an, s, gi, e.Cfg); err == nil {
+		r = e.evaluateAnalysis(sc, s.Batch)
+	}
+	e.scratch.Put(sc)
+
+	e.memoMu.Lock()
+	if len(e.groupMemo) >= groupMemoLimit {
+		clear(e.groupMemo)
+	}
+	e.groupMemo[key] = r
+	e.memoMu.Unlock()
+	return r
 }
 
-func (e *Evaluator) evaluateAnalysis(an *core.Analysis, batch int) GroupResult {
+func (e *Evaluator) evaluateAnalysis(sc *evalScratch, batch int) GroupResult {
+	an := sc.an
 	cp := e.coreParams()
 	freqHz := e.Cfg.FreqGHz * 1e9
 
-	// Intra-core exploration per occupied core.
+	// Intra-core exploration per occupied core. resident is indexed by core
+	// ID and only written for occupied cores — exactly the cores the weight
+	// flows below can reference — so stale entries are never read and the
+	// buffer needs no clearing between evaluations.
 	var maxComp float64
 	var compEnergy EnergyBreakdown
 	var utilSum float64
 	nUtil := 0
-	resident := make(map[arch.CoreID]bool, len(an.Works))
-	coreOrder := make([]arch.CoreID, 0, len(an.Works))
+	resident := sc.resident
+	coreOrder := sc.coreOrder[:0]
 	for c := range an.Works {
 		coreOrder = append(coreOrder, c)
 	}
-	sort.Slice(coreOrder, func(i, j int) bool { return coreOrder[i] < coreOrder[j] })
+	sc.coreOrder = coreOrder
+	slices.Sort(coreOrder)
 	for _, c := range coreOrder {
 		w := an.Works[c]
 		r := e.Memo.Explore(w, cp)
@@ -134,7 +213,8 @@ func (e *Evaluator) evaluateAnalysis(an *core.Analysis, batch int) GroupResult {
 	}
 
 	// Per-pass activation traffic.
-	tr := e.Net.NewTraffic()
+	tr := sc.tr
+	tr.Reset()
 	for _, f := range an.ActFlows {
 		tr.AddMulticast(f.Src, f.Dsts, f.Bytes)
 	}
@@ -148,9 +228,10 @@ func (e *Evaluator) evaluateAnalysis(an *core.Analysis, batch int) GroupResult {
 
 	// Weight loading: GLB-resident slices load once per run; slices that do
 	// not fit stream every pass.
-	wOnce := e.Net.NewTraffic()
+	wOnce := sc.wOnce
+	wOnce.Reset()
 	for _, f := range an.WeightFlows {
-		var res, str []arch.CoreID
+		res, str := sc.resBuf[:0], sc.strBuf[:0]
 		for _, c := range f.Cores {
 			if resident[c] {
 				res = append(res, c)
@@ -158,6 +239,7 @@ func (e *Evaluator) evaluateAnalysis(an *core.Analysis, batch int) GroupResult {
 				str = append(str, c)
 			}
 		}
+		sc.resBuf, sc.strBuf = res, str
 		if len(res) > 0 {
 			wOnce.AddDRAMReadMulticast(f.Ctrl, res, f.Bytes)
 		}
@@ -197,9 +279,8 @@ func (e *Evaluator) evaluateAnalysis(an *core.Analysis, batch int) GroupResult {
 	if e.Params.D2DModel == SerDes && e.Cfg.Chiplets() > 1 {
 		// Clock-embedded D2D: interfaces burn power for the whole group
 		// runtime regardless of traffic.
-		n := e.countD2DInterfaces()
 		powerW := e.Cfg.D2DBW * 1e9 * 8 * e.Params.SerDesPJPerBit * pJ
-		res.Energy.D2D = float64(n) * powerW * delay
+		res.Energy.D2D = float64(e.d2dIfaces) * powerW * delay
 	}
 	res.DRAMBytes *= float64(passes)
 	res.NoCBytes *= float64(passes)
@@ -222,15 +303,73 @@ func (e *Evaluator) transferEnergy(tr *noc.Traffic) EnergyBreakdown {
 	return b
 }
 
-// countD2DInterfaces counts directed D2D channels of the network.
-func (e *Evaluator) countD2DInterfaces() int {
-	n := 0
-	for _, l := range e.Net.Links {
-		if l.D2D {
-			n++
+// FNV-1a constants for the group fingerprint.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnv1a folds one 64-bit word into the hash, byte by byte.
+func fnv1a(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// groupFingerprint hashes everything EvaluateGroup's result depends on
+// beyond the architecture itself: the energy parameters (the Params field is
+// mutable), the batch, the group's full encoding, and — for inputs produced
+// outside the group — the DRAM where the producer stored its ofmaps.
+func (e *Evaluator) groupFingerprint(s *core.Scheme, gi int) uint64 {
+	h := uint64(fnvOffset)
+	p := &e.Params
+	for _, f := range [...]float64{p.MACpJ, p.VecOppJ, p.GLBpJPerByte, p.NoCHoppJPerByte,
+		p.RouterpJPerByte, p.D2DpJPerByte, p.DRAMpJPerByte, p.SerDesPJPerBit} {
+		h = fnv1a(h, math.Float64bits(f))
+	}
+	h = fnv1a(h, uint64(p.D2DModel))
+	h = fnv1a(h, uint64(s.Batch))
+	lms := s.Groups[gi]
+	h = fnv1a(h, uint64(lms.BatchUnit))
+	for _, ms := range lms.MSs {
+		h = fnv1a(h, uint64(ms.Layer))
+		h = fnv1a(h, uint64(ms.Part.H))
+		h = fnv1a(h, uint64(ms.Part.W))
+		h = fnv1a(h, uint64(ms.Part.B))
+		h = fnv1a(h, uint64(ms.Part.K))
+		h = fnv1a(h, uint64(int64(ms.FD.IF)))
+		h = fnv1a(h, uint64(int64(ms.FD.WGT)))
+		h = fnv1a(h, uint64(int64(ms.FD.OF)))
+		for _, c := range ms.CG {
+			h = fnv1a(h, uint64(c))
+		}
+		h = fnv1a(h, ^uint64(0)) // CG terminator
+	}
+	// Cross-group context: where each outside-produced input lives. Mirrors
+	// Analyze's ofDRAM resolution — "-2" marks a producer with no explicit
+	// ofmap destination anywhere in the scheme (interleaved fallback).
+	for _, ms := range lms.MSs {
+		for _, edge := range s.Graph.Layer(ms.Layer).Inputs {
+			if edge.Src < 0 || lms.MSFor(edge.Src) != nil {
+				continue
+			}
+			of := -2
+			for _, g2 := range s.Groups {
+				if m2 := g2.MSFor(edge.Src); m2 != nil {
+					if m2.FD.OF != core.FDImplicit {
+						of = m2.FD.OF
+					}
+					break
+				}
+			}
+			h = fnv1a(h, uint64(edge.Src))
+			h = fnv1a(h, uint64(int64(of)))
 		}
 	}
-	return n
+	return h
 }
 
 // Evaluate evaluates a full scheme: groups run one after another, so delays

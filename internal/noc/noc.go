@@ -5,9 +5,6 @@
 package noc
 
 import (
-	"fmt"
-	"sync"
-
 	"gemini/internal/arch"
 )
 
@@ -18,24 +15,28 @@ type Link struct {
 	D2D      bool
 }
 
-// Network is the static link graph for an architecture.
+// Network is the static link graph for an architecture. After New returns it
+// is immutable, so it is safe for concurrent use without locking.
 type Network struct {
 	Cfg   *arch.Config
 	Links []Link
 
-	idx      map[[2]arch.CoreID]int
-	ports    []arch.DRAMPort
-	pathMu   sync.Mutex
-	pathMemo map[[2]arch.CoreID][]int
+	idx   map[[2]arch.CoreID]int
+	ports []arch.DRAMPort
+
+	// Full route table, precomputed at New: the XY path from src to dst is
+	// routeDat[routeOff[src*cores+dst] : routeOff[src*cores+dst+1]].
+	cores    int
+	routeOff []int32
+	routeDat []int32
 }
 
 // New builds the network for a validated configuration.
 func New(cfg *arch.Config) *Network {
 	n := &Network{
-		Cfg:      cfg,
-		idx:      make(map[[2]arch.CoreID]int),
-		ports:    cfg.DRAMPorts(),
-		pathMemo: make(map[[2]arch.CoreID][]int),
+		Cfg:   cfg,
+		idx:   make(map[[2]arch.CoreID]int),
+		ports: cfg.DRAMPorts(),
 	}
 	addLink := func(a, b arch.CoreID) {
 		n.idx[[2]arch.CoreID{a, b}] = len(n.Links)
@@ -69,7 +70,43 @@ func New(cfg *arch.Config) *Network {
 			}
 		}
 	}
+	n.buildRoutes()
 	return n
+}
+
+// buildRoutes precomputes the XY path between every ordered core pair into a
+// single flat table, so Route is a lock-free slice lookup on the hot path.
+func (n *Network) buildRoutes() {
+	n.cores = n.Cfg.Cores()
+	n.routeOff = make([]int32, n.cores*n.cores+1)
+	n.routeDat = n.routeDat[:0]
+	for src := 0; src < n.cores; src++ {
+		for dst := 0; dst < n.cores; dst++ {
+			n.appendRoute(arch.CoreID(src), arch.CoreID(dst))
+			n.routeOff[src*n.cores+dst+1] = int32(len(n.routeDat))
+		}
+	}
+}
+
+// appendRoute walks the dimension-ordered path from src to dst, appending
+// each traversed link ID to the flat route table.
+func (n *Network) appendRoute(src, dst arch.CoreID) {
+	if src == dst {
+		return
+	}
+	sx, sy := n.Cfg.CoreXY(src)
+	dx, dy := n.Cfg.CoreXY(dst)
+	x, y := sx, sy
+	for x != dx {
+		nx := n.step(x, dx, n.Cfg.CoresX)
+		n.routeDat = append(n.routeDat, int32(n.idx[[2]arch.CoreID{n.Cfg.CoreAt(x, y), n.Cfg.CoreAt(nx, y)}]))
+		x = nx
+	}
+	for y != dy {
+		ny := n.step(y, dy, n.Cfg.CoresY)
+		n.routeDat = append(n.routeDat, int32(n.idx[[2]arch.CoreID{n.Cfg.CoreAt(x, y), n.Cfg.CoreAt(x, ny)}]))
+		y = ny
+	}
 }
 
 // LinkBW returns the bandwidth of link l in GB/s.
@@ -111,38 +148,11 @@ func (n *Network) step(cur, dst, size int) int {
 	return nxt
 }
 
-// Route returns the link IDs of the XY path from src to dst. Paths are
-// memoized; the returned slice must not be modified.
-func (n *Network) Route(src, dst arch.CoreID) []int {
-	if src == dst {
-		return nil
-	}
-	key := [2]arch.CoreID{src, dst}
-	n.pathMu.Lock()
-	if p, ok := n.pathMemo[key]; ok {
-		n.pathMu.Unlock()
-		return p
-	}
-	n.pathMu.Unlock()
-
-	var path []int
-	sx, sy := n.Cfg.CoreXY(src)
-	dx, dy := n.Cfg.CoreXY(dst)
-	x, y := sx, sy
-	for x != dx {
-		nx := n.step(x, dx, n.Cfg.CoresX)
-		path = append(path, n.idx[[2]arch.CoreID{n.Cfg.CoreAt(x, y), n.Cfg.CoreAt(nx, y)}])
-		x = nx
-	}
-	for y != dy {
-		ny := n.step(y, dy, n.Cfg.CoresY)
-		path = append(path, n.idx[[2]arch.CoreID{n.Cfg.CoreAt(x, y), n.Cfg.CoreAt(x, ny)}])
-		y = ny
-	}
-	n.pathMu.Lock()
-	n.pathMemo[key] = path
-	n.pathMu.Unlock()
-	return path
+// Route returns the link IDs of the XY path from src to dst. The slice is a
+// view into the precomputed route table and must not be modified.
+func (n *Network) Route(src, dst arch.CoreID) []int32 {
+	k := int(src)*n.cores + int(dst)
+	return n.routeDat[n.routeOff[k]:n.routeOff[k+1]]
 }
 
 // PortCore returns the edge router a DRAM controller uses to reach peer:
@@ -182,7 +192,11 @@ type Traffic struct {
 	Hops    float64 // byte-hops over on-chip links
 	D2DHops float64 // byte-hops over D2D links
 
-	scratch map[int]struct{} // multicast link dedup
+	// Multicast link dedup: visited[l] == epoch marks link l as already
+	// counted for the current multicast tree. Bumping epoch clears the set
+	// in O(1) with no per-call allocation.
+	visited []uint64
+	epoch   uint64
 }
 
 // NewTraffic returns an empty accumulator for the network.
@@ -192,7 +206,7 @@ func (n *Network) NewTraffic() *Traffic {
 		Load:      make([]float64, len(n.Links)),
 		DRAMRead:  make([]float64, n.Controllers()),
 		DRAMWrite: make([]float64, n.Controllers()),
-		scratch:   make(map[int]struct{}),
+		visited:   make([]uint64, len(n.Links)),
 	}
 }
 
@@ -208,7 +222,7 @@ func (t *Traffic) Reset() {
 	t.Hops, t.D2DHops = 0, 0
 }
 
-func (t *Traffic) addPath(path []int, bytes float64) {
+func (t *Traffic) addPath(path []int32, bytes float64) {
 	for _, l := range path {
 		t.Load[l] += bytes
 		if t.net.Links[l].D2D {
@@ -238,18 +252,19 @@ func (t *Traffic) AddMulticast(src arch.CoreID, dsts []arch.CoreID, bytes float6
 		t.AddUnicast(src, dsts[0], bytes)
 		return
 	}
-	clear(t.scratch)
+	t.epoch++
 	for _, d := range dsts {
 		for _, l := range t.net.Route(src, d) {
-			t.scratch[l] = struct{}{}
-		}
-	}
-	for l := range t.scratch {
-		t.Load[l] += bytes
-		if t.net.Links[l].D2D {
-			t.D2DHops += bytes
-		} else {
-			t.Hops += bytes
+			if t.visited[l] == t.epoch {
+				continue
+			}
+			t.visited[l] = t.epoch
+			t.Load[l] += bytes
+			if t.net.Links[l].D2D {
+				t.D2DHops += bytes
+			} else {
+				t.Hops += bytes
+			}
 		}
 	}
 }
@@ -284,19 +299,20 @@ func (t *Traffic) AddDRAMReadMulticast(ctrl int, dsts []arch.CoreID, bytes float
 
 func (t *Traffic) dramReadMulticastOne(ctrl int, dsts []arch.CoreID, bytes float64) {
 	t.DRAMRead[ctrl] += bytes
-	clear(t.scratch)
+	t.epoch++
 	for _, d := range dsts {
 		port := t.net.PortCore(ctrl, d)
 		for _, l := range t.net.Route(port, d) {
-			t.scratch[l] = struct{}{}
-		}
-	}
-	for l := range t.scratch {
-		t.Load[l] += bytes
-		if t.net.Links[l].D2D {
-			t.D2DHops += bytes
-		} else {
-			t.Hops += bytes
+			if t.visited[l] == t.epoch {
+				continue
+			}
+			t.visited[l] = t.epoch
+			t.Load[l] += bytes
+			if t.net.Links[l].D2D {
+				t.D2DHops += bytes
+			} else {
+				t.Hops += bytes
+			}
 		}
 	}
 }
@@ -383,5 +399,3 @@ func (t *Traffic) MaxLinkLoad() (float64, int) {
 }
 
 const inf = 1e300
-
-var _ = fmt.Sprintf // keep fmt for heatmap.go

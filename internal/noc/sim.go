@@ -32,7 +32,7 @@ type SimResult struct {
 // bottleneck dominates.
 func (n *Network) Simulate(flows []SimFlow) (*SimResult, error) {
 	type state struct {
-		path      []int
+		path      []int32
 		remaining float64
 		rate      float64
 		done      bool
@@ -104,7 +104,7 @@ func (n *Network) Simulate(flows []SimFlow) (*SimResult, error) {
 				}
 				crosses := false
 				for _, l := range sts[i].path {
-					if l == bottleneck {
+					if int(l) == bottleneck {
 						crosses = true
 						break
 					}

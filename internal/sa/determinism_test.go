@@ -1,0 +1,120 @@
+package sa
+
+import (
+	"strings"
+	"testing"
+
+	"gemini/internal/arch"
+	"gemini/internal/core"
+	"gemini/internal/dnn"
+	"gemini/internal/eval"
+)
+
+func annealInput(t *testing.T) (*core.Scheme, *arch.Config) {
+	t.Helper()
+	cfg := arch.GArch72()
+	g := dnn.TinyTransformer()
+	ids := make([]int, len(g.Layers))
+	for i := range ids {
+		ids[i] = i
+	}
+	s, err := core.StripeScheme(g, &cfg, [][]int{ids}, []int{2}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, &cfg
+}
+
+func schemeJSON(t *testing.T, s *core.Scheme) string {
+	t.Helper()
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestSameSeedTwice verifies the incremental-evaluation machinery (group
+// memoization, consumer-aware invalidation, dirty-group best cloning) keeps
+// the annealer fully deterministic: two runs with the same seed must agree
+// bit-for-bit on costs, acceptance counters, and the returned scheme.
+func TestSameSeedTwice(t *testing.T) {
+	s, cfg := annealInput(t)
+	opt := DefaultOptions()
+	opt.Iterations = 500
+	opt.Seed = 42
+
+	a := Optimize(s, eval.New(cfg), opt)
+	b := Optimize(s, eval.New(cfg), opt)
+
+	if a.Cost != b.Cost || a.InitCost != b.InitCost {
+		t.Fatalf("costs differ: %v/%v vs %v/%v", a.Cost, a.InitCost, b.Cost, b.InitCost)
+	}
+	if a.Attempted != b.Attempted || a.Applied != b.Applied || a.Accepted != b.Accepted {
+		t.Fatalf("counters differ: %+v vs %+v", a, b)
+	}
+	if a.OpAccepted != b.OpAccepted {
+		t.Fatalf("per-op acceptance differs: %v vs %v", a.OpAccepted, b.OpAccepted)
+	}
+	if sa, sb := schemeJSON(t, a.Scheme), schemeJSON(t, b.Scheme); sa != sb {
+		t.Fatal("best schemes differ between same-seed runs")
+	}
+	if a.Eval.Delay != b.Eval.Delay || a.Eval.Energy.Total() != b.Eval.Energy.Total() {
+		t.Fatal("best evaluations differ between same-seed runs")
+	}
+}
+
+// TestSharedEvaluatorMatchesFresh verifies memoization is purely a cache:
+// reusing one evaluator across two runs gives the same result as fresh
+// evaluators per run.
+func TestSharedEvaluatorMatchesFresh(t *testing.T) {
+	s, cfg := annealInput(t)
+	opt := DefaultOptions()
+	opt.Iterations = 300
+	opt.Seed = 9
+
+	shared := eval.New(cfg)
+	a := Optimize(s, shared, opt)
+	b := Optimize(s, shared, opt)
+	c := Optimize(s, eval.New(cfg), opt)
+	if a.Cost != b.Cost || a.Cost != c.Cost {
+		t.Fatalf("shared-evaluator runs diverge: %v, %v, %v", a.Cost, b.Cost, c.Cost)
+	}
+}
+
+// TestConsumerClosure checks the OP5 invalidation sets on a partitioned
+// scheme: every group is affected by itself, and groups consuming a
+// producer's ofmaps appear in the producer's closure.
+func TestConsumerClosure(t *testing.T) {
+	cfg := arch.GArch72()
+	g := dnn.TinyCNN()
+	// Two groups: layer 0-1 produce, layer 2.. consume across the boundary.
+	var a, b []int
+	for i := range g.Layers {
+		if i < 2 {
+			a = append(a, i)
+		} else {
+			b = append(b, i)
+		}
+	}
+	s, err := core.StripeScheme(g, &cfg, [][]int{a, b}, []int{1, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aff := consumerClosure(s)
+	if len(aff) != 2 {
+		t.Fatalf("groups = %d", len(aff))
+	}
+	want0 := false
+	for _, gj := range aff[0] {
+		if gj == 1 {
+			want0 = true
+		}
+	}
+	if !want0 {
+		t.Fatalf("group 1 consumes from group 0 but closure is %v", aff[0])
+	}
+	if aff[1][0] != 1 || len(aff[1]) != 1 {
+		t.Fatalf("last group should only affect itself, got %v", aff[1])
+	}
+}

@@ -113,6 +113,12 @@ func Optimize(input *core.Scheme, ev *eval.Evaluator, opt Options) Result {
 	cur := st.cost(opt.Beta, opt.Gamma)
 	res := Result{InitCost: cur}
 
+	// Consumer-aware invalidation for OP5: an OF change in group gi can only
+	// affect gi itself and the groups that fetch data produced in gi (their
+	// DRAM read source moves). Group membership is fixed under all five
+	// operators, so the adjacency is computed once.
+	affected := consumerClosure(s)
+
 	// Group selection weights proportional to optimization-space size.
 	weights := make([]float64, n)
 	totalW := 0.0
@@ -142,6 +148,8 @@ func Optimize(input *core.Scheme, ev *eval.Evaluator, opt Options) Result {
 	saveE := make([]float64, n)
 	saveD := make([]float64, n)
 	saveF := make([]bool, n)
+	// dirty marks groups where s has drifted from the best snapshot.
+	dirty := make([]bool, n)
 
 	for it := 0; it < opt.Iterations; it++ {
 		gi := pick()
@@ -167,8 +175,9 @@ func Optimize(input *core.Scheme, ev *eval.Evaluator, opt Options) Result {
 		copy(saveD, st.delay)
 		copy(saveF, st.feas)
 		if op == core.OpFD {
-			// OF changes alter where downstream groups fetch data from.
-			for gj := range s.Groups {
+			// OF changes alter where consumer groups fetch data from; only
+			// the mutated group and its consumers can change.
+			for _, gj := range affected[gi] {
 				measure(ev, s, st, gj)
 			}
 		} else {
@@ -187,9 +196,17 @@ func Optimize(input *core.Scheme, ev *eval.Evaluator, opt Options) Result {
 			cur = next
 			res.Accepted++
 			res.OpAccepted[int(op)]++
+			dirty[gi] = true
 			if cur < bestCost {
 				bestCost = cur
-				best = s.Clone()
+				// Sync best with s by re-cloning only the groups that have
+				// diverged since the last snapshot.
+				for gj, d := range dirty {
+					if d {
+						best.Groups[gj] = s.Groups[gj].Clone()
+						dirty[gj] = false
+					}
+				}
 			}
 		} else {
 			s.Groups[gi] = old
@@ -204,4 +221,45 @@ func Optimize(input *core.Scheme, ev *eval.Evaluator, opt Options) Result {
 	res.Cost = bestCost
 	res.Eval = ev.Evaluate(best)
 	return res
+}
+
+// consumerClosure returns, for each group, the ascending list of groups to
+// re-measure when its flow-of-data encoding changes: the group itself plus
+// every group containing a consumer of one of its layers.
+func consumerClosure(s *core.Scheme) [][]int {
+	n := len(s.Groups)
+	layerGroup := make(map[int]int)
+	for gi, g := range s.Groups {
+		for _, ms := range g.MSs {
+			layerGroup[ms.Layer] = gi
+		}
+	}
+	adj := make([][]bool, n)
+	for gi := range adj {
+		adj[gi] = make([]bool, n)
+		adj[gi][gi] = true
+	}
+	for _, l := range s.Graph.Layers {
+		cg, ok := layerGroup[l.ID]
+		if !ok {
+			continue
+		}
+		for _, in := range l.Inputs {
+			if in.Src < 0 {
+				continue
+			}
+			if pg, ok := layerGroup[in.Src]; ok && pg != cg {
+				adj[pg][cg] = true
+			}
+		}
+	}
+	affected := make([][]int, n)
+	for gi := range adj {
+		for gj, hit := range adj[gi] {
+			if hit {
+				affected[gi] = append(affected[gi], gj)
+			}
+		}
+	}
+	return affected
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the hot-loop benchmark smoke and emits a BENCH_1-style JSON report on
+# stdout: ns/op, B/op and allocs/op for BenchmarkSAOptimize and
+# BenchmarkEvaluateGroup. CI uploads the result as an artifact to track the
+# perf trajectory; the committed BENCH_1.json additionally records the
+# pre-optimization baseline this PR was measured against.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-5x}"
+OUT="$(go test -run '^$' -bench 'BenchmarkSAOptimize$|BenchmarkEvaluateGroup$' \
+	-benchmem -benchtime="$BENCHTIME" .)"
+
+echo "$OUT" >&2
+
+echo "$OUT" | awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (!first) printf ",\n"
+	first = 0
+	printf "  \"%s\": { \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s }", name, $3, $5, $7
+}
+END { print "\n}" }
+'
