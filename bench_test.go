@@ -160,6 +160,88 @@ func BenchmarkIVB_SpaceSize(b *testing.B) {
 	b.ReportMetric(adv, "log10_advantage_M36_N8")
 }
 
+// --- DSE session benchmarks (BENCH_2): cold vs warm shared cache,
+// single-seed vs portfolio restarts. ---
+
+// sweepBench returns a small GArch72-class candidate sweep. Candidates and
+// models are rebuilt per call; callers that want warm-cache behavior must
+// hold on to one return value (cache keys include graph identity).
+func sweepBench() ([]arch.Config, []*dnn.Graph, dse.Options) {
+	v1 := arch.GArch72()
+	v2 := arch.GArch72()
+	v2.NoCBW, v2.D2DBW = 64, 32
+	v2.Name = v2.String()
+	v3 := arch.GArch72()
+	v3.GLBPerCore *= 2
+	v3.Name = v3.String()
+	models := []*dnn.Graph{dnn.TinyCNN(), dnn.TinyTransformer()}
+	opt := dse.DefaultOptions()
+	opt.Batch = 8
+	opt.SAIterations = 150
+	opt.MaxGroupLayers = 7
+	opt.BatchUnits = []int{1, 2}
+	return []arch.Config{v1, v2, v3}, models, opt
+}
+
+// BenchmarkDSESessionSweepCold measures the GArch72 sweep on a fresh
+// session each iteration: every candidate pays cold route tables, memos and
+// group evaluations. Seeds vary per iteration exactly as in the warm bench,
+// so the two are directly comparable.
+func BenchmarkDSESessionSweepCold(b *testing.B) {
+	cands, models, opt := sweepBench()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Seed = int64(i) + 1
+		ses := dse.NewSession()
+		if dse.Best(ses.Run(cands, models, opt)) == nil {
+			b.Fatal("no feasible candidate")
+		}
+	}
+}
+
+// BenchmarkDSESessionSweepWarm measures the same sweep re-run on one
+// long-lived session. Seeds vary per iteration so the SA search genuinely
+// re-runs (checkpoint cells miss) — the speedup over the cold bench is the
+// shared evaluation cache, not result replay.
+func BenchmarkDSESessionSweepWarm(b *testing.B) {
+	cands, models, opt := sweepBench()
+	ses := dse.NewSession()
+	opt.Seed = 1 << 20 // prime the cache with a seed the loop never uses
+	if dse.Best(ses.Run(cands, models, opt)) == nil {
+		b.Fatal("no feasible candidate")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Seed = int64(i) + 1
+		if dse.Best(ses.Run(cands, models, opt)) == nil {
+			b.Fatal("no feasible candidate")
+		}
+	}
+	b.StopTimer()
+	st := ses.CacheStats()
+	b.ReportMetric(100*st.HitRate(), "cache_hit_%")
+}
+
+// benchRestarts measures a fresh-session sweep at the given SA portfolio
+// width; restarts after the first race over the session's warm cache.
+func benchRestarts(b *testing.B, restarts int) {
+	cands, models, opt := sweepBench()
+	opt.Restarts = restarts
+	for i := 0; i < b.N; i++ {
+		ses := dse.NewSession()
+		if dse.Best(ses.Run(cands, models, opt)) == nil {
+			b.Fatal("no feasible candidate")
+		}
+	}
+}
+
+// BenchmarkDSESweepRestarts1 is the single-seed baseline sweep.
+func BenchmarkDSESweepRestarts1(b *testing.B) { benchRestarts(b, 1) }
+
+// BenchmarkDSESweepRestarts4 runs a 4-seed SA portfolio per (candidate,
+// model) cell; the shared cache keeps the cost well under 4x restarts=1.
+func BenchmarkDSESweepRestarts4(b *testing.B) { benchRestarts(b, 4) }
+
 // --- Micro-benchmarks of the framework's hot paths. ---
 
 // BenchmarkSAOptimize measures the full Mapping Engine hot loop — one SA

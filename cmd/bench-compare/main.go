@@ -1,0 +1,159 @@
+// Command bench-compare gates benchmark reports against a committed
+// baseline: benchmarks present in both files must not regress ns/op or
+// allocs/op by more than -max-regress percent, and (unless disabled) the
+// warm-cache DSE session sweep must stay -warm-factor times faster than the
+// cold sweep. Report files are either a flat {"BenchmarkX": {...}} map (the
+// scripts/bench*_json.sh output) or a BENCH_N.json envelope with a
+// "benchmarks" object whose entries may nest the numbers under "optimized".
+//
+// Usage:
+//
+//	bench-compare -old BENCH_1.json -new bench2.json [-max-regress 10] [-warm-factor 2]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+)
+
+// metrics is one benchmark's measured numbers.
+type metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// entry tolerates both the flat shape and the BENCH_N baseline/optimized
+// envelope (optimized wins when present: it is the committed state of the
+// tree).
+type entry struct {
+	metrics
+	Optimized *metrics `json:"optimized"`
+}
+
+func (e entry) resolve() metrics {
+	if e.Optimized != nil {
+		return *e.Optimized
+	}
+	return e.metrics
+}
+
+// file tolerates both top-level shapes.
+type file struct {
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+func load(path string) (map[string]metrics, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f file
+	if err := json.Unmarshal(raw, &f); err == nil && len(f.Benchmarks) > 0 {
+		return resolveAll(f.Benchmarks), nil
+	}
+	var flat map[string]entry
+	if err := json.Unmarshal(raw, &flat); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	// A flat report mixes benchmark entries with metadata strings; the
+	// strict decode above already rejected those, so filter by ns > 0.
+	return resolveAll(flat), nil
+}
+
+func resolveAll(in map[string]entry) map[string]metrics {
+	out := make(map[string]metrics, len(in))
+	for k, v := range in {
+		if m := v.resolve(); m.NsPerOp > 0 {
+			out[k] = m
+		}
+	}
+	return out
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench-compare: ")
+	oldPath := flag.String("old", "BENCH_1.json", "baseline report")
+	newPath := flag.String("new", "", "fresh report to gate")
+	maxRegress := flag.Float64("max-regress", 10, "max allowed regression in percent (ns/op and allocs/op)")
+	nsGate := flag.Bool("ns-gate", true, "fail on ns/op regressions; disable when old and new reports come from different machines (allocs/op stays gated — it is machine-independent)")
+	warmFactor := flag.Float64("warm-factor", 2, "required cold/warm speedup of the DSE session sweep in the new report (0 disables); cold and warm come from the same run, so this check is machine-relative")
+	flag.Parse()
+	if *newPath == "" {
+		log.Fatal("-new is required")
+	}
+
+	oldB, err := load(*oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newB, err := load(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var names []string
+	for name := range oldB {
+		if _, ok := newB[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		log.Fatalf("no overlapping benchmarks between %s and %s", *oldPath, *newPath)
+	}
+
+	failed := false
+	check := func(name, metric string, oldV, newV float64, gate bool) {
+		switch {
+		case oldV == 0 && newV == 0:
+			return
+		case oldV == 0:
+			fmt.Printf("FAIL %s %s: %v -> %v (baseline was zero)\n", name, metric, oldV, newV)
+			failed = true
+			return
+		}
+		pct := 100 * (newV - oldV) / oldV
+		status := "ok  "
+		if pct > *maxRegress {
+			if gate {
+				status = "FAIL"
+				failed = true
+			} else {
+				status = "warn"
+			}
+		}
+		fmt.Printf("%s %s %s: %.6g -> %.6g (%+.1f%%, limit +%.0f%%)\n",
+			status, name, metric, oldV, newV, pct, *maxRegress)
+	}
+	for _, name := range names {
+		check(name, "ns/op", oldB[name].NsPerOp, newB[name].NsPerOp, *nsGate)
+		check(name, "allocs/op", oldB[name].AllocsPerOp, newB[name].AllocsPerOp, true)
+	}
+
+	if *warmFactor > 0 {
+		cold, okC := newB["BenchmarkDSESessionSweepCold"]
+		warm, okW := newB["BenchmarkDSESessionSweepWarm"]
+		switch {
+		case !okC || !okW:
+			fmt.Printf("FAIL warm-cache check: cold/warm sweep benchmarks missing from %s\n", *newPath)
+			failed = true
+		case cold.NsPerOp < *warmFactor*warm.NsPerOp:
+			fmt.Printf("FAIL warm-cache sweep speedup %.2fx < required %.2fx (cold %.6g ns, warm %.6g ns)\n",
+				cold.NsPerOp/warm.NsPerOp, *warmFactor, cold.NsPerOp, warm.NsPerOp)
+			failed = true
+		default:
+			fmt.Printf("ok   warm-cache sweep speedup %.2fx (>= %.2fx)\n", cold.NsPerOp/warm.NsPerOp, *warmFactor)
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("all benchmark gates passed")
+}

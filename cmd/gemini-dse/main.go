@@ -3,9 +3,16 @@
 // optimal architecture plus a result.csv-style table, like the artifact's
 // dse.sh.
 //
+// The sweep runs inside a DSE session: a shared evaluation cache warms
+// across candidates, -restarts widens the per-cell SA portfolio, -resume
+// checkpoints completed (candidate, model) cells to a JSON file so an
+// interrupted or repeated sweep picks up where it left off, and -stream
+// prints each candidate as soon as it completes.
+//
 // Usage:
 //
-//	gemini-dse -tops 72 -reduced -models transformer -batch 64 -out result.csv
+//	gemini-dse -tops 72 -reduced -models transformer -batch 64 \
+//	    -restarts 4 -resume sweep.ckpt -out result.csv
 package main
 
 import (
@@ -29,10 +36,14 @@ func main() {
 	models := flag.String("models", "transformer", "comma-separated workload list")
 	batch := flag.Int("batch", 64, "batch size (64 = throughput scenario)")
 	saIters := flag.Int("sa", 600, "SA iterations per candidate/model mapping")
+	restarts := flag.Int("restarts", 1, "SA portfolio width per (candidate, model) cell")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	alpha := flag.Float64("alpha", 1, "MC exponent of the objective")
 	beta := flag.Float64("beta", 1, "energy exponent of the objective")
 	gamma := flag.Float64("gamma", 1, "delay exponent of the objective")
+	prune := flag.Bool("prune", false, "skip candidates whose objective lower bound exceeds the best seen (decisions are logged)")
+	resume := flag.String("resume", "", "checkpoint file: load completed cells from it if present, save on completion")
+	stream := flag.Bool("stream", false, "print each candidate result as it completes")
 	out := flag.String("out", "", "write full result table CSV to this path")
 	top := flag.Int("top", 10, "print the best N candidates")
 	flag.Parse()
@@ -64,14 +75,75 @@ func main() {
 	opt := dse.DefaultOptions()
 	opt.Batch = *batch
 	opt.SAIterations = *saIters
+	opt.Restarts = *restarts
 	opt.Workers = *workers
 	opt.Objective = dse.Objective{Alpha: *alpha, Beta: *beta, Gamma: *gamma}
+	opt.Prune = *prune
+
+	ses := dse.NewSession()
+	ses.Logf = log.Printf
+	if *resume != "" {
+		if f, err := os.Open(*resume); err == nil {
+			err := ses.LoadCheckpoint(f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("resumed %d checkpointed cells from %s\n", ses.CheckpointCells(), *resume)
+		} else if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+	}
 
 	cands := sp.Enumerate()
-	fmt.Printf("space %s: %d candidates, %d workload(s), batch %d\n", sp.Name, len(cands), len(graphs), *batch)
+	total := len(cands)
+	fmt.Printf("space %s: %d candidates, %d workload(s), batch %d, restarts %d\n",
+		sp.Name, total, len(graphs), *batch, *restarts)
+	done := 0
+	if *stream {
+		opt.OnResult = func(r dse.CandidateResult) {
+			done++
+			switch r.Status() {
+			case "ok":
+				fmt.Printf("[%d/%d] %-48s obj=%.4g E=%.3g D=%.3g\n",
+					done, total, r.Cfg.Name, r.Obj, r.Energy, r.Delay)
+			case "error":
+				fmt.Printf("[%d/%d] %-48s ERROR: %v\n", done, total, r.Cfg.Name, r.Err)
+			default:
+				fmt.Printf("[%d/%d] %-48s %s\n", done, total, r.Cfg.Name, r.Status())
+			}
+		}
+	}
+
 	start := time.Now()
-	results := dse.Run(cands, graphs, opt)
-	fmt.Printf("explored in %v\n\n", time.Since(start).Round(time.Second))
+	results := ses.Run(cands, graphs, opt)
+	fmt.Printf("explored in %v\n", time.Since(start).Round(time.Second))
+	st := ses.CacheStats()
+	fmt.Printf("shared cache: %d hits / %d misses (%.1f%% hit rate), %d entries; %d cells resumed\n\n",
+		st.Hits, st.Misses, 100*st.HitRate(), st.Entries, ses.ResumedCells())
+
+	if *resume != "" {
+		f, err := os.Create(*resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ses.SaveCheckpoint(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checkpointed %d cells to %s\n\n", ses.CheckpointCells(), *resume)
+	}
+
+	// Infrastructure errors are never folded into infeasibility: report
+	// every errored candidate, then fail if nothing mapped.
+	if errs := dse.Errors(results); len(errs) > 0 {
+		for _, e := range errs {
+			log.Printf("sweep error: %v", e)
+		}
+	}
 
 	best := dse.Best(results)
 	if best == nil {

@@ -31,6 +31,14 @@ func main() {
 	if *sa > 0 {
 		opt.SAIterations = *sa
 	}
+	// One session across every figure: Fig. 6 and Fig. 7 sweep the same
+	// candidate space, so the second sweep runs on a warm shared cache.
+	opt.Session = dse.NewSession()
+	defer func() {
+		st := opt.Session.CacheStats()
+		log.Printf("shared cache: %d hits / %d misses (%.1f%% hit rate)",
+			st.Hits, st.Misses, 100*st.HitRate())
+	}()
 
 	if *fig == "6" || *fig == "both" {
 		var spaces []dse.Space

@@ -255,6 +255,16 @@ func ExploreArchitectures(cands []Arch, models []*Model, opt DSEOptions) []DSERe
 // BestArchitecture returns the first feasible DSE result, or nil.
 func BestArchitecture(results []DSEResult) *DSEResult { return dse.Best(results) }
 
+// DSESession is a long-lived exploration session: a cross-candidate shared
+// evaluation cache, warm per-architecture evaluators, and a checkpoint of
+// completed (candidate, model) cells. Re-running overlapping sweeps through
+// one session hits warm cache entries; fixed-seed results are bit-identical
+// to standalone ExploreArchitectures calls.
+type DSESession = dse.Session
+
+// NewDSESession returns an empty exploration session.
+func NewDSESession() *DSESession { return dse.NewSession() }
+
 // ScaleArch replicates a base architecture's chiplet to factor x the
 // compute, the chiplet-reuse construction of Sec. VII-B.
 func ScaleArch(base Arch, factor int) (Arch, error) { return dse.ScaleUp(base, factor) }

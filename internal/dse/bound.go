@@ -1,0 +1,68 @@
+package dse
+
+import (
+	"math"
+
+	"gemini/internal/arch"
+	"gemini/internal/dnn"
+	"gemini/internal/eval"
+)
+
+// lowerBoundED returns provable lower bounds on the total energy (J) and
+// delay (s) of any feasible mapping of g on cfg at the given batch, from
+// two invariants of the evaluation model:
+//
+//   - every MAC executes on a PE array whose aggregate throughput is
+//     Cores * MACsPerCore per cycle, and costs at least MACpJ;
+//   - every stationary weight byte is read from DRAM at least once
+//     (resident slices load once, streaming slices more), over a DRAM
+//     system of DRAMBW GB/s, at DRAMpJPerByte.
+//
+// The bounds ignore activations, NoC/D2D transfers, pipeline fill and
+// utilization loss, all of which only increase cost, so the bound can never
+// exclude the true optimum.
+func lowerBoundED(cfg *arch.Config, g *dnn.Graph, p *eval.Params, batch int) (eLB, dLB float64) {
+	if batch < 1 {
+		batch = 1
+	}
+	macs := float64(g.TotalMACs()) * float64(batch)
+	weightBytes := float64(g.TotalWeights()) * dnn.ElemBytes
+
+	peakMACsPerSec := float64(cfg.Cores()) * float64(cfg.MACsPerCore) * cfg.FreqGHz * 1e9
+	if peakMACsPerSec > 0 {
+		dLB = macs / peakMACsPerSec
+	}
+	if dram := cfg.DRAMBW * 1e9; dram > 0 {
+		if t := weightBytes / dram; t > dLB {
+			dLB = t
+		}
+	}
+	eLB = macs*p.MACpJ*1e-12 + weightBytes*p.DRAMpJPerByte*1e-12
+	return eLB, dLB
+}
+
+// pruneBound computes the candidate's objective lower bound over a model
+// set: MC^alpha * geomean(lowerBound(E))^beta * geomean(lowerBound(D))^gamma,
+// accumulated in log space like reduceCandidate. It is only a bound when
+// every exponent is non-negative; callers must gate on objMonotone.
+func pruneBound(cfg *arch.Config, models []*dnn.Graph, p *eval.Params, opt Options, mcTotal float64) float64 {
+	n := float64(len(models))
+	if n == 0 {
+		return 0
+	}
+	// math.Log(0) is -Inf and math.Exp(-Inf) is 0, so zero bounds flow
+	// through the log-space mean exactly.
+	var sumLogE, sumLogD float64
+	for _, g := range models {
+		eLB, dLB := lowerBoundED(cfg, g, p, opt.Batch)
+		sumLogE += math.Log(eLB)
+		sumLogD += math.Log(dLB)
+	}
+	return Score(mcTotal, math.Exp(sumLogE/n), math.Exp(sumLogD/n), opt.Objective)
+}
+
+// objMonotone reports whether the objective is monotone non-decreasing in
+// MC, E and D — the precondition for lower-bound pruning to be sound.
+func objMonotone(o Objective) bool {
+	return o.Alpha >= 0 && o.Beta >= 0 && o.Gamma >= 0
+}

@@ -1,12 +1,11 @@
 package dse
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"gemini/internal/arch"
 	"gemini/internal/cost"
@@ -15,6 +14,12 @@ import (
 	"gemini/internal/graphpart"
 	"gemini/internal/sa"
 )
+
+// ErrInfeasible marks mapping outcomes where the pipeline ran correctly but
+// no feasible mapping exists for the (architecture, model) pair. Everything
+// else MapModel returns is an infrastructure error — a bad configuration, an
+// invalid scheme, a real bug — and must never be reported as infeasibility.
+var ErrInfeasible = errors.New("dse: no feasible mapping")
 
 // Objective holds the DSE exponents of MC^alpha * E^beta * D^gamma
 // (paper Sec. V-A). The default DSE objective is MC*E*D.
@@ -31,12 +36,30 @@ type Options struct {
 	Batch     int
 	// SAIterations per (candidate, DNN) mapping search.
 	SAIterations int
+	// Restarts is the SA portfolio width per (candidate, model) cell:
+	// each cell anneals Restarts times with deterministically derived seeds
+	// and keeps the best outcome (<=1 means a single run, bit-identical to
+	// the pre-portfolio engine).
+	Restarts int
 	// Workers bounds parallelism (default: GOMAXPROCS).
 	Workers int
 	Seed    int64
 	// MaxGroupLayers and BatchUnits forward to the graph partitioner.
 	MaxGroupLayers int
 	BatchUnits     []int
+	// Prune enables bound-based candidate pruning: a candidate whose
+	// MC^alpha * lowerBound(E)^beta * lowerBound(D)^gamma already exceeds
+	// the best feasible objective seen so far is skipped without mapping.
+	// The bound is sound (it can never prune the true optimum) but which
+	// non-winning candidates get pruned depends on completion order, so
+	// pruned rows carry Pruned=true rather than silently vanishing. Pruning
+	// is disabled when any exponent is negative (the bound is only a bound
+	// for monotone objectives).
+	Prune bool
+	// OnResult, when set, streams each candidate's result as soon as it
+	// completes (including pruned and errored candidates). Calls are
+	// serialized but arrive in completion order, not candidate order.
+	OnResult func(CandidateResult) `json:"-"`
 }
 
 // DefaultOptions returns throughput-scenario settings (batch 64, Sec. VI-A1).
@@ -45,6 +68,7 @@ func DefaultOptions() Options {
 		Objective:    MCED,
 		Batch:        64,
 		SAIterations: 600,
+		Restarts:     1,
 		Seed:         1,
 		BatchUnits:   []int{1, 2, 4, 8},
 	}
@@ -59,12 +83,31 @@ type MapResult struct {
 	SA                sa.Result
 	Groups            int
 	AvgLayersPerGroup float64
+
+	// Restarts and BestRestart describe the SA portfolio that produced this
+	// result (1/0 for a single-seed run).
+	Restarts    int
+	BestRestart int
+
+	// Summary marks results restored from a session checkpoint: energies,
+	// delays and group statistics are exact, but per-group evaluation detail
+	// and SA trajectory counters were not serialized.
+	Summary bool
 }
 
 // MapModel runs the full Mapping Engine pipeline for one DNN on one
-// architecture: DP graph partition, then SA refinement of the LP SPM.
+// architecture: DP graph partition, then SA refinement of the LP SPM
+// (a portfolio of opt.Restarts annealing runs). Infeasibility is reported
+// as an error wrapping ErrInfeasible; any other error is an infrastructure
+// failure.
 func MapModel(cfg *arch.Config, g *dnn.Graph, opt Options) (*MapResult, error) {
-	ev := eval.New(cfg)
+	return mapModelEval(eval.New(cfg), cfg, g, opt)
+}
+
+// mapModelEval is MapModel on a caller-supplied evaluator, so sessions can
+// reuse warm evaluators (route tables, intra-core memo, shared group cache)
+// across candidates and runs.
+func mapModelEval(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, opt Options) (*MapResult, error) {
 	gp := graphpart.DefaultOptions()
 	gp.Beta, gp.Gamma = opt.Objective.Beta, opt.Objective.Gamma
 	if opt.MaxGroupLayers > 0 {
@@ -75,15 +118,19 @@ func MapModel(cfg *arch.Config, g *dnn.Graph, opt Options) (*MapResult, error) {
 	}
 	part, err := graphpart.Partition(g, cfg, ev, opt.Batch, gp)
 	if err != nil {
+		if errors.Is(err, graphpart.ErrInfeasible) {
+			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
 		return nil, err
 	}
 	so := sa.DefaultOptions()
 	so.Iterations = opt.SAIterations
 	so.Seed = opt.Seed
 	so.Beta, so.Gamma = opt.Objective.Beta, opt.Objective.Gamma
-	res := sa.Optimize(part.Scheme, ev, so)
+	pf := sa.MultiStart(part.Scheme, ev, so, opt.Restarts)
+	res := pf.Best
 	if !res.Eval.Feasible {
-		return nil, fmt.Errorf("dse: no feasible mapping for %s on %s", g.Name, cfg.Name)
+		return nil, fmt.Errorf("%w for %s on %s", ErrInfeasible, g.Name, cfg.Name)
 	}
 	return &MapResult{
 		Model:             g.Name,
@@ -93,7 +140,22 @@ func MapModel(cfg *arch.Config, g *dnn.Graph, opt Options) (*MapResult, error) {
 		SA:                res,
 		Groups:            len(res.Scheme.Groups),
 		AvgLayersPerGroup: eval.AvgLayersPerGroup(res.Scheme),
+		Restarts:          len(pf.Costs),
+		BestRestart:       pf.BestRestart,
 	}, nil
+}
+
+// pairOutcome is one (candidate, model) mapping cell: a result, an
+// infeasibility (mr == nil, err wraps ErrInfeasible), or an infrastructure
+// error (mr == nil, any other err).
+type pairOutcome struct {
+	mr  *MapResult
+	err error
+}
+
+// infeasible reports whether the cell ran correctly but found no mapping.
+func (p pairOutcome) infeasible() bool {
+	return p.mr == nil && (p.err == nil || errors.Is(p.err, ErrInfeasible))
 }
 
 // CandidateResult is one architecture candidate's DSE evaluation.
@@ -105,102 +167,87 @@ type CandidateResult struct {
 	Obj      float64
 	Feasible bool
 	PerModel []*MapResult
+
+	// Err is non-nil when any model's mapping failed with an infrastructure
+	// error (as opposed to being infeasible); such candidates are never
+	// reported as merely infeasible.
+	Err error
+	// Pruned marks candidates skipped by bound-based pruning; LowerBound is
+	// the objective bound that justified the skip.
+	Pruned     bool
+	LowerBound float64
 }
 
 // EDP returns the candidate's energy-delay product.
 func (c *CandidateResult) EDP() float64 { return c.Energy * c.Delay }
 
-// Run explores every candidate and returns results sorted by ascending
-// objective (infeasible candidates last). Work is scheduled at (candidate,
-// model) granularity over a bounded worker pool, so all cores stay busy even
-// when one candidate's mapping search dominates the tail.
-func Run(cands []arch.Config, models []*dnn.Graph, opt Options) []CandidateResult {
-	mce := cost.New()
-	per := runPairs(cands, models, opt)
-	results := make([]CandidateResult, len(cands))
-	for i := range cands {
-		results[i] = reduceCandidate(&cands[i], per[i], models, mce, opt)
+// Status summarizes the candidate outcome: "ok", "infeasible", "pruned" or
+// "error".
+func (c *CandidateResult) Status() string {
+	switch {
+	case c.Err != nil:
+		return "error"
+	case c.Pruned:
+		return "pruned"
+	case c.Feasible:
+		return "ok"
+	default:
+		return "infeasible"
 	}
-	sort.Slice(results, func(a, b int) bool {
-		ra, rb := results[a], results[b]
-		if ra.Feasible != rb.Feasible {
-			return ra.Feasible
-		}
-		if ra.Obj != rb.Obj {
-			return ra.Obj < rb.Obj
-		}
-		return ra.Cfg.Name < rb.Cfg.Name
-	})
-	return results
 }
 
-// runPairs maps every model onto every candidate on a bounded worker pool —
-// at most opt.Workers (default GOMAXPROCS) goroutines total, fed from a task
-// channel rather than one goroutine per candidate. out[ci][mi] is nil when
-// the mapping was infeasible.
-func runPairs(cands []arch.Config, models []*dnn.Graph, opt Options) [][]*MapResult {
-	out := make([][]*MapResult, len(cands))
-	for i := range out {
-		out[i] = make([]*MapResult, len(models))
-	}
-	total := len(cands) * len(models)
-	if total == 0 {
-		return out
-	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > total {
-		workers = total
-	}
-	tasks := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range tasks {
-				ci, mi := k/len(models), k%len(models)
-				if mr, err := MapModel(&cands[ci], models[mi], opt); err == nil {
-					out[ci][mi] = mr
-				}
-			}
-		}()
-	}
-	for k := 0; k < total; k++ {
-		tasks <- k
-	}
-	close(tasks)
-	wg.Wait()
-	return out
+// Run explores every candidate and returns results sorted by ascending
+// objective (infeasible, pruned and errored candidates last). Work is
+// scheduled at (candidate, model) granularity over a bounded worker pool,
+// so all cores stay busy even when one candidate's mapping search dominates
+// the tail. Run is a convenience wrapper over a throwaway Session; use a
+// Session directly to share the evaluation cache across calls.
+func Run(cands []arch.Config, models []*dnn.Graph, opt Options) []CandidateResult {
+	return NewSession().Run(cands, models, opt)
 }
 
 // reduceCandidate folds one candidate's per-model mappings into its DSE
 // result (geometric-mean energy/delay, MC^alpha E^beta D^gamma objective).
-// A candidate with any infeasible model is infeasible and publishes no
-// per-model results.
-func reduceCandidate(cfg *arch.Config, per []*MapResult, models []*dnn.Graph, mce *cost.Evaluator, opt Options) CandidateResult {
+// A candidate with any errored model is an error; with any infeasible model
+// it is infeasible; either way it publishes no per-model results. The
+// geometric mean is accumulated in log space so many-model sweeps with tiny
+// per-model energies cannot underflow the running product to zero.
+func reduceCandidate(cfg *arch.Config, per []pairOutcome, models []*dnn.Graph, mce *cost.Evaluator, opt Options) CandidateResult {
 	res := CandidateResult{Cfg: *cfg, MC: mce.Evaluate(cfg)}
-	prodE, prodD := 1.0, 1.0
-	for _, mr := range per {
-		if mr == nil {
-			res.Feasible = false
-			res.Obj = math.Inf(1)
-			res.PerModel = nil
-			return res
+	var errs []error
+	infeasible := false
+	var sumLogE, sumLogD float64
+	for _, p := range per {
+		if p.mr == nil {
+			if p.infeasible() {
+				infeasible = true
+			} else {
+				errs = append(errs, p.err)
+			}
+			continue
 		}
-		res.PerModel = append(res.PerModel, mr)
-		prodE *= mr.Energy
-		prodD *= mr.Delay
+		res.PerModel = append(res.PerModel, p.mr)
+		sumLogE += math.Log(p.mr.Energy)
+		sumLogD += math.Log(p.mr.Delay)
+	}
+	if len(errs) > 0 {
+		res.Err = errors.Join(errs...)
+		res.Obj = math.Inf(1)
+		res.PerModel = nil
+		return res
+	}
+	if infeasible {
+		res.Obj = math.Inf(1)
+		res.PerModel = nil
+		return res
 	}
 	n := float64(len(models))
 	if n == 0 {
 		res.Obj = math.Inf(1)
 		return res
 	}
-	res.Energy = math.Pow(prodE, 1/n)
-	res.Delay = math.Pow(prodD, 1/n)
+	res.Energy = math.Exp(sumLogE / n)
+	res.Delay = math.Exp(sumLogD / n)
 	res.Feasible = true
 	res.Obj = Score(res.MC.Total(), res.Energy, res.Delay, opt.Objective)
 	return res
@@ -209,6 +256,64 @@ func reduceCandidate(cfg *arch.Config, per []*MapResult, models []*dnn.Graph, mc
 // Score computes MC^alpha * E^beta * D^gamma.
 func Score(mc, e, d float64, o Objective) float64 {
 	return math.Pow(mc, o.Alpha) * math.Pow(e, o.Beta) * math.Pow(d, o.Gamma)
+}
+
+// resultClass buckets candidates for ranking: feasible first, then pruned
+// (possibly good, just skipped), then genuinely infeasible, then errored.
+func resultClass(r *CandidateResult) int {
+	switch {
+	case r.Feasible:
+		return 0
+	case r.Pruned:
+		return 1
+	case r.Err == nil:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// objRank orders objective values within the feasible class so that the
+// comparator stays a strict weak order even for NaN (e.g. a 0*Inf product
+// from a zero MC under a negative alpha): finite < +/-Inf-free handled by
+// value, +Inf next, NaN last.
+func objRank(o float64) int {
+	switch {
+	case math.IsNaN(o):
+		return 2
+	case math.IsInf(o, 1):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// resultLess is the total order Run sorts by: class, then objective (NaN and
+// +Inf deterministically last within feasible), then name. It is a valid
+// strict weak order for any float inputs, so sort.Slice cannot misbehave on
+// NaN objectives.
+func resultLess(a, b *CandidateResult) bool {
+	ca, cb := resultClass(a), resultClass(b)
+	if ca != cb {
+		return ca < cb
+	}
+	if ca == 0 {
+		ra, rb := objRank(a.Obj), objRank(b.Obj)
+		if ra != rb {
+			return ra < rb
+		}
+		if ra == 0 && a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+	}
+	return a.Cfg.Name < b.Cfg.Name
+}
+
+// sortResults orders a result slice by resultLess.
+func sortResults(results []CandidateResult) {
+	sort.Slice(results, func(a, b int) bool {
+		return resultLess(&results[a], &results[b])
+	})
 }
 
 // Best returns the first feasible result, or nil.
@@ -221,17 +326,37 @@ func Best(results []CandidateResult) *CandidateResult {
 	return nil
 }
 
-// WriteCSV emits the result table in the artifact's result.csv style.
+// Errors collects the infrastructure errors of a sweep, one per errored
+// candidate, prefixed with the candidate name. An empty slice means every
+// cell either mapped or was honestly infeasible/pruned.
+func Errors(results []CandidateResult) []error {
+	var out []error
+	for i := range results {
+		if results[i].Err != nil {
+			out = append(out, fmt.Errorf("%s: %w", results[i].Cfg.Name, results[i].Err))
+		}
+	}
+	return out
+}
+
+// WriteCSV emits the result table in the artifact's result.csv style, plus
+// the status ("ok", "infeasible", "pruned", "error") and error message of
+// each candidate so failed sweeps are never silently mistaken for clean
+// infeasibility.
 func WriteCSV(w io.Writer, results []CandidateResult) error {
-	if _, err := fmt.Fprintln(w, "arch,chiplets,cores,dram_gbps,noc_gbps,d2d_gbps,glb_kb,macs,mc_usd,energy_j,delay_s,edp,objective,feasible"); err != nil {
+	if _, err := fmt.Fprintln(w, "arch,chiplets,cores,dram_gbps,noc_gbps,d2d_gbps,glb_kb,macs,mc_usd,energy_j,delay_s,edp,objective,feasible,status,error"); err != nil {
 		return err
 	}
 	for i := range results {
 		r := &results[i]
-		_, err := fmt.Fprintf(w, "%q,%d,%d,%.0f,%.0f,%.0f,%d,%d,%.3f,%.6g,%.6g,%.6g,%.6g,%t\n",
+		msg := ""
+		if r.Err != nil {
+			msg = r.Err.Error()
+		}
+		_, err := fmt.Fprintf(w, "%q,%d,%d,%.0f,%.0f,%.0f,%d,%d,%.3f,%.6g,%.6g,%.6g,%.6g,%t,%s,%q\n",
 			r.Cfg.Name, r.Cfg.Chiplets(), r.Cfg.Cores(), r.Cfg.DRAMBW, r.Cfg.NoCBW, r.Cfg.D2DBW,
 			r.Cfg.GLBPerCore/arch.KB, r.Cfg.MACsPerCore,
-			r.MC.Total(), r.Energy, r.Delay, r.EDP(), r.Obj, r.Feasible)
+			r.MC.Total(), r.Energy, r.Delay, r.EDP(), r.Obj, r.Feasible, r.Status(), msg)
 		if err != nil {
 			return err
 		}
@@ -251,54 +376,8 @@ type JointResult struct {
 // JointRun explores chiplet reuse: each base candidate's chiplet is
 // replicated to build accelerators at every factor in factors (1 = the base
 // itself), and candidates are ranked by the product of their objectives
-// (paper Sec. VII-B "Joint Optimal"). All scalable (base, factor, model)
-// combinations are mapped concurrently on one bounded worker pool; the
-// results are then folded per base with the same early-stop semantics as a
-// serial sweep (factors after the first unscalable one are not reported).
+// (paper Sec. VII-B "Joint Optimal"). JointRun is a convenience wrapper
+// over a throwaway Session.
 func JointRun(bases []arch.Config, factors []int, models []*dnn.Graph, opt Options) []JointResult {
-	// Flatten every (base, factor) that scales into one candidate list.
-	flatIdx := make([][]int, len(bases))
-	var flat []arch.Config
-	for bi := range bases {
-		flatIdx[bi] = make([]int, 0, len(factors))
-		for _, f := range factors {
-			scaled, err := ScaleUp(bases[bi], f)
-			if err != nil {
-				flatIdx[bi] = append(flatIdx[bi], -1)
-				break
-			}
-			flatIdx[bi] = append(flatIdx[bi], len(flat))
-			flat = append(flat, scaled)
-		}
-	}
-
-	mce := cost.New()
-	per := runPairs(flat, models, opt)
-	crs := make([]CandidateResult, len(flat))
-	for i := range flat {
-		crs[i] = reduceCandidate(&flat[i], per[i], models, mce, opt)
-	}
-
-	out := make([]JointResult, 0, len(bases))
-	for bi := range bases {
-		jr := JointResult{Base: bases[bi], Feasible: true, Product: 1}
-		for _, k := range flatIdx[bi] {
-			if k < 0 {
-				jr.Feasible = false
-				break
-			}
-			jr.Scaled = append(jr.Scaled, crs[k])
-			if !crs[k].Feasible {
-				jr.Feasible = false
-				break
-			}
-			jr.Product *= crs[k].Obj
-		}
-		if !jr.Feasible {
-			jr.Product = math.Inf(1)
-		}
-		out = append(out, jr)
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Product < out[b].Product })
-	return out
+	return NewSession().JointRun(bases, factors, models, opt)
 }

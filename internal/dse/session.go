@@ -1,0 +1,512 @@
+// Session: the long-lived DSE sweep layer. A Session owns a cross-candidate
+// shared evaluation cache, a pool of warm per-architecture evaluators, a
+// checkpoint of completed (candidate, model) cells, and the bound-pruning
+// incumbent, so repeated or overlapping sweeps (the experiments figures, a
+// resumed CLI run, chiplet-reuse factors revisiting a base) pay the cold
+// evaluation cost once.
+package dse
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gemini/internal/arch"
+	"gemini/internal/cost"
+	"gemini/internal/dnn"
+	"gemini/internal/eval"
+)
+
+// mapModelFn indirects the per-cell mapping pipeline so tests can inject
+// infrastructure failures and assert they are reported as errors, never as
+// infeasibility.
+var mapModelFn = mapModelEval
+
+// Session shares evaluation state across DSE runs. Safe for use from one
+// goroutine; the parallelism lives inside Run/JointRun. The zero value is
+// not usable — construct with NewSession.
+type Session struct {
+	// Logf, when set, receives scheduling decisions that must not be silent
+	// (candidate pruning, checkpoint skips). log.Printf fits.
+	Logf func(format string, args ...any)
+
+	cache *eval.Cache
+
+	evalMu sync.Mutex
+	evals  map[uint64]*eval.Evaluator
+
+	cellMu sync.Mutex
+	cells  map[string]cellRecord
+
+	resumed atomic.Int64 // cells served from the checkpoint instead of mapped
+}
+
+// NewSession returns an empty session with a fresh shared cache.
+func NewSession() *Session {
+	return &Session{
+		cache: eval.NewCache(),
+		evals: make(map[uint64]*eval.Evaluator),
+		cells: make(map[string]cellRecord),
+	}
+}
+
+// ResumedCells reports how many cells were served from the checkpoint
+// instead of being mapped, across the session's lifetime.
+func (s *Session) ResumedCells() int64 { return s.resumed.Load() }
+
+// CacheStats reports the shared evaluation cache's accounting.
+func (s *Session) CacheStats() eval.CacheStats { return s.cache.Stats() }
+
+// CheckpointCells reports how many completed (candidate, model) cells the
+// session holds (computed this run or loaded from a checkpoint).
+func (s *Session) CheckpointCells() int {
+	s.cellMu.Lock()
+	defer s.cellMu.Unlock()
+	return len(s.cells)
+}
+
+func (s *Session) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// evalPoolLimit bounds the warm-evaluator pool. Each evaluator holds a
+// precomputed NoC route table and scratch pools, so retaining one per
+// candidate of a full Table I grid (thousands) would pin significant
+// memory for the session's lifetime. A full pool is flushed wholesale,
+// like the cache shards: dropping warmth only costs recomputation, and the
+// shared group cache (which is what carries the cross-candidate reuse)
+// survives the flush.
+const evalPoolLimit = 256
+
+// evaluator returns the session's warm evaluator for an architecture,
+// creating it (route tables, intra-core memo, shared cache binding) on
+// first use. Keyed by structural fingerprint, so a chiplet-reuse factor-1
+// candidate or a re-enumerated identical tuple reuses the same evaluator.
+func (s *Session) evaluator(cfg *arch.Config) *eval.Evaluator {
+	fp := eval.ConfigFingerprint(cfg)
+	s.evalMu.Lock()
+	defer s.evalMu.Unlock()
+	if ev, ok := s.evals[fp]; ok {
+		return ev
+	}
+	if len(s.evals) >= evalPoolLimit {
+		clear(s.evals)
+	}
+	ev := eval.NewWithCache(cfg, s.cache)
+	s.evals[fp] = ev
+	return ev
+}
+
+// incumbent is a sweep-scoped best-feasible-objective tracker for pruning.
+// It is deliberately NOT session-scoped: two Run calls may use different
+// objectives or batches, and an incumbent from one is no bound for the
+// other.
+type incumbent struct {
+	mu   sync.Mutex
+	best float64
+}
+
+func newIncumbent() *incumbent { return &incumbent{best: math.Inf(1)} }
+
+func (in *incumbent) get() float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.best
+}
+
+func (in *incumbent) note(obj float64) {
+	if math.IsNaN(obj) || math.IsInf(obj, 1) {
+		return
+	}
+	in.mu.Lock()
+	if obj < in.best {
+		in.best = obj
+	}
+	in.mu.Unlock()
+}
+
+// MapModel maps one model on one architecture through the session's warm
+// evaluator and checkpoint cells.
+func (s *Session) MapModel(cfg *arch.Config, g *dnn.Graph, opt Options) (*MapResult, error) {
+	key := cellKey(eval.ConfigFingerprint(cfg), g.Name, optsFingerprint(opt))
+	if rec, ok := s.lookupCell(key); ok {
+		p := rec.outcome()
+		return p.mr, p.err
+	}
+	mr, err := mapModelFn(s.evaluator(cfg), cfg, g, opt)
+	s.storeCell(key, g.Name, mr, err)
+	return mr, err
+}
+
+// Run explores every candidate over the session's shared cache and returns
+// results sorted by resultLess (feasible by ascending objective first, then
+// pruned, infeasible and errored candidates). Completed cells are recorded
+// for SaveCheckpoint; cells already present (from a previous run or a
+// loaded checkpoint) are restored instead of recomputed.
+func (s *Session) Run(cands []arch.Config, models []*dnn.Graph, opt Options) []CandidateResult {
+	results := s.sweep(cands, models, opt)
+	sortResults(results)
+	return results
+}
+
+// candState tracks one candidate's progress through the scheduler.
+type candState struct {
+	remaining atomic.Int32
+	pruneOnce sync.Once
+	pruned    atomic.Bool
+	lb        float64
+}
+
+// sweep runs the (candidate, model) task grid on a bounded worker pool and
+// returns one CandidateResult per candidate, in candidate order (unsorted).
+func (s *Session) sweep(cands []arch.Config, models []*dnn.Graph, opt Options) []CandidateResult {
+	mce := cost.New()
+	nm := len(models)
+	results := make([]CandidateResult, len(cands))
+	per := make([][]pairOutcome, len(cands))
+	states := make([]*candState, len(cands))
+	for i := range cands {
+		per[i] = make([]pairOutcome, nm)
+		states[i] = &candState{}
+		states[i].remaining.Store(int32(nm))
+	}
+
+	params := eval.DefaultParams()
+	prune := opt.Prune && objMonotone(opt.Objective)
+	if opt.Prune && !prune {
+		s.logf("dse: pruning disabled: objective %+v is not monotone", opt.Objective)
+	}
+	optFP := optsFingerprint(opt)
+	inc := newIncumbent()
+
+	var onMu sync.Mutex
+	finish := func(ci int) {
+		st := states[ci]
+		var cr CandidateResult
+		if st.pruned.Load() {
+			cr = CandidateResult{
+				Cfg: cands[ci], MC: mce.Evaluate(&cands[ci]),
+				Obj: math.Inf(1), Pruned: true, LowerBound: st.lb,
+			}
+		} else {
+			cr = reduceCandidate(&cands[ci], per[ci], models, mce, opt)
+			if cr.Feasible {
+				inc.note(cr.Obj)
+			}
+		}
+		results[ci] = cr
+		if opt.OnResult != nil {
+			onMu.Lock()
+			opt.OnResult(cr)
+			onMu.Unlock()
+		}
+	}
+
+	total := len(cands) * nm
+	if total == 0 {
+		for ci := range cands {
+			finish(ci)
+		}
+		return results
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range tasks {
+				ci, mi := k/nm, k%nm
+				st := states[ci]
+				if prune {
+					st.pruneOnce.Do(func() {
+						lb := pruneBound(&cands[ci], models, &params, opt, mce.Evaluate(&cands[ci]).Total())
+						if best := inc.get(); lb > best {
+							st.lb = lb
+							st.pruned.Store(true)
+							s.logf("dse: pruned %s: objective lower bound %.6g > best feasible %.6g",
+								cands[ci].Name, lb, best)
+						}
+					})
+				}
+				if !st.pruned.Load() {
+					per[ci][mi] = s.runCell(&cands[ci], models[mi], opt, optFP)
+				}
+				if st.remaining.Add(-1) == 0 {
+					finish(ci)
+				}
+			}
+		}()
+	}
+	for k := 0; k < total; k++ {
+		tasks <- k
+	}
+	close(tasks)
+	wg.Wait()
+	return results
+}
+
+// runCell executes (or restores) one (candidate, model) mapping cell.
+func (s *Session) runCell(cfg *arch.Config, g *dnn.Graph, opt Options, optFP uint64) pairOutcome {
+	key := cellKey(eval.ConfigFingerprint(cfg), g.Name, optFP)
+	if rec, ok := s.lookupCell(key); ok {
+		return rec.outcome()
+	}
+	mr, err := mapModelFn(s.evaluator(cfg), cfg, g, opt)
+	s.storeCell(key, g.Name, mr, err)
+	return pairOutcome{mr: mr, err: err}
+}
+
+// JointRun explores chiplet reuse over the session (see the package-level
+// JointRun). Bound pruning is force-disabled: the product ranking needs
+// every (base, factor) cell evaluated, and a per-candidate incumbent is not
+// a sound bound for a product-of-objectives ranking.
+func (s *Session) JointRun(bases []arch.Config, factors []int, models []*dnn.Graph, opt Options) []JointResult {
+	opt.Prune = false
+	opt.OnResult = nil
+
+	// Flatten every (base, factor) that scales into one candidate list.
+	flatIdx := make([][]int, len(bases))
+	var flat []arch.Config
+	for bi := range bases {
+		flatIdx[bi] = make([]int, 0, len(factors))
+		for _, f := range factors {
+			scaled, err := ScaleUp(bases[bi], f)
+			if err != nil {
+				flatIdx[bi] = append(flatIdx[bi], -1)
+				break
+			}
+			flatIdx[bi] = append(flatIdx[bi], len(flat))
+			flat = append(flat, scaled)
+		}
+	}
+
+	crs := s.sweep(flat, models, opt)
+
+	out := make([]JointResult, 0, len(bases))
+	for bi := range bases {
+		jr := JointResult{Base: bases[bi], Feasible: true, Product: 1}
+		for _, k := range flatIdx[bi] {
+			if k < 0 {
+				jr.Feasible = false
+				break
+			}
+			jr.Scaled = append(jr.Scaled, crs[k])
+			if !crs[k].Feasible {
+				jr.Feasible = false
+				break
+			}
+			jr.Product *= crs[k].Obj
+		}
+		if !jr.Feasible {
+			jr.Product = math.Inf(1)
+		}
+		out = append(out, jr)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		pa, pb := out[a].Product, out[b].Product
+		if pa != pb && !math.IsNaN(pa) && !math.IsNaN(pb) {
+			return pa < pb
+		}
+		if math.IsNaN(pa) != math.IsNaN(pb) {
+			return !math.IsNaN(pa)
+		}
+		return out[a].Base.Name < out[b].Base.Name
+	})
+	return out
+}
+
+// --- checkpointing -------------------------------------------------------
+
+// cellRecord is the serialized outcome of one completed (candidate, model)
+// cell. Float64 fields survive the JSON round trip bit-exactly (Go encodes
+// the shortest representation that parses back to the same value). Only
+// settled outcomes are recorded — a feasible mapping or honest
+// infeasibility; infrastructure errors are never checkpointed, so a
+// resumed sweep retries them instead of replaying a possibly transient
+// failure forever.
+type cellRecord struct {
+	Model    string `json:"model"`
+	Feasible bool   `json:"feasible"`
+
+	Energy            float64 `json:"energy,omitempty"`
+	Delay             float64 `json:"delay,omitempty"`
+	Groups            int     `json:"groups,omitempty"`
+	AvgLayersPerGroup float64 `json:"avg_layers_per_group,omitempty"`
+	DRAMBytes         float64 `json:"dram_bytes,omitempty"`
+
+	EMAC  float64 `json:"e_mac,omitempty"`
+	EGLB  float64 `json:"e_glb,omitempty"`
+	ENoC  float64 `json:"e_noc,omitempty"`
+	ED2D  float64 `json:"e_d2d,omitempty"`
+	EDRAM float64 `json:"e_dram,omitempty"`
+
+	SACost      float64 `json:"sa_cost,omitempty"`
+	SAInitCost  float64 `json:"sa_init_cost,omitempty"`
+	Restarts    int     `json:"restarts,omitempty"`
+	BestRestart int     `json:"best_restart,omitempty"`
+}
+
+// outcome reconstructs the cell as a pairOutcome. Feasible cells come back
+// as summary MapResults: exact energies/delays/statistics, but without
+// per-group evaluation detail or the SA scheme.
+func (r cellRecord) outcome() pairOutcome {
+	if !r.Feasible {
+		return pairOutcome{err: fmt.Errorf("%w for %s (checkpointed)", ErrInfeasible, r.Model)}
+	}
+	bd := eval.EnergyBreakdown{MAC: r.EMAC, GLB: r.EGLB, NoC: r.ENoC, D2D: r.ED2D, DRAM: r.EDRAM}
+	mr := &MapResult{
+		Model:             r.Model,
+		Energy:            r.Energy,
+		Delay:             r.Delay,
+		Groups:            r.Groups,
+		AvgLayersPerGroup: r.AvgLayersPerGroup,
+		Restarts:          r.Restarts,
+		BestRestart:       r.BestRestart,
+		Summary:           true,
+	}
+	mr.Eval = eval.Result{Feasible: true, Delay: r.Delay, Energy: bd, DRAMBytes: r.DRAMBytes}
+	mr.SA.Cost = r.SACost
+	mr.SA.InitCost = r.SAInitCost
+	mr.SA.Eval = mr.Eval
+	return mr.asOutcome()
+}
+
+func (m *MapResult) asOutcome() pairOutcome { return pairOutcome{mr: m} }
+
+func (s *Session) lookupCell(key string) (cellRecord, bool) {
+	s.cellMu.Lock()
+	rec, ok := s.cells[key]
+	s.cellMu.Unlock()
+	if ok {
+		s.resumed.Add(1)
+	}
+	return rec, ok
+}
+
+func (s *Session) storeCell(key, model string, mr *MapResult, err error) {
+	rec := cellRecord{Model: model}
+	switch {
+	case mr != nil:
+		rec.Feasible = true
+		rec.Energy = mr.Energy
+		rec.Delay = mr.Delay
+		rec.Groups = mr.Groups
+		rec.AvgLayersPerGroup = mr.AvgLayersPerGroup
+		rec.DRAMBytes = mr.Eval.DRAMBytes
+		rec.EMAC, rec.EGLB = mr.Eval.Energy.MAC, mr.Eval.Energy.GLB
+		rec.ENoC, rec.ED2D, rec.EDRAM = mr.Eval.Energy.NoC, mr.Eval.Energy.D2D, mr.Eval.Energy.DRAM
+		rec.SACost, rec.SAInitCost = mr.SA.Cost, mr.SA.InitCost
+		rec.Restarts, rec.BestRestart = mr.Restarts, mr.BestRestart
+	case err != nil && !errors.Is(err, ErrInfeasible):
+		// Infrastructure errors are not settled outcomes: leave the cell
+		// unrecorded so a resumed or repeated sweep retries it.
+		return
+	}
+	s.cellMu.Lock()
+	s.cells[key] = rec
+	s.cellMu.Unlock()
+}
+
+// checkpointFile is the JSON checkpoint envelope.
+type checkpointFile struct {
+	Version int                   `json:"version"`
+	Cells   map[string]cellRecord `json:"cells"`
+}
+
+const checkpointVersion = 1
+
+// SaveCheckpoint writes the session's completed cells as JSON. Keys are
+// emitted in sorted order, so identical sessions produce identical bytes.
+func (s *Session) SaveCheckpoint(w io.Writer) error {
+	s.cellMu.Lock()
+	cp := checkpointFile{Version: checkpointVersion, Cells: make(map[string]cellRecord, len(s.cells))}
+	for k, v := range s.cells {
+		cp.Cells[k] = v
+	}
+	s.cellMu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cp)
+}
+
+// LoadCheckpoint merges a previously saved checkpoint into the session;
+// matching cells in subsequent runs are restored instead of recomputed.
+// Cells keyed under different mapping options (batch, iterations, seeds,
+// restarts, objective exponents) never collide, so one checkpoint file can
+// serve several sweep configurations.
+func (s *Session) LoadCheckpoint(r io.Reader) error {
+	var cp checkpointFile
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("dse: reading checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("dse: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	s.cellMu.Lock()
+	for k, v := range cp.Cells {
+		s.cells[k] = v
+	}
+	s.cellMu.Unlock()
+	return nil
+}
+
+// --- cell keying ---------------------------------------------------------
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvWord(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// optsFingerprint hashes every Options field the mapping result depends on.
+// Alpha is deliberately excluded: it only ranks candidates, it never changes
+// a (candidate, model) mapping, so checkpoints survive re-ranking sweeps.
+func optsFingerprint(opt Options) uint64 {
+	restarts := opt.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	h := uint64(fnvOffset64)
+	for _, v := range [...]uint64{
+		uint64(int64(opt.Batch)), uint64(int64(opt.SAIterations)),
+		uint64(int64(restarts)), uint64(opt.Seed),
+		math.Float64bits(opt.Objective.Beta), math.Float64bits(opt.Objective.Gamma),
+		uint64(int64(opt.MaxGroupLayers)),
+	} {
+		h = fnvWord(h, v)
+	}
+	for _, bu := range opt.BatchUnits {
+		h = fnvWord(h, uint64(int64(bu)))
+	}
+	return h
+}
+
+// cellKey names one (candidate, model, options) cell in the checkpoint.
+func cellKey(archFP uint64, model string, optFP uint64) string {
+	return fmt.Sprintf("%016x/%s/%016x", archFP, model, optFP)
+}

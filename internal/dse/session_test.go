@@ -1,0 +1,492 @@
+package dse
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gemini/internal/arch"
+	"gemini/internal/cost"
+	"gemini/internal/dnn"
+	"gemini/internal/eval"
+)
+
+// sweepModels returns stable graph instances for session tests (cache and
+// checkpoint keys include graph identity and model name).
+var (
+	testCNN = dnn.TinyCNN()
+	testTF  = dnn.TinyTransformer()
+)
+
+func testCands() []arch.Config {
+	a := arch.GArch72()
+	b := arch.GArch72()
+	b.NoCBW, b.D2DBW = 64, 32
+	b.Name = b.String()
+	return []arch.Config{a, b}
+}
+
+// resultsEqual requires bit-identical headline numbers per candidate.
+func resultsEqual(t *testing.T, want, got []CandidateResult, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d results", label, len(want), len(got))
+	}
+	for i := range want {
+		w, g := &want[i], &got[i]
+		if w.Cfg.Name != g.Cfg.Name {
+			t.Fatalf("%s[%d]: order differs: %s vs %s", label, i, w.Cfg.Name, g.Cfg.Name)
+		}
+		if w.Energy != g.Energy || w.Delay != g.Delay || w.Obj != g.Obj || w.Feasible != g.Feasible {
+			t.Errorf("%s[%d] %s: (E=%v D=%v obj=%v feas=%v) vs (E=%v D=%v obj=%v feas=%v)",
+				label, i, w.Cfg.Name,
+				w.Energy, w.Delay, w.Obj, w.Feasible,
+				g.Energy, g.Delay, g.Obj, g.Feasible)
+		}
+	}
+}
+
+// TestSessionMatchesRun pins the acceptance criterion: a fixed-seed Session
+// sweep — cold, and re-run warm on the shared cache — is bit-identical to
+// the equivalent single dse.Run.
+func TestSessionMatchesRun(t *testing.T) {
+	cands := testCands()
+	models := []*dnn.Graph{testCNN, testTF}
+	opt := testOptions()
+
+	baseline := Run(cands, models, opt)
+
+	ses := NewSession()
+	cold := ses.Run(cands, models, opt)
+	resultsEqual(t, baseline, cold, "cold session")
+
+	// The warm re-run restores checkpointed cells; headline numbers must
+	// still match bit for bit.
+	warm := ses.Run(cands, models, opt)
+	resultsEqual(t, baseline, warm, "warm session")
+	if ses.ResumedCells() == 0 {
+		t.Error("warm re-run resumed no cells")
+	}
+
+	// A different seed forces real re-mapping on the warm cache; that too
+	// must match a fresh Run bit for bit (the cache stores exactly what
+	// recomputation yields).
+	opt2 := opt
+	opt2.Seed = 42
+	warm2 := ses.Run(cands, models, opt2)
+	resultsEqual(t, Run(cands, models, opt2), warm2, "warm cache, new seed")
+}
+
+func TestSessionCacheAccounting(t *testing.T) {
+	ses := NewSession()
+	cands := testCands()
+	models := []*dnn.Graph{testCNN}
+	opt := testOptions()
+
+	ses.Run(cands, models, opt)
+	st1 := ses.CacheStats()
+	if st1.Misses == 0 {
+		t.Fatal("cold run recorded no misses")
+	}
+	if st1.Entries == 0 {
+		t.Fatal("cold run cached no entries")
+	}
+
+	// Same sweep with a different seed: cells miss (different options key),
+	// so the mapping really re-runs — but over a warm cache.
+	opt2 := opt
+	opt2.Seed = 99
+	ses.Run(cands, models, opt2)
+	st2 := ses.CacheStats()
+	if st2.Hits <= st1.Hits {
+		t.Errorf("warm run added no cache hits: %+v -> %+v", st1, st2)
+	}
+	warmHits := st2.Hits - st1.Hits
+	warmMisses := st2.Misses - st1.Misses
+	if warmHits <= warmMisses {
+		t.Errorf("warm run should be hit-dominated: %d hits vs %d misses", warmHits, warmMisses)
+	}
+}
+
+func TestSessionCheckpointRoundTrip(t *testing.T) {
+	cands := testCands()
+	models := []*dnn.Graph{testCNN, testTF}
+	opt := testOptions()
+
+	a := NewSession()
+	want := a.Run(cands, models, opt)
+	var buf bytes.Buffer
+	if err := a.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.String()
+
+	// A fresh session with the checkpoint loaded must not map anything.
+	calls := 0
+	orig := mapModelFn
+	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options) (*MapResult, error) {
+		calls++
+		return orig(ev, cfg, g, o)
+	}
+	defer func() { mapModelFn = orig }()
+
+	b := NewSession()
+	if err := b.LoadCheckpoint(strings.NewReader(saved)); err != nil {
+		t.Fatal(err)
+	}
+	got := b.Run(cands, models, opt)
+	if calls != 0 {
+		t.Errorf("resumed run invoked MapModel %d times", calls)
+	}
+	if int(b.ResumedCells()) != len(cands)*len(models) {
+		t.Errorf("resumed %d cells, want %d", b.ResumedCells(), len(cands)*len(models))
+	}
+	resultsEqual(t, want, got, "resumed")
+	for i := range got {
+		for _, mr := range got[i].PerModel {
+			if !mr.Summary {
+				t.Error("restored MapResult not marked Summary")
+			}
+		}
+	}
+
+	// Round-trip stability: saving the resumed session reproduces the bytes.
+	var buf2 bytes.Buffer
+	if err := b.SaveCheckpoint(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != saved {
+		t.Error("checkpoint bytes not stable across save/load/save")
+	}
+
+	// A different option set must not collide with checkpointed cells.
+	opt2 := opt
+	opt2.SAIterations += 5
+	b.Run(cands, models, opt2)
+	if calls == 0 {
+		t.Error("changed options should have forced re-mapping")
+	}
+}
+
+func TestSessionCheckpointVersion(t *testing.T) {
+	s := NewSession()
+	err := s.LoadCheckpoint(strings.NewReader(`{"version": 999, "cells": {}}`))
+	if err == nil {
+		t.Fatal("version mismatch not rejected")
+	}
+	if err := s.LoadCheckpoint(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage checkpoint not rejected")
+	}
+}
+
+// TestSessionErrorNotInfeasible pins the honest-error satellite: an injected
+// infrastructure failure must surface as an error, never as infeasibility.
+func TestSessionErrorNotInfeasible(t *testing.T) {
+	boom := errors.New("injected mapper crash")
+	orig := mapModelFn
+	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options) (*MapResult, error) {
+		if cfg.Name == "bad-arch" {
+			return nil, boom
+		}
+		return orig(ev, cfg, g, o)
+	}
+	defer func() { mapModelFn = orig }()
+
+	ok := arch.GArch72()
+	bad := arch.GArch72()
+	bad.Name = "bad-arch"
+	bad.NoCBW = 33 // structurally distinct so it is not cache/cell-aliased
+	rs := NewSession().Run([]arch.Config{bad, ok}, []*dnn.Graph{testCNN}, testOptions())
+
+	if rs[0].Cfg.Name != ok.Name || !rs[0].Feasible {
+		t.Fatalf("healthy candidate should rank first, got %s (%s)", rs[0].Cfg.Name, rs[0].Status())
+	}
+	er := &rs[1]
+	if er.Cfg.Name != "bad-arch" {
+		t.Fatalf("expected bad-arch last, got %s", er.Cfg.Name)
+	}
+	if er.Err == nil || !errors.Is(er.Err, boom) {
+		t.Fatalf("error not threaded: %v", er.Err)
+	}
+	if er.Status() != "error" {
+		t.Errorf("status = %q, want error", er.Status())
+	}
+	if er.Feasible {
+		t.Error("errored candidate reported feasible")
+	}
+	if errs := Errors(rs); len(errs) != 1 || !errors.Is(errs[0], boom) {
+		t.Errorf("Errors() = %v", errs)
+	}
+
+	var sb strings.Builder
+	if err := WriteCSV(&sb, rs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "error,\"injected mapper crash\"") {
+		t.Errorf("CSV does not surface the error:\n%s", sb.String())
+	}
+}
+
+// TestSessionRetriesErroredCells: infrastructure errors are not settled
+// outcomes, so they are never checkpointed — a resumed sweep retries them
+// instead of replaying a possibly transient failure forever.
+func TestSessionRetriesErroredCells(t *testing.T) {
+	boom := errors.New("transient failure")
+	failing := true
+	orig := mapModelFn
+	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options) (*MapResult, error) {
+		if failing && cfg.Name == "flaky-arch" {
+			return nil, boom
+		}
+		return orig(ev, cfg, g, o)
+	}
+	defer func() { mapModelFn = orig }()
+
+	flaky := arch.GArch72()
+	flaky.Name = "flaky-arch"
+	cands := []arch.Config{flaky}
+	models := []*dnn.Graph{testCNN}
+
+	a := NewSession()
+	rs := a.Run(cands, models, testOptions())
+	if rs[0].Status() != "error" {
+		t.Fatalf("first run status %q, want error", rs[0].Status())
+	}
+	var buf bytes.Buffer
+	if err := a.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "transient failure") {
+		t.Fatalf("infrastructure error was checkpointed:\n%s", buf.String())
+	}
+
+	// The failure clears; a resumed session must re-run the cell and map it.
+	failing = false
+	b := NewSession()
+	if err := b.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	rs = b.Run(cands, models, testOptions())
+	if rs[0].Status() != "ok" {
+		t.Fatalf("resumed run status %q, want ok (errored cell must be retried)", rs[0].Status())
+	}
+}
+
+func TestInfeasibleIsNotError(t *testing.T) {
+	bad := arch.GArch72()
+	bad.GLBPerCore = 512 // nothing fits
+	bad.Name = "bad"
+	rs := Run([]arch.Config{bad}, []*dnn.Graph{testCNN}, testOptions())
+	if rs[0].Err != nil {
+		t.Errorf("infeasible candidate carries error: %v", rs[0].Err)
+	}
+	if rs[0].Status() != "infeasible" {
+		t.Errorf("status = %q, want infeasible", rs[0].Status())
+	}
+	if rs[0].Feasible {
+		t.Error("512-byte GLB should be infeasible")
+	}
+}
+
+func TestMapModelInfeasibleSentinel(t *testing.T) {
+	bad := arch.GArch72()
+	bad.GLBPerCore = 512
+	bad.Name = "bad"
+	_, err := MapModel(&bad, testCNN, testOptions())
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("infeasible mapping error %v does not wrap ErrInfeasible", err)
+	}
+}
+
+func TestSessionStreamsResults(t *testing.T) {
+	cands := testCands()
+	var streamed []string
+	opt := testOptions()
+	opt.OnResult = func(r CandidateResult) { streamed = append(streamed, r.Cfg.Name) }
+	NewSession().Run(cands, []*dnn.Graph{testCNN}, opt)
+	if len(streamed) != len(cands) {
+		t.Fatalf("streamed %d results, want %d", len(streamed), len(cands))
+	}
+}
+
+func TestSessionPruning(t *testing.T) {
+	base := arch.GArch72()
+	big, err := ScaleUp(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := testOptions()
+	opt.Workers = 1 // candidate 0 completes before candidate 1 starts
+	opt.Prune = true
+	// An MC-dominated objective makes the 4x machine's lower bound
+	// hopeless against the base incumbent.
+	opt.Objective = Objective{Alpha: 8, Beta: 1, Gamma: 1}
+
+	var logged []string
+	ses := NewSession()
+	ses.Logf = func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}
+	rs := ses.Run([]arch.Config{base, big}, []*dnn.Graph{testCNN}, opt)
+
+	if rs[0].Cfg.Name != base.Name || !rs[0].Feasible {
+		t.Fatalf("base should win: %s (%s)", rs[0].Cfg.Name, rs[0].Status())
+	}
+	pr := &rs[1]
+	if !pr.Pruned || pr.Status() != "pruned" {
+		t.Fatalf("big candidate not pruned: %s (%+v)", pr.Status(), pr)
+	}
+	if pr.LowerBound <= rs[0].Obj {
+		t.Errorf("pruned with bound %v <= best %v", pr.LowerBound, rs[0].Obj)
+	}
+	found := false
+	for _, l := range logged {
+		if strings.Contains(l, "pruned") && strings.Contains(l, big.Name) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pruning decision not logged: %v", logged)
+	}
+
+	var sb strings.Builder
+	if err := WriteCSV(&sb, rs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "pruned") {
+		t.Error("CSV does not surface pruning")
+	}
+}
+
+func TestPruningSoundness(t *testing.T) {
+	// The bound must lie at or below the mapped outcome for a feasible pair.
+	cfg := arch.GArch72()
+	opt := testOptions()
+	mr, err := MapModel(&cfg, testCNN, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := eval.DefaultParams()
+	eLB, dLB := lowerBoundED(&cfg, testCNN, &p, opt.Batch)
+	if eLB <= 0 || dLB <= 0 {
+		t.Fatalf("degenerate bounds: e=%v d=%v", eLB, dLB)
+	}
+	if eLB > mr.Energy {
+		t.Errorf("energy bound %v exceeds achieved %v", eLB, mr.Energy)
+	}
+	if dLB > mr.Delay {
+		t.Errorf("delay bound %v exceeds achieved %v", dLB, mr.Delay)
+	}
+}
+
+func TestPruningDisabledForNonMonotoneObjective(t *testing.T) {
+	if objMonotone(Objective{Alpha: -1, Beta: 1, Gamma: 1}) {
+		t.Error("negative alpha accepted as monotone")
+	}
+	if !objMonotone(MCED) {
+		t.Error("MCED rejected")
+	}
+}
+
+// TestSortTotalOrderWithNaN pins the comparator satellite: NaN and Inf
+// objectives sort last deterministically, and the order is a valid strict
+// weak order for any permutation.
+func TestSortTotalOrderWithNaN(t *testing.T) {
+	mk := func(name string, obj float64, feasible bool) CandidateResult {
+		r := CandidateResult{Obj: obj, Feasible: feasible}
+		r.Cfg.Name = name
+		return r
+	}
+	nan := math.NaN()
+	inf := math.Inf(1)
+	base := []CandidateResult{
+		mk("nan-b", nan, true),
+		mk("fin-2", 2, true),
+		mk("inf-a", inf, true),
+		mk("nan-a", nan, true),
+		mk("infeasible", inf, false),
+		mk("fin-1", 1, true),
+	}
+	wantOrder := []string{"fin-1", "fin-2", "inf-a", "nan-a", "nan-b", "infeasible"}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		perm := make([]CandidateResult, len(base))
+		for i, j := range rng.Perm(len(base)) {
+			perm[i] = base[j]
+		}
+		sortResults(perm)
+		for i, want := range wantOrder {
+			if perm[i].Cfg.Name != want {
+				t.Fatalf("trial %d: pos %d = %s, want %s", trial, i, perm[i].Cfg.Name, want)
+			}
+		}
+	}
+
+	// Irreflexivity and asymmetry spot checks with NaN present.
+	for i := range base {
+		if resultLess(&base[i], &base[i]) {
+			t.Errorf("resultLess(%s, itself) = true", base[i].Cfg.Name)
+		}
+		for j := range base {
+			if resultLess(&base[i], &base[j]) && resultLess(&base[j], &base[i]) {
+				t.Errorf("asymmetry violated for %s, %s", base[i].Cfg.Name, base[j].Cfg.Name)
+			}
+		}
+	}
+}
+
+// TestGeomeanLogSpace pins the underflow satellite: folding many models with
+// tiny energies must not collapse the geometric mean to zero.
+func TestGeomeanLogSpace(t *testing.T) {
+	cfg := arch.GArch72()
+	const n = 40
+	per := make([]pairOutcome, n)
+	models := make([]*dnn.Graph, n)
+	for i := range per {
+		per[i] = pairOutcome{mr: &MapResult{Energy: 1e-200, Delay: 1e-150}}
+		models[i] = testCNN
+	}
+	// The naive running product would be (1e-200)^40 = 0 (underflow).
+	res := reduceCandidate(&cfg, per, models, cost.New(), testOptions())
+	if !res.Feasible {
+		t.Fatal("reduce failed")
+	}
+	if res.Energy == 0 || res.Delay == 0 {
+		t.Fatalf("geomean underflowed: E=%v D=%v", res.Energy, res.Delay)
+	}
+	if rel := math.Abs(res.Energy-1e-200) / 1e-200; rel > 1e-12 {
+		t.Errorf("geomean energy %v, want 1e-200 (rel err %v)", res.Energy, rel)
+	}
+	if rel := math.Abs(res.Delay-1e-150) / 1e-150; rel > 1e-12 {
+		t.Errorf("geomean delay %v, want 1e-150 (rel err %v)", res.Delay, rel)
+	}
+}
+
+func TestSessionJointRunMatchesPackageJointRun(t *testing.T) {
+	bases := []arch.Config{arch.GArch72()}
+	models := []*dnn.Graph{testCNN}
+	opt := testOptions()
+	want := JointRun(bases, []int{1, 4}, models, opt)
+	ses := NewSession()
+	got := ses.JointRun(bases, []int{1, 4}, models, opt)
+	if len(want) != len(got) {
+		t.Fatalf("length %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].Product != got[i].Product || want[i].Feasible != got[i].Feasible {
+			t.Errorf("joint[%d]: product %v vs %v", i, want[i].Product, got[i].Product)
+		}
+	}
+	// Warm re-run: identical again.
+	again := ses.JointRun(bases, []int{1, 4}, models, opt)
+	for i := range want {
+		if want[i].Product != again[i].Product {
+			t.Errorf("warm joint[%d]: product %v vs %v", i, want[i].Product, again[i].Product)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"gemini/internal/arch"
+	"gemini/internal/dnn"
+)
+
+// ConfigFingerprint hashes the structural fields of an architecture
+// configuration — everything a GroupResult can depend on, and nothing it
+// cannot (the Name is ignored). Two configs with equal fingerprints are
+// evaluation-equivalent, so shared-cache entries and warmed evaluators can
+// serve either: a chiplet-reuse candidate at factor 1 or a repeated request
+// for the same tuple lands on the same warm state.
+func ConfigFingerprint(cfg *arch.Config) uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range [...]uint64{
+		uint64(cfg.CoresX), uint64(cfg.CoresY),
+		uint64(cfg.XCut), uint64(cfg.YCut),
+		math.Float64bits(cfg.NoCBW), math.Float64bits(cfg.D2DBW),
+		math.Float64bits(cfg.DRAMBW),
+		uint64(cfg.MACsPerCore), uint64(cfg.GLBPerCore),
+		math.Float64bits(cfg.FreqGHz), uint64(cfg.Topology),
+	} {
+		h = fnv1a(h, v)
+	}
+	return h
+}
+
+// CacheKey addresses one group evaluation in a shared Cache: the
+// architecture fingerprint, the graph identity, and the group fingerprint
+// (encoding + batch + params + cross-group context).
+type CacheKey struct {
+	Arch  uint64
+	Graph *dnn.Graph
+	FP    uint64
+}
+
+// cacheShards keeps lock contention low when many DSE workers race on one
+// shared cache; the SA hot loop hits the cache on nearly every iteration.
+const cacheShards = 64
+
+// cacheShardLimit bounds each shard; a full shard is flushed wholesale
+// (same policy as the per-evaluator memo: the working set of any one sweep
+// is far below the limit, and a flush only costs recomputation).
+const cacheShardLimit = 1 << 14
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[CacheKey]GroupResult
+}
+
+// Cache is a concurrency-safe group-result store shared across evaluators —
+// and therefore across architecture candidates, models, SA restarts and
+// whole DSE runs. It memoizes exactly what the per-evaluator memo does, so
+// serving from the cache is bit-identical to recomputing.
+type Cache struct {
+	shards                [cacheShards]cacheShard
+	hits, misses, flushes atomic.Int64
+}
+
+// NewCache returns an empty shared cache.
+func NewCache() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[CacheKey]GroupResult)
+	}
+	return c
+}
+
+func (c *Cache) shard(k CacheKey) *cacheShard {
+	return &c.shards[(k.Arch^k.FP)%cacheShards]
+}
+
+// get returns the cached result for k, counting the hit or miss.
+func (c *Cache) get(k CacheKey) (GroupResult, bool) {
+	s := c.shard(k)
+	s.mu.RLock()
+	r, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return r, ok
+}
+
+// put stores a computed result, flushing the shard if it is full.
+func (c *Cache) put(k CacheKey, r GroupResult) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if len(s.m) >= cacheShardLimit {
+		clear(s.m)
+		c.flushes.Add(1)
+	}
+	s.m[k] = r
+	s.mu.Unlock()
+}
+
+// CacheStats is a point-in-time accounting snapshot of a shared cache.
+type CacheStats struct {
+	Hits, Misses, Flushes int64
+	Entries               int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// Stats reports the cache's lookup accounting and current size.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Flushes: c.flushes.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		st.Entries += len(s.m)
+		s.mu.RUnlock()
+	}
+	return st
+}

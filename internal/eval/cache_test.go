@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"sync"
+	"testing"
+
+	"gemini/internal/arch"
+	"gemini/internal/core"
+	"gemini/internal/dnn"
+)
+
+func cacheTestScheme(t testing.TB, cfg *arch.Config) *core.Scheme {
+	t.Helper()
+	g := dnn.TinyCNN()
+	ids := make([]int, len(g.Layers))
+	for i := range ids {
+		ids[i] = i
+	}
+	s, err := core.StripeScheme(g, cfg, [][]int{ids}, []int{1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigFingerprint(t *testing.T) {
+	a := arch.GArch72()
+	b := arch.GArch72()
+	b.Name = "renamed"
+	if ConfigFingerprint(&a) != ConfigFingerprint(&b) {
+		t.Error("fingerprint depends on Name")
+	}
+	c := arch.GArch72()
+	c.NoCBW++
+	if ConfigFingerprint(&a) == ConfigFingerprint(&c) {
+		t.Error("fingerprint misses NoCBW")
+	}
+	d := arch.GArch72()
+	d.GLBPerCore *= 2
+	if ConfigFingerprint(&a) == ConfigFingerprint(&d) {
+		t.Error("fingerprint misses GLBPerCore")
+	}
+}
+
+// TestSharedCacheBitIdentical pins that serving from the shared cache is
+// indistinguishable from recomputing: a private-memo evaluator and two
+// cache-sharing evaluators yield identical results.
+func TestSharedCacheBitIdentical(t *testing.T) {
+	cfg := arch.GArch72()
+	s := cacheTestScheme(t, &cfg)
+
+	private := New(&cfg).Evaluate(s)
+
+	cache := NewCache()
+	first := NewWithCache(&cfg, cache).Evaluate(s)
+	second := NewWithCache(&cfg, cache).Evaluate(s) // all groups warm
+
+	for _, r := range []Result{first, second} {
+		if r.Feasible != private.Feasible || r.Delay != private.Delay ||
+			r.Energy != private.Energy || r.DRAMBytes != private.DRAMBytes {
+			t.Fatalf("shared-cache result diverged: %+v vs %+v", r, private)
+		}
+	}
+
+	st := cache.Stats()
+	if st.Hits == 0 {
+		t.Error("second evaluator recorded no hits")
+	}
+	if st.Misses == 0 || st.Entries == 0 {
+		t.Errorf("cold evaluation accounting wrong: %+v", st)
+	}
+}
+
+func TestCacheStatsAccounting(t *testing.T) {
+	cfg := arch.GArch72()
+	s := cacheTestScheme(t, &cfg)
+	cache := NewCache()
+	ev := NewWithCache(&cfg, cache)
+
+	ev.Evaluate(s)
+	st := cache.Stats()
+	wantMisses := int64(len(s.Groups))
+	if st.Misses != wantMisses || st.Hits != 0 {
+		t.Fatalf("cold stats = %+v, want %d misses, 0 hits", st, wantMisses)
+	}
+	ev.Evaluate(s)
+	st = cache.Stats()
+	if st.Hits != wantMisses || st.Misses != wantMisses {
+		t.Fatalf("warm stats = %+v, want %d hits / %d misses", st, wantMisses, wantMisses)
+	}
+	if st.Entries != len(s.Groups) {
+		t.Errorf("entries = %d, want %d", st.Entries, len(s.Groups))
+	}
+	if hr := st.HitRate(); hr != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", hr)
+	}
+	if (CacheStats{}).HitRate() != 0 {
+		t.Error("empty stats hit rate not 0")
+	}
+}
+
+// TestCacheArchIsolation: two architectures must never share entries.
+func TestCacheArchIsolation(t *testing.T) {
+	a := arch.GArch72()
+	b := arch.GArch72()
+	b.GLBPerCore = 512 // same geometry, infeasible buffers
+	b.Name = "tiny-glb"
+	cache := NewCache()
+
+	sa := cacheTestScheme(t, &a)
+	ra := NewWithCache(&a, cache).Evaluate(sa)
+	if !ra.Feasible {
+		t.Fatal("GArch72 should be feasible")
+	}
+	sb := cacheTestScheme(t, &b)
+	rb := NewWithCache(&b, cache).Evaluate(sb)
+	if rb.Feasible {
+		t.Fatal("512-byte GLB served a feasible result (arch aliasing)")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	cfg := arch.GArch72()
+	cache := NewCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := cacheTestScheme(t, &cfg)
+			ev := NewWithCache(&cfg, cache)
+			for i := 0; i < 20; i++ {
+				if r := ev.Evaluate(s); !r.Feasible {
+					t.Error("infeasible under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Errorf("no hits under concurrent reuse: %+v", st)
+	}
+}

@@ -88,6 +88,12 @@ type Evaluator struct {
 
 	memoMu    sync.Mutex
 	groupMemo map[groupKey]GroupResult
+
+	// shared, when set, replaces the per-evaluator memo with a cache shared
+	// across evaluators (and so across DSE candidates and runs); archFP is
+	// this evaluator's ConfigFingerprint, computed once.
+	shared *Cache
+	archFP uint64
 }
 
 type groupKey struct {
@@ -137,6 +143,23 @@ func New(cfg *arch.Config) *Evaluator {
 	return e
 }
 
+// UseCache switches the evaluator from its private memo to a shared cache.
+// Must be called before the first evaluation and never concurrently with
+// one. Results served from the shared cache are bit-identical to locally
+// computed ones: the cache stores exactly what the private memo would.
+func (e *Evaluator) UseCache(c *Cache) {
+	e.shared = c
+	e.archFP = ConfigFingerprint(e.Cfg)
+}
+
+// NewWithCache builds an evaluator whose group-result memo is the shared
+// cache c instead of a private map.
+func NewWithCache(cfg *arch.Config, c *Cache) *Evaluator {
+	e := New(cfg)
+	e.UseCache(c)
+	return e
+}
+
 func (e *Evaluator) coreParams() intracore.Core {
 	return intracore.Core{MACs: e.Cfg.MACsPerCore, GLB: e.Cfg.GLBPerCore, FreqGHz: e.Cfg.FreqGHz}
 }
@@ -146,7 +169,18 @@ func (e *Evaluator) coreParams() intracore.Core {
 // encoding, batch, cross-group data placement and energy parameters) is
 // returned without re-analysis.
 func (e *Evaluator) EvaluateGroup(s *core.Scheme, gi int) GroupResult {
-	key := groupKey{graph: s.Graph, fp: e.groupFingerprint(s, gi)}
+	fp := e.groupFingerprint(s, gi)
+	if e.shared != nil {
+		key := CacheKey{Arch: e.archFP, Graph: s.Graph, FP: fp}
+		if r, ok := e.shared.get(key); ok {
+			return r
+		}
+		r := e.computeGroup(s, gi)
+		e.shared.put(key, r)
+		return r
+	}
+
+	key := groupKey{graph: s.Graph, fp: fp}
 	e.memoMu.Lock()
 	if r, ok := e.groupMemo[key]; ok {
 		e.memoMu.Unlock()
@@ -154,12 +188,7 @@ func (e *Evaluator) EvaluateGroup(s *core.Scheme, gi int) GroupResult {
 	}
 	e.memoMu.Unlock()
 
-	sc := e.scratch.Get().(*evalScratch)
-	var r GroupResult
-	if err := core.AnalyzeInto(sc.an, s, gi, e.Cfg); err == nil {
-		r = e.evaluateAnalysis(sc, s.Batch)
-	}
-	e.scratch.Put(sc)
+	r := e.computeGroup(s, gi)
 
 	e.memoMu.Lock()
 	if len(e.groupMemo) >= groupMemoLimit {
@@ -167,6 +196,17 @@ func (e *Evaluator) EvaluateGroup(s *core.Scheme, gi int) GroupResult {
 	}
 	e.groupMemo[key] = r
 	e.memoMu.Unlock()
+	return r
+}
+
+// computeGroup runs the Analyze/explore/traffic pipeline for one group.
+func (e *Evaluator) computeGroup(s *core.Scheme, gi int) GroupResult {
+	sc := e.scratch.Get().(*evalScratch)
+	var r GroupResult
+	if err := core.AnalyzeInto(sc.an, s, gi, e.Cfg); err == nil {
+		r = e.evaluateAnalysis(sc, s.Batch)
+	}
+	e.scratch.Put(sc)
 	return r
 }
 

@@ -11,6 +11,7 @@ import (
 	"math"
 	"runtime"
 	"strings"
+	"sync"
 
 	"gemini/internal/arch"
 	"gemini/internal/cost"
@@ -30,6 +31,69 @@ type Options struct {
 	Batches      []int
 	Workers      int
 	Seed         int64
+
+	// Session, when set, runs every figure's sweeps and mappings through
+	// one shared DSE session, so the figures reuse each other's warm
+	// evaluation-cache entries (Fig. 6 and Fig. 7 sweep the same space;
+	// Fig. 8's factor-1 joint candidates revisit its base sweep).
+	Session *dse.Session
+}
+
+// run dispatches a candidate sweep through the shared session when one is
+// configured.
+func (o Options) run(cands []arch.Config, models []*dnn.Graph, d dse.Options) []dse.CandidateResult {
+	if o.Session != nil {
+		return o.Session.Run(cands, models, d)
+	}
+	return dse.Run(cands, models, d)
+}
+
+// mapModel dispatches a single mapping likewise.
+func (o Options) mapModel(cfg *arch.Config, g *dnn.Graph, d dse.Options) (*dse.MapResult, error) {
+	if o.Session != nil {
+		return o.Session.MapModel(cfg, g, d)
+	}
+	return dse.MapModel(cfg, g, d)
+}
+
+// jointRun dispatches the chiplet-reuse exploration likewise.
+func (o Options) jointRun(bases []arch.Config, factors []int, models []*dnn.Graph, d dse.Options) []dse.JointResult {
+	if o.Session != nil {
+		return o.Session.JointRun(bases, factors, models, d)
+	}
+	return dse.JointRun(bases, factors, models, d)
+}
+
+// Workload graphs are cached per process so every figure maps the same
+// *dnn.Graph instance: the evaluators' memos and the session's shared
+// cache key groups by graph identity, so stable instances are what make
+// cross-figure warm hits possible. Graphs are read-only after construction.
+var (
+	modelMu    sync.Mutex
+	modelCache = map[string]*dnn.Graph{}
+)
+
+func cachedModel(name string) *dnn.Graph {
+	modelMu.Lock()
+	defer modelMu.Unlock()
+	if g, ok := modelCache[name]; ok {
+		return g
+	}
+	var g *dnn.Graph
+	switch name {
+	case "tinycnn":
+		g = dnn.TinyCNN()
+	case "tinytransformer":
+		g = dnn.TinyTransformer()
+	default:
+		var err error
+		g, err = dnn.Model(name)
+		if err != nil {
+			panic(err)
+		}
+	}
+	modelCache[name] = g
+	return g
 }
 
 // QuickOptions returns the bench-friendly fidelity.
@@ -52,15 +116,11 @@ func (o Options) workers() int {
 // models returns the Fig. 5 workload list (paper Sec. VI-A3).
 func (o Options) models() []*dnn.Graph {
 	if o.Quick {
-		return []*dnn.Graph{dnn.TinyCNN(), dnn.TinyTransformer()}
+		return []*dnn.Graph{cachedModel("tinycnn"), cachedModel("tinytransformer")}
 	}
 	out := make([]*dnn.Graph, 0, 5)
 	for _, n := range []string{"resnet50", "resnext50", "inceptionresnet", "pnasnet", "transformer"} {
-		g, err := dnn.Model(n)
-		if err != nil {
-			panic(err)
-		}
-		out = append(out, g)
+		out = append(out, cachedModel(n))
 	}
 	return out
 }
@@ -69,15 +129,11 @@ func (o Options) models() []*dnn.Graph {
 // TF-Large).
 func (o Options) fig8Models() []*dnn.Graph {
 	if o.Quick {
-		return []*dnn.Graph{dnn.TinyCNN()}
+		return []*dnn.Graph{cachedModel("tinycnn")}
 	}
 	out := make([]*dnn.Graph, 0, 5)
 	for _, n := range []string{"resnet50", "inceptionresnet", "pnasnet", "googlenet", "transformerlarge"} {
-		g, err := dnn.Model(n)
-		if err != nil {
-			panic(err)
-		}
-		out = append(out, g)
+		out = append(out, cachedModel(n))
 	}
 	return out
 }

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"gemini/internal/dse"
 )
 
 func quick() Options {
@@ -203,5 +205,59 @@ func TestSpaceSizesTable(t *testing.T) {
 	PrintSpaceSizes(&sb)
 	if !strings.Contains(sb.String(), "Sec. IV-B") {
 		t.Error("print incomplete")
+	}
+}
+
+// TestSharedSessionAcrossFigures pins the cross-figure session reuse: Fig. 6
+// and Fig. 7 sweep the same tiny space, so running them through one session
+// must produce identical results to sessionless runs while the second
+// figure's sweep lands on a warm shared cache.
+func TestSharedSessionAcrossFigures(t *testing.T) {
+	plain := quick()
+	want6, err := Fig6(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want7, err := Fig7(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := quick()
+	shared.Session = dse.NewSession()
+	got6, err := Fig6(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFig6 := shared.Session.CacheStats()
+	got7, err := Fig7(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFig7 := shared.Session.CacheStats()
+
+	if len(got6.Points) != len(want6.Points) {
+		t.Fatalf("fig6 points: %d vs %d", len(got6.Points), len(want6.Points))
+	}
+	for i := range want6.Points {
+		if want6.Points[i] != got6.Points[i] {
+			t.Errorf("fig6 point %d differs: %+v vs %+v", i, want6.Points[i], got6.Points[i])
+		}
+	}
+	if len(got7.Rows) != len(want7.Rows) {
+		t.Fatalf("fig7 rows: %d vs %d", len(got7.Rows), len(want7.Rows))
+	}
+	for i := range want7.Rows {
+		if want7.Rows[i] != got7.Rows[i] {
+			t.Errorf("fig7 row %d differs: %+v vs %+v", i, want7.Rows[i], got7.Rows[i])
+		}
+	}
+
+	// Fig. 7 re-sweeps Fig. 6's 128 TOPs space under identical options, so
+	// its cells resume from the session checkpoint (and anything re-mapped
+	// rides the warm cache).
+	if shared.Session.ResumedCells() == 0 && afterFig7.Hits <= afterFig6.Hits {
+		t.Errorf("fig7 reused nothing: resumed=%d, hits %d -> %d",
+			shared.Session.ResumedCells(), afterFig6.Hits, afterFig7.Hits)
 	}
 }

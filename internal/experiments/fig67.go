@@ -45,13 +45,9 @@ type Fig6Result struct {
 // fig6Workload is the DSE workload (Transformer per Sec. VI-A1).
 func fig6Workload(opt Options) []*dnn.Graph {
 	if opt.Quick {
-		return []*dnn.Graph{dnn.TinyTransformer()}
+		return []*dnn.Graph{cachedModel("tinytransformer")}
 	}
-	g, err := dnn.Model("transformer")
-	if err != nil {
-		panic(err)
-	}
-	return []*dnn.Graph{g}
+	return []*dnn.Graph{cachedModel("transformer")}
 }
 
 // Fig6 sweeps the candidate spaces of the given TOPS targets and reports
@@ -78,7 +74,7 @@ func Fig6(opt Options, spaces ...dse.Space) (*Fig6Result, error) {
 	for _, sp := range spaces {
 		cands := sp.Enumerate()
 		d := opt.dseOptions(batch)
-		results := dse.Run(cands, models, d)
+		results := opt.run(cands, models, d)
 		// Normalize to the MC*E*D optimum.
 		best := dse.Best(results)
 		if best == nil {
@@ -210,7 +206,7 @@ func Fig7(opt Options, spaceOverride ...dse.Space) (*Fig7Result, error) {
 		batch = opt.Batches[len(opt.Batches)-1]
 	}
 	cands := sp.Enumerate()
-	results := dse.Run(cands, models, opt.dseOptions(batch))
+	results := opt.run(cands, models, opt.dseOptions(batch))
 	res := &Fig7Result{}
 	for _, o := range FourObjectives {
 		var win *dse.CandidateResult

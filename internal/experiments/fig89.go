@@ -7,7 +7,6 @@ import (
 
 	"gemini/internal/arch"
 	"gemini/internal/core"
-	"gemini/internal/dnn"
 	"gemini/internal/dse"
 	"gemini/internal/eval"
 	"gemini/internal/noc"
@@ -67,8 +66,8 @@ func Fig8(opt Options) (*Fig8Result, error) {
 	if opt.Quick {
 		sp128, sp512 = tinySpace(dse.Space128()), tinySpace(dse.Space512())
 	}
-	r128 := dse.Run(sp128.Enumerate(), models, d)
-	r512 := dse.Run(sp512.Enumerate(), models, d)
+	r128 := opt.run(sp128.Enumerate(), models, d)
+	r512 := opt.run(sp512.Enumerate(), models, d)
 	best128, best512 := dse.Best(r128), dse.Best(r512)
 	if best128 == nil || best512 == nil {
 		return nil, fmt.Errorf("fig8: no feasible optimum")
@@ -84,7 +83,7 @@ func Fig8(opt Options) (*Fig8Result, error) {
 			break
 		}
 	}
-	joint := dse.JointRun(bases, []int{1, 4}, models, d)
+	joint := opt.jointRun(bases, []int{1, 4}, models, d)
 	var jbest *dse.JointResult
 	for i := range joint {
 		if joint[i].Feasible {
@@ -99,7 +98,7 @@ func Fig8(opt Options) (*Fig8Result, error) {
 	mce := func(r *dse.CandidateResult) float64 { return r.MC.Total() * r.Energy * r.Delay }
 
 	evalOne := func(cfg arch.Config) (*dse.CandidateResult, error) {
-		rs := dse.Run([]arch.Config{cfg}, models, d)
+		rs := opt.run([]arch.Config{cfg}, models, d)
 		if len(rs) == 0 || !rs[0].Feasible {
 			return nil, fmt.Errorf("fig8: %s infeasible", cfg.Name)
 		}
@@ -236,10 +235,7 @@ type Fig9Result struct {
 // heuristic and with the SA search, then renders both traffic heatmaps.
 func Fig9(opt Options) (*Fig9Result, error) {
 	cfg := arch.GArch72()
-	g, err := dnn.Model("transformer")
-	if err != nil {
-		return nil, err
-	}
+	g := cachedModel("transformer")
 	// Locate the first attention block: l0.qk -> l0.sm -> l0.av.
 	var layers []int
 	for _, l := range g.Layers {

@@ -41,13 +41,9 @@ func ChipletGranularity(opt Options) (*GranularityResult, error) {
 	base := arch.GArch72()
 	var model *dnn.Graph
 	if opt.Quick {
-		model = dnn.TinyTransformer()
+		model = cachedModel("tinytransformer")
 	} else {
-		var err error
-		model, err = dnn.Model("transformer")
-		if err != nil {
-			return nil, err
-		}
+		model = cachedModel("transformer")
 	}
 	batch := 64
 	if len(opt.Batches) > 0 {
@@ -66,7 +62,7 @@ func ChipletGranularity(opt Options) (*GranularityResult, error) {
 		if cfg.Validate() != nil {
 			continue
 		}
-		mr, err := dse.MapModel(&cfg, model, d)
+		mr, err := opt.mapModel(&cfg, model, d)
 		if err != nil {
 			return nil, fmt.Errorf("granularity: %d chiplets: %w", c.x*c.y, err)
 		}
@@ -146,13 +142,9 @@ type CoreGranularityResult struct {
 func CoreGranularity(opt Options) (*CoreGranularityResult, error) {
 	var model *dnn.Graph
 	if opt.Quick {
-		model = dnn.TinyTransformer()
+		model = cachedModel("tinytransformer")
 	} else {
-		var err error
-		model, err = dnn.Model("transformer")
-		if err != nil {
-			return nil, err
-		}
+		model = cachedModel("transformer")
 	}
 	batch := 64
 	if len(opt.Batches) > 0 {
@@ -178,7 +170,7 @@ func CoreGranularity(opt Options) (*CoreGranularityResult, error) {
 		if cfg.Validate() != nil {
 			continue
 		}
-		mr, err := dse.MapModel(&cfg, model, d)
+		mr, err := opt.mapModel(&cfg, model, d)
 		if err != nil {
 			return nil, fmt.Errorf("core granularity: %d cores: %w", cores, err)
 		}

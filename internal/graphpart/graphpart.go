@@ -6,6 +6,7 @@
 package graphpart
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -14,6 +15,12 @@ import (
 	"gemini/internal/dnn"
 	"gemini/internal/eval"
 )
+
+// ErrInfeasible marks partition failures where the pipeline ran correctly
+// but no candidate segmentation fits the architecture (e.g. a GLB too small
+// for any stripe mapping). Callers distinguish it from infrastructure
+// errors with errors.Is.
+var ErrInfeasible = errors.New("graphpart: no feasible partition")
 
 // Options configures the partitioner.
 type Options struct {
@@ -122,7 +129,7 @@ func Partition(g *dnn.Graph, cfg *arch.Config, ev *eval.Evaluator, batch int, op
 		}
 	}
 	if math.IsInf(dp[n], 1) {
-		return nil, fmt.Errorf("graphpart: no feasible partition for %s on %s", g.Name, cfg.Name)
+		return nil, fmt.Errorf("%w for %s on %s", ErrInfeasible, g.Name, cfg.Name)
 	}
 
 	// Reconstruct.

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the PR-2 DSE-session benchmark set — cold vs warm shared-cache sweep,
+# restarts=1 vs restarts=4 portfolios — plus the PR-1 hot-loop benchmarks,
+# and emits a BENCH_2-style JSON report on stdout: ns/op, B/op and allocs/op
+# per benchmark. CI uploads the result as an artifact and gates on
+# cmd/bench-compare (>10% regression vs the committed BENCH_1.json fails the
+# build; the warm sweep must stay >= 2x faster than cold).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-10x}"
+PATTERN='BenchmarkSAOptimize$|BenchmarkEvaluateGroup$|BenchmarkDSESessionSweepCold$|BenchmarkDSESessionSweepWarm$|BenchmarkDSESweepRestarts1$|BenchmarkDSESweepRestarts4$'
+OUT="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime="$BENCHTIME" .)"
+
+echo "$OUT" >&2
+
+echo "$OUT" | awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "B/op") bytes = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	if (!first) printf ",\n"
+	first = 0
+	printf "  \"%s\": { \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s }", name, ns, bytes, allocs
+}
+END { print "\n}" }
+'
