@@ -6,6 +6,7 @@
 package gemini
 
 import (
+	"fmt"
 	"testing"
 
 	"gemini/internal/arch"
@@ -241,6 +242,81 @@ func BenchmarkDSESweepRestarts1(b *testing.B) { benchRestarts(b, 1) }
 // BenchmarkDSESweepRestarts4 runs a 4-seed SA portfolio per (candidate,
 // model) cell; the shared cache keeps the cost well under 4x restarts=1.
 func BenchmarkDSESweepRestarts4(b *testing.B) { benchRestarts(b, 4) }
+
+// --- Sweep scheduler benchmarks (BENCH_3): grid vs bound-ordered dispatch,
+// fixed vs adaptive SA portfolios, under bound pruning. ---
+
+// schedulerBench returns a pruning-friendly sweep: the three GArch72-class
+// variants of sweepBench plus five down-clocked (same monetary cost, 64-256x
+// lower peak throughput) candidates whose delay lower bound is hopeless
+// under MC*E*D once any full-speed candidate has finished. The weak
+// candidates come FIRST in grid order, so the naive schedule maps all of
+// them before the incumbent exists, while the bound-ordered schedule runs
+// the full-speed candidates first and prunes the weak tail without mapping
+// it. Workers are pinned so the schedule (and therefore the headline) does
+// not depend on the host's core count.
+func schedulerBench() ([]arch.Config, []*dnn.Graph, dse.Options) {
+	strong, models, opt := sweepBench()
+	var cands []arch.Config
+	for _, div := range []float64{64, 96, 128, 192, 256} {
+		w := arch.GArch72()
+		w.FreqGHz /= div
+		w.Name = fmt.Sprintf("%s-slow%d", w.Name, int(div))
+		cands = append(cands, w)
+	}
+	cands = append(cands, strong...)
+	opt.Prune = true
+	opt.Restarts = 4
+	opt.Workers = 4
+	return cands, models, opt
+}
+
+// benchScheduler runs the scheduler sweep at the given order/patience and
+// reports the scheduler's work-saved accounting as custom metrics.
+func benchScheduler(b *testing.B, order dse.SweepOrder, patience int) *dse.CandidateResult {
+	cands, models, opt := schedulerBench()
+	opt.Order = order
+	opt.Patience = patience
+	var best *dse.CandidateResult
+	var stats dse.SweepStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ses := dse.NewSession()
+		best = dse.Best(ses.Run(cands, models, opt))
+		if best == nil {
+			b.Fatal("no feasible candidate")
+		}
+		stats = ses.LastSweepStats()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(stats.PrunedCandidates), "pruned_candidates")
+	b.ReportMetric(float64(stats.AbandonedRestarts), "abandoned_restarts")
+	b.ReportMetric(float64(stats.SkippedRestarts), "skipped_restarts")
+	return best
+}
+
+// BenchmarkDSESweepGridFixed is the pre-scheduler baseline: grid dispatch
+// order, full fixed 4-restart portfolios.
+func BenchmarkDSESweepGridFixed(b *testing.B) { benchScheduler(b, dse.OrderGrid, 0) }
+
+// BenchmarkDSESweepOrdered dispatches in ascending lower-bound order with
+// the same fixed portfolios: pruning soundness guarantees the same best
+// result, the weak tail just never gets mapped.
+func BenchmarkDSESweepOrdered(b *testing.B) {
+	got := benchScheduler(b, dse.OrderBound, 0)
+	b.StopTimer()
+	cands, models, opt := schedulerBench()
+	opt.Order = dse.OrderGrid
+	want := dse.Best(dse.Run(cands, models, opt))
+	if want == nil || got.Obj != want.Obj || got.Cfg.Name != want.Cfg.Name {
+		b.Fatalf("ordered sweep best %s (%g) differs from grid %s (%g)",
+			got.Cfg.Name, got.Obj, want.Cfg.Name, want.Obj)
+	}
+}
+
+// BenchmarkDSESweepAdaptive adds the adaptive portfolio: bound order plus
+// patience-1 early stopping of non-improving restarts.
+func BenchmarkDSESweepAdaptive(b *testing.B) { benchScheduler(b, dse.OrderBound, 1) }
 
 // --- Micro-benchmarks of the framework's hot paths. ---
 

@@ -83,6 +83,7 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 10, "max allowed regression in percent (ns/op and allocs/op)")
 	nsGate := flag.Bool("ns-gate", true, "fail on ns/op regressions; disable when old and new reports come from different machines (allocs/op stays gated — it is machine-independent)")
 	warmFactor := flag.Float64("warm-factor", 2, "required cold/warm speedup of the DSE session sweep in the new report (0 disables); cold and warm come from the same run, so this check is machine-relative")
+	orderedFactor := flag.Float64("ordered-factor", 0, "required grid/ordered speedup of the pruning-enabled scheduler sweep in the new report (0 disables); both come from the same run, so this check is machine-relative")
 	flag.Parse()
 	if *newPath == "" {
 		log.Fatal("-new is required")
@@ -149,6 +150,22 @@ func main() {
 			failed = true
 		default:
 			fmt.Printf("ok   warm-cache sweep speedup %.2fx (>= %.2fx)\n", cold.NsPerOp/warm.NsPerOp, *warmFactor)
+		}
+	}
+
+	if *orderedFactor > 0 {
+		grid, okG := newB["BenchmarkDSESweepGridFixed"]
+		ordered, okO := newB["BenchmarkDSESweepOrdered"]
+		switch {
+		case !okG || !okO:
+			fmt.Printf("FAIL ordered-sweep check: grid/ordered scheduler benchmarks missing from %s\n", *newPath)
+			failed = true
+		case grid.NsPerOp < *orderedFactor*ordered.NsPerOp:
+			fmt.Printf("FAIL bound-ordered sweep speedup %.2fx < required %.2fx (grid %.6g ns, ordered %.6g ns)\n",
+				grid.NsPerOp/ordered.NsPerOp, *orderedFactor, grid.NsPerOp, ordered.NsPerOp)
+			failed = true
+		default:
+			fmt.Printf("ok   bound-ordered sweep speedup %.2fx (>= %.2fx)\n", grid.NsPerOp/ordered.NsPerOp, *orderedFactor)
 		}
 	}
 

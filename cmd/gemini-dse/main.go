@@ -37,6 +37,8 @@ func main() {
 	batch := flag.Int("batch", 64, "batch size (64 = throughput scenario)")
 	saIters := flag.Int("sa", 600, "SA iterations per candidate/model mapping")
 	restarts := flag.Int("restarts", 1, "SA portfolio width per (candidate, model) cell")
+	patience := flag.Int("patience", 0, "stop a cell's SA portfolio after N consecutive non-improving restarts (0 = always run all restarts)")
+	order := flag.String("order", "bound", "candidate dispatch order: bound (ascending objective lower bound, tightens the pruning incumbent early) or grid (enumeration order)")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	alpha := flag.Float64("alpha", 1, "MC exponent of the objective")
 	beta := flag.Float64("beta", 1, "energy exponent of the objective")
@@ -76,9 +78,18 @@ func main() {
 	opt.Batch = *batch
 	opt.SAIterations = *saIters
 	opt.Restarts = *restarts
+	opt.Patience = *patience
 	opt.Workers = *workers
 	opt.Objective = dse.Objective{Alpha: *alpha, Beta: *beta, Gamma: *gamma}
 	opt.Prune = *prune
+	switch *order {
+	case "bound":
+		opt.Order = dse.OrderBound
+	case "grid":
+		opt.Order = dse.OrderGrid
+	default:
+		log.Fatalf("unsupported -order %q (want bound or grid)", *order)
+	}
 
 	ses := dse.NewSession()
 	ses.Logf = log.Printf
@@ -97,8 +108,8 @@ func main() {
 
 	cands := sp.Enumerate()
 	total := len(cands)
-	fmt.Printf("space %s: %d candidates, %d workload(s), batch %d, restarts %d\n",
-		sp.Name, total, len(graphs), *batch, *restarts)
+	fmt.Printf("space %s: %d candidates, %d workload(s), batch %d, restarts %d (patience %d), order %s\n",
+		sp.Name, total, len(graphs), *batch, *restarts, *patience, opt.Order)
 	done := 0
 	if *stream {
 		opt.OnResult = func(r dse.CandidateResult) {
@@ -119,8 +130,19 @@ func main() {
 	results := ses.Run(cands, graphs, opt)
 	fmt.Printf("explored in %v\n", time.Since(start).Round(time.Second))
 	st := ses.CacheStats()
-	fmt.Printf("shared cache: %d hits / %d misses (%.1f%% hit rate), %d entries; %d cells resumed\n\n",
+	fmt.Printf("shared cache: %d hits / %d misses (%.1f%% hit rate), %d entries; %d cells resumed\n",
 		st.Hits, st.Misses, 100*st.HitRate(), st.Entries, ses.ResumedCells())
+	ss := ses.LastSweepStats()
+	fmt.Printf("scheduler: order=%s, %d/%d candidates pruned, %d cells resumed, %d restarts abandoned by the incumbent, %d skipped by patience\n",
+		ss.Order, ss.PrunedCandidates, ss.Candidates, ss.ResumedCells, ss.AbandonedRestarts, ss.SkippedRestarts)
+	if len(ss.Trajectory) > 0 {
+		fmt.Print("incumbent trajectory:")
+		for _, step := range ss.Trajectory {
+			fmt.Printf("  %.4g (%s)", step.Obj, step.Candidate)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
 
 	if *resume != "" {
 		f, err := os.Create(*resume)

@@ -41,6 +41,29 @@ func lowerBoundED(cfg *arch.Config, g *dnn.Graph, p *eval.Params, batch int) (eL
 	return eLB, dLB
 }
 
+// boundParams resolves the technology constants the lower bounds use:
+// Options.BoundParams when set, otherwise the evaluator defaults. The
+// session's evaluators always charge eval.DefaultParams(), so an override
+// is clamped to never exceed the defaults on the constants the bound
+// consumes — a "lower bound" computed from larger constants than the
+// evaluation actually charges would not bound the evaluated objective, and
+// pruning could discard the true optimum. Overrides can therefore only
+// loosen (lower) the bound, never unsoundly tighten it; bounds only
+// schedule and prune, so the choice is not part of the checkpoint
+// fingerprint.
+func boundParams(opt Options) *eval.Params {
+	p := eval.DefaultParams()
+	if bp := opt.BoundParams; bp != nil {
+		if bp.MACpJ < p.MACpJ {
+			p.MACpJ = bp.MACpJ
+		}
+		if bp.DRAMpJPerByte < p.DRAMpJPerByte {
+			p.DRAMpJPerByte = bp.DRAMpJPerByte
+		}
+	}
+	return &p
+}
+
 // pruneBound computes the candidate's objective lower bound over a model
 // set: MC^alpha * geomean(lowerBound(E))^beta * geomean(lowerBound(D))^gamma,
 // accumulated in log space like reduceCandidate. It is only a bound when

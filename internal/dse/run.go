@@ -54,8 +54,30 @@ type Options struct {
 	// non-winning candidates get pruned depends on completion order, so
 	// pruned rows carry Pruned=true rather than silently vanishing. Pruning
 	// is disabled when any exponent is negative (the bound is only a bound
-	// for monotone objectives).
+	// for monotone objectives). The incumbent is live: it is re-read before
+	// every cell and between SA restarts, and it is seeded from checkpointed
+	// cells on resumed sessions, so the gate tightens as early as possible.
 	Prune bool
+	// Order selects the candidate dispatch order: OrderBound schedules
+	// candidates in ascending objective-lower-bound order so the pruning
+	// incumbent tightens before expensive candidates run; OrderGrid (and
+	// the zero value) keeps enumeration order. Order never changes which
+	// results are computed when pruning is off, only their schedule, so it
+	// is excluded from the checkpoint fingerprint.
+	Order SweepOrder
+	// Patience makes the per-cell SA portfolio adaptive: the portfolio
+	// stops after this many consecutive non-improving restarts. 0 (and any
+	// value >= Restarts) runs the full fixed schedule, bit-identical to the
+	// pre-adaptive engine.
+	Patience int
+	// BoundParams loosens the technology constants the pruning lower
+	// bounds are computed from (default: eval.DefaultParams()). Because the
+	// evaluation itself always charges the defaults, overrides are clamped
+	// to never exceed them — raising a bound constant above what the
+	// evaluator charges would let pruning discard the true optimum. Bounds
+	// only schedule and prune — they never change a mapping — so the field
+	// is excluded from the checkpoint fingerprint.
+	BoundParams *eval.Params `json:"-"`
 	// OnResult, when set, streams each candidate's result as soon as it
 	// completes (including pruned and errored candidates). Calls are
 	// serialized but arrive in completion order, not candidate order.
@@ -71,6 +93,7 @@ func DefaultOptions() Options {
 		Restarts:     1,
 		Seed:         1,
 		BatchUnits:   []int{1, 2, 4, 8},
+		Order:        OrderBound,
 	}
 }
 
@@ -85,14 +108,27 @@ type MapResult struct {
 	AvgLayersPerGroup float64
 
 	// Restarts and BestRestart describe the SA portfolio that produced this
-	// result (1/0 for a single-seed run).
-	Restarts    int
-	BestRestart int
+	// result (1/0 for a single-seed run). Restarts counts the restarts that
+	// actually ran; SkippedRestarts counts planned restarts that portfolio
+	// patience stopped early (0 for fixed schedules and restored cells).
+	Restarts        int
+	BestRestart     int
+	SkippedRestarts int
 
 	// Summary marks results restored from a session checkpoint: energies,
 	// delays and group statistics are exact, but per-group evaluation detail
 	// and SA trajectory counters were not serialized.
 	Summary bool
+}
+
+// abandonedError marks a cell whose SA portfolio the scheduler's live
+// incumbent cut off mid-flight. It is internal to the sweep machinery: the
+// candidate is reported Pruned, never errored, and the partial cell is not
+// checkpointed.
+type abandonedError struct{ done, planned int }
+
+func (e *abandonedError) Error() string {
+	return fmt.Sprintf("dse: portfolio abandoned by incumbent after %d/%d restarts", e.done, e.planned)
 }
 
 // MapModel runs the full Mapping Engine pipeline for one DNN on one
@@ -101,13 +137,14 @@ type MapResult struct {
 // as an error wrapping ErrInfeasible; any other error is an infrastructure
 // failure.
 func MapModel(cfg *arch.Config, g *dnn.Graph, opt Options) (*MapResult, error) {
-	return mapModelEval(eval.New(cfg), cfg, g, opt)
+	return mapModelEval(eval.New(cfg), cfg, g, opt, nil)
 }
 
 // mapModelEval is MapModel on a caller-supplied evaluator, so sessions can
 // reuse warm evaluators (route tables, intra-core memo, shared group cache)
-// across candidates and runs.
-func mapModelEval(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, opt Options) (*MapResult, error) {
+// across candidates and runs. stop, when non-nil, is polled between SA
+// restarts; if it fires, the cell is abandoned with an abandonedError.
+func mapModelEval(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, opt Options, stop func() bool) (*MapResult, error) {
 	gp := graphpart.DefaultOptions()
 	gp.Beta, gp.Gamma = opt.Objective.Beta, opt.Objective.Gamma
 	if opt.MaxGroupLayers > 0 {
@@ -127,7 +164,11 @@ func mapModelEval(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, opt Option
 	so.Iterations = opt.SAIterations
 	so.Seed = opt.Seed
 	so.Beta, so.Gamma = opt.Objective.Beta, opt.Objective.Gamma
-	pf := sa.MultiStart(part.Scheme, ev, so, opt.Restarts)
+	pf := sa.MultiStartAdaptive(part.Scheme, ev, so, opt.Restarts,
+		sa.AdaptiveOptions{Patience: activePatience(opt), Stop: stop})
+	if pf.Abandoned {
+		return nil, &abandonedError{done: len(pf.Costs), planned: pf.Planned}
+	}
 	res := pf.Best
 	if !res.Eval.Feasible {
 		return nil, fmt.Errorf("%w for %s on %s", ErrInfeasible, g.Name, cfg.Name)
@@ -142,15 +183,24 @@ func mapModelEval(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, opt Option
 		AvgLayersPerGroup: eval.AvgLayersPerGroup(res.Scheme),
 		Restarts:          len(pf.Costs),
 		BestRestart:       pf.BestRestart,
+		SkippedRestarts:   pf.Skipped(),
 	}, nil
 }
 
 // pairOutcome is one (candidate, model) mapping cell: a result, an
 // infeasibility (mr == nil, err wraps ErrInfeasible), or an infrastructure
-// error (mr == nil, any other err).
+// error (mr == nil, any other err). The scheduler accounting fields ride
+// along: restored cells came from the checkpoint, skippedRestarts were
+// saved by portfolio patience, and an abandoned cell was cut off by the
+// live incumbent (no settled outcome at all).
 type pairOutcome struct {
 	mr  *MapResult
 	err error
+
+	restored          bool
+	skippedRestarts   int
+	abandoned         bool
+	abandonedRestarts int
 }
 
 // infeasible reports whether the cell ran correctly but found no mapping.

@@ -1,0 +1,372 @@
+// Sweep scheduler: decides the order (candidate, model) cells are
+// dispatched in, owns the live pruning incumbent, and accounts for the work
+// the bound gate saved. The naive grid feed evaluates candidates in
+// enumeration order, so the incumbent tightens only after whatever happens
+// to be enumerated first completes; the bound-ordered schedule dispatches
+// cells in ascending objective-lower-bound order instead, so the candidates
+// most likely to produce a tight incumbent run first and the expensive,
+// hopeless tail is pruned without ever being mapped. On resumed sessions
+// the incumbent is additionally seeded from fully checkpointed candidates,
+// so pruning is active from the very first task.
+package dse
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gemini/internal/arch"
+	"gemini/internal/cost"
+	"gemini/internal/dnn"
+	"gemini/internal/eval"
+)
+
+// SweepOrder selects the candidate dispatch order of a sweep.
+type SweepOrder string
+
+const (
+	// OrderGrid dispatches candidates in enumeration (grid) order. The
+	// zero value "" behaves like OrderGrid.
+	OrderGrid SweepOrder = "grid"
+	// OrderBound dispatches candidates in ascending objective-lower-bound
+	// order, so cheap candidates tighten the pruning incumbent before
+	// expensive ones are attempted. With pruning off this only changes
+	// scheduling, never results.
+	OrderBound SweepOrder = "bound"
+)
+
+// IncumbentStep is one tightening of the pruning incumbent during a sweep.
+type IncumbentStep struct {
+	// Candidate names the feasible candidate that improved the incumbent;
+	// the synthetic name "(checkpoint seed)" marks the initial value
+	// restored from checkpointed cells.
+	Candidate string
+	Obj       float64
+}
+
+// SweepStats is the scheduler's per-sweep observability record.
+type SweepStats struct {
+	Order      SweepOrder
+	Candidates int
+	Cells      int // total (candidate, model) cells in the grid
+
+	// ResumedCells counts cells served from the checkpoint this sweep.
+	ResumedCells int
+	// PrunedCandidates counts candidates the bound gate skipped or cut off.
+	PrunedCandidates int
+	// AbandonedRestarts counts SA restarts never run because the live
+	// incumbent dominated a cell's candidate mid-portfolio.
+	AbandonedRestarts int
+	// SkippedRestarts counts SA restarts saved by portfolio patience.
+	SkippedRestarts int
+
+	// SeededIncumbent is the incumbent value restored from checkpointed
+	// cells before the first task ran (+Inf when nothing seeded).
+	SeededIncumbent float64
+	// Trajectory records every incumbent improvement in the order it
+	// happened, checkpoint seed included.
+	Trajectory []IncumbentStep
+}
+
+// incumbent is a sweep-scoped best-feasible-objective tracker for pruning.
+// It is deliberately NOT session-scoped: two Run calls may use different
+// objectives or batches, and an incumbent from one is no bound for the
+// other. get is lock-free (it is polled between SA restarts and before
+// every cell); note serializes improvements and the trajectory.
+type incumbent struct {
+	bits atomic.Uint64 // Float64bits of the current best
+
+	mu    sync.Mutex
+	steps []IncumbentStep
+}
+
+func newIncumbent() *incumbent {
+	in := &incumbent{}
+	in.bits.Store(math.Float64bits(math.Inf(1)))
+	return in
+}
+
+func (in *incumbent) get() float64 {
+	return math.Float64frombits(in.bits.Load())
+}
+
+func (in *incumbent) note(name string, obj float64) {
+	if math.IsNaN(obj) || math.IsInf(obj, 1) {
+		return
+	}
+	in.mu.Lock()
+	if obj < math.Float64frombits(in.bits.Load()) {
+		in.bits.Store(math.Float64bits(obj))
+		in.steps = append(in.steps, IncumbentStep{Candidate: name, Obj: obj})
+	}
+	in.mu.Unlock()
+}
+
+func (in *incumbent) trajectory() []IncumbentStep {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]IncumbentStep, len(in.steps))
+	copy(out, in.steps)
+	return out
+}
+
+// candState tracks one candidate's progress through the scheduler.
+type candState struct {
+	remaining atomic.Int32
+	pruned    atomic.Bool
+	lb        float64 // objective lower bound (0 when bounds are not in use)
+}
+
+// scheduler runs one sweep's (candidate, model) grid.
+type scheduler struct {
+	ses    *Session
+	cands  []arch.Config
+	models []*dnn.Graph
+	opt    Options
+	optFP  uint64
+	mce    *cost.Evaluator
+
+	prune  bool
+	inc    *incumbent
+	states []*candState
+	order  []int // candidate dispatch order
+
+	seeded    float64
+	resumed   atomic.Int64
+	pruned    atomic.Int64
+	abandoned atomic.Int64
+	skipped   atomic.Int64
+}
+
+// newScheduler computes per-candidate bounds, fixes the dispatch order and
+// seeds the incumbent from checkpointed cells.
+func (s *Session) newScheduler(cands []arch.Config, models []*dnn.Graph, opt Options) *scheduler {
+	sc := &scheduler{
+		ses:    s,
+		cands:  cands,
+		models: models,
+		opt:    opt,
+		optFP:  optsFingerprint(opt),
+		mce:    cost.New(),
+		inc:    newIncumbent(),
+		states: make([]*candState, len(cands)),
+		order:  make([]int, len(cands)),
+		seeded: math.Inf(1),
+	}
+	sc.prune = opt.Prune && objMonotone(opt.Objective)
+	if opt.Prune && !sc.prune {
+		s.logf("dse: pruning disabled: objective %+v is not monotone", opt.Objective)
+	}
+	ordered := opt.Order == OrderBound
+	for ci := range cands {
+		sc.states[ci] = &candState{}
+		sc.states[ci].remaining.Store(int32(len(models)))
+		sc.order[ci] = ci
+	}
+	if sc.prune || ordered {
+		params := boundParams(opt)
+		for ci := range cands {
+			sc.states[ci].lb = pruneBound(&cands[ci], models, params, opt,
+				sc.mce.Evaluate(&cands[ci]).Total())
+		}
+	}
+	if ordered {
+		sort.SliceStable(sc.order, func(a, b int) bool {
+			return sc.states[sc.order[a]].lb < sc.states[sc.order[b]].lb
+		})
+	}
+	if sc.prune {
+		sc.seedIncumbent()
+	}
+	return sc
+}
+
+// seedIncumbent restores the pruning incumbent from the checkpoint: any
+// candidate of this sweep whose every (candidate, model) cell is already
+// checkpointed feasible will be restored verbatim during the sweep, so its
+// folded objective is an achieved value — a sound incumbent before the
+// first task runs. Restricting the scan to this sweep's candidates keeps
+// the invariant that the sweep's true optimum can never be pruned.
+func (sc *scheduler) seedIncumbent() {
+	if len(sc.models) == 0 {
+		return
+	}
+	for ci := range sc.cands {
+		fp := eval.ConfigFingerprint(&sc.cands[ci])
+		per := make([]pairOutcome, len(sc.models))
+		complete := true
+		for mi, g := range sc.models {
+			rec, ok := sc.ses.peekCell(cellKey(fp, g.Name, sc.optFP))
+			if !ok || !rec.Feasible {
+				complete = false
+				break
+			}
+			per[mi] = rec.outcome()
+		}
+		if !complete {
+			continue
+		}
+		cr := reduceCandidate(&sc.cands[ci], per, sc.models, sc.mce, sc.opt)
+		if cr.Feasible {
+			sc.inc.note("(checkpoint seed)", cr.Obj)
+		}
+	}
+	sc.seeded = sc.inc.get()
+	if !math.IsInf(sc.seeded, 1) {
+		sc.ses.logf("dse: incumbent seeded from checkpoint: %.6g", sc.seeded)
+	}
+}
+
+// markPruned cuts a candidate off (idempotently) and logs the decision.
+func (sc *scheduler) markPruned(ci int, best float64) {
+	st := sc.states[ci]
+	if st.pruned.CompareAndSwap(false, true) {
+		sc.pruned.Add(1)
+		sc.ses.logf("dse: pruned %s: objective lower bound %.6g > best feasible %.6g",
+			sc.cands[ci].Name, st.lb, best)
+	}
+}
+
+// run executes the sweep and returns one CandidateResult per candidate, in
+// candidate order (unsorted).
+func (sc *scheduler) run() []CandidateResult {
+	nm := len(sc.models)
+	results := make([]CandidateResult, len(sc.cands))
+	per := make([][]pairOutcome, len(sc.cands))
+	for i := range sc.cands {
+		per[i] = make([]pairOutcome, nm)
+	}
+
+	var onMu sync.Mutex
+	finish := func(ci int) {
+		st := sc.states[ci]
+		var cr CandidateResult
+		if st.pruned.Load() {
+			cr = CandidateResult{
+				Cfg: sc.cands[ci], MC: sc.mce.Evaluate(&sc.cands[ci]),
+				Obj: math.Inf(1), Pruned: true, LowerBound: st.lb,
+			}
+		} else {
+			cr = reduceCandidate(&sc.cands[ci], per[ci], sc.models, sc.mce, sc.opt)
+			if cr.Feasible {
+				sc.inc.note(cr.Cfg.Name, cr.Obj)
+			}
+		}
+		results[ci] = cr
+		if sc.opt.OnResult != nil {
+			onMu.Lock()
+			sc.opt.OnResult(cr)
+			onMu.Unlock()
+		}
+	}
+
+	total := len(sc.cands) * nm
+	if total == 0 {
+		for ci := range sc.cands {
+			finish(ci)
+		}
+		sc.publishStats()
+		return results
+	}
+
+	workers := sc.opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range tasks {
+				sc.runTask(k, nm, per)
+				if sc.states[k/nm].remaining.Add(-1) == 0 {
+					finish(k / nm)
+				}
+			}
+		}()
+	}
+	// Feed cells candidate-major in the scheduled order, so a candidate's
+	// cells complete (and its objective lands in the incumbent) as early
+	// as possible.
+	for _, ci := range sc.order {
+		for mi := 0; mi < nm; mi++ {
+			tasks <- ci*nm + mi
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	sc.publishStats()
+	return results
+}
+
+// runTask executes one (candidate, model) cell under the live bound gate.
+func (sc *scheduler) runTask(k, nm int, per [][]pairOutcome) {
+	ci, mi := k/nm, k%nm
+	st := sc.states[ci]
+	key := cellKey(eval.ConfigFingerprint(&sc.cands[ci]), sc.models[mi].Name, sc.optFP)
+	if sc.prune && !st.pruned.Load() {
+		// The incumbent is live: re-check before every cell, not just the
+		// candidate's first, so a candidate whose remaining cells became
+		// hopeless mid-sweep is cut off. Checkpointed cells are exempt:
+		// restoring them is free, and discarding a finished result as
+		// "pruned" would make a resumed sweep report less than the run
+		// that produced the checkpoint.
+		if _, done := sc.ses.peekCell(key); !done {
+			if best := sc.inc.get(); st.lb > best {
+				sc.markPruned(ci, best)
+			}
+		}
+	}
+	if st.pruned.Load() {
+		return
+	}
+	var stop func() bool
+	if sc.prune && st.lb > 0 {
+		stop = func() bool { return st.lb > sc.inc.get() }
+	}
+	out := sc.ses.runCell(&sc.cands[ci], sc.models[mi], sc.opt, key, stop)
+	if out.abandoned {
+		// The portfolio walked away mid-cell because the incumbent already
+		// dominates this candidate's bound; the partial result is not a
+		// settled outcome, so it is neither recorded nor checkpointed.
+		sc.abandoned.Add(int64(out.abandonedRestarts))
+		sc.markPruned(ci, sc.inc.get())
+		return
+	}
+	if out.restored {
+		sc.resumed.Add(1)
+	}
+	sc.skipped.Add(int64(out.skippedRestarts))
+	per[ci][mi] = out
+}
+
+// publishStats folds the counters into the session's last-sweep stats and
+// logs the one-line summary.
+func (sc *scheduler) publishStats() {
+	order := sc.opt.Order
+	if order == "" {
+		order = OrderGrid
+	}
+	stats := SweepStats{
+		Order:             order,
+		Candidates:        len(sc.cands),
+		Cells:             len(sc.cands) * len(sc.models),
+		ResumedCells:      int(sc.resumed.Load()),
+		PrunedCandidates:  int(sc.pruned.Load()),
+		AbandonedRestarts: int(sc.abandoned.Load()),
+		SkippedRestarts:   int(sc.skipped.Load()),
+		SeededIncumbent:   sc.seeded,
+		Trajectory:        sc.inc.trajectory(),
+	}
+	sc.ses.setLastSweep(stats)
+	sc.ses.logf("dse: sweep done (order %s): %d candidates (%d pruned), %d cells (%d resumed), %d restarts abandoned, %d skipped by patience, incumbent %.6g",
+		order, stats.Candidates, stats.PrunedCandidates, stats.Cells, stats.ResumedCells,
+		stats.AbandonedRestarts, stats.SkippedRestarts, sc.inc.get())
+}

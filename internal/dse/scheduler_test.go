@@ -1,0 +1,369 @@
+package dse
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"gemini/internal/arch"
+	"gemini/internal/dnn"
+	"gemini/internal/eval"
+)
+
+// TestOrderedMatchesGridWithoutPruning pins the determinism satellite: with
+// pruning off, the bound-ordered schedule changes only dispatch order, so
+// the sorted result set must be bit-identical to grid order.
+func TestOrderedMatchesGridWithoutPruning(t *testing.T) {
+	cands := testCands()
+	big, err := ScaleUp(cands[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands = append(cands, big)
+	models := []*dnn.Graph{testCNN, testTF}
+
+	grid := testOptions()
+	grid.Order = OrderGrid
+	grid.Prune = false
+	bound := grid
+	bound.Order = OrderBound
+
+	want := NewSession().Run(cands, models, grid)
+	got := NewSession().Run(cands, models, bound)
+	resultsEqual(t, want, got, "bound-ordered vs grid")
+
+	// The scheduler must report the order it used.
+	ses := NewSession()
+	ses.Run(cands, models, bound)
+	if st := ses.LastSweepStats(); st.Order != OrderBound {
+		t.Errorf("stats order = %q, want %q", st.Order, OrderBound)
+	}
+}
+
+// TestBoundOrderDispatchesCheapFirst: the dispatch permutation must sort
+// candidates by ascending objective lower bound.
+func TestBoundOrderDispatchesCheapFirst(t *testing.T) {
+	base := arch.GArch72()
+	big, err := ScaleUp(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := testOptions()
+	opt.Order = OrderBound
+	opt.Objective = Objective{Alpha: 8, Beta: 1, Gamma: 1}
+
+	// big first in grid order; the scheduler must flip them (its 4x MC at
+	// alpha=8 dwarfs its slightly better delay bound).
+	ses := NewSession()
+	sc := ses.newScheduler([]arch.Config{big, base}, []*dnn.Graph{testCNN}, opt)
+	if sc.states[0].lb <= sc.states[1].lb {
+		t.Fatalf("bound of big (%g) should exceed base (%g)", sc.states[0].lb, sc.states[1].lb)
+	}
+	if sc.order[0] != 1 || sc.order[1] != 0 {
+		t.Errorf("dispatch order = %v, want [1 0]", sc.order)
+	}
+}
+
+// TestCheckpointSeededIncumbentPrunes pins the resume satellite: a sweep
+// resumed from a checkpoint that already contains a feasible candidate must
+// prune a dominated candidate from task one — even in grid order with the
+// dominated candidate dispatched first.
+func TestCheckpointSeededIncumbentPrunes(t *testing.T) {
+	base := arch.GArch72()
+	big, err := ScaleUp(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := testOptions()
+	opt.Workers = 1
+	opt.Prune = true
+	opt.Order = OrderGrid
+	opt.Objective = Objective{Alpha: 8, Beta: 1, Gamma: 1}
+	models := []*dnn.Graph{testCNN}
+
+	// Session A maps only the base candidate and checkpoints it.
+	a := NewSession()
+	if Best(a.Run([]arch.Config{base}, models, opt)) == nil {
+		t.Fatal("base infeasible")
+	}
+	var ckpt bytes.Buffer
+	if err := a.SaveCheckpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without the checkpoint, grid order runs big first against an infinite
+	// incumbent: nothing can be pruned.
+	cold := NewSession()
+	coldRes := cold.Run([]arch.Config{big, base}, models, opt)
+	for i := range coldRes {
+		if coldRes[i].Pruned {
+			t.Fatalf("cold sweep pruned %s; the seeding test needs a workload only the seed can prune", coldRes[i].Cfg.Name)
+		}
+	}
+
+	// Resumed session: the checkpointed base seeds the incumbent before the
+	// first task, so big is pruned without being mapped.
+	calls := 0
+	orig := mapModelFn
+	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool) (*MapResult, error) {
+		calls++
+		return orig(ev, cfg, g, o, stop)
+	}
+	defer func() { mapModelFn = orig }()
+
+	b := NewSession()
+	if err := b.LoadCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	rs := b.Run([]arch.Config{big, base}, models, opt)
+	if calls != 0 {
+		t.Errorf("resumed sweep invoked MapModel %d times (big should be pruned, base restored)", calls)
+	}
+	if rs[0].Cfg.Name != base.Name || !rs[0].Feasible {
+		t.Fatalf("base should win: %s (%s)", rs[0].Cfg.Name, rs[0].Status())
+	}
+	if !rs[1].Pruned {
+		t.Fatalf("big not pruned on resume: %s", rs[1].Status())
+	}
+
+	st := b.LastSweepStats()
+	if math.IsInf(st.SeededIncumbent, 1) {
+		t.Error("stats did not record the seeded incumbent")
+	}
+	if st.SeededIncumbent != rs[0].Obj {
+		t.Errorf("seeded incumbent %g, want base objective %g", st.SeededIncumbent, rs[0].Obj)
+	}
+	if st.PrunedCandidates != 1 {
+		t.Errorf("stats pruned = %d, want 1", st.PrunedCandidates)
+	}
+	if len(st.Trajectory) == 0 || st.Trajectory[0].Candidate != "(checkpoint seed)" {
+		t.Errorf("trajectory missing checkpoint seed: %+v", st.Trajectory)
+	}
+}
+
+// TestAbandonedCellPrunesCandidate pins the live-incumbent plumbing: a cell
+// whose portfolio reports abandonment must turn into a pruned candidate,
+// count its saved restarts, and leave no checkpoint record behind.
+func TestAbandonedCellPrunesCandidate(t *testing.T) {
+	base := arch.GArch72()
+	doomed := arch.GArch72()
+	doomed.Name = "doomed-arch"
+	doomed.NoCBW = 48 // structurally distinct so cells do not alias
+
+	orig := mapModelFn
+	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool) (*MapResult, error) {
+		if cfg.Name == "doomed-arch" {
+			return nil, &abandonedError{done: 1, planned: 4}
+		}
+		return orig(ev, cfg, g, o, stop)
+	}
+	defer func() { mapModelFn = orig }()
+
+	opt := testOptions()
+	opt.Prune = true
+	opt.Restarts = 4
+	ses := NewSession()
+	rs := ses.Run([]arch.Config{base, doomed}, []*dnn.Graph{testCNN}, opt)
+
+	var dr *CandidateResult
+	for i := range rs {
+		if rs[i].Cfg.Name == "doomed-arch" {
+			dr = &rs[i]
+		}
+	}
+	if dr == nil || !dr.Pruned || dr.Err != nil {
+		t.Fatalf("abandoned candidate not reported pruned: %+v", dr)
+	}
+	st := ses.LastSweepStats()
+	if st.AbandonedRestarts != 3 {
+		t.Errorf("abandoned restarts = %d, want 3", st.AbandonedRestarts)
+	}
+	// An abandoned cell is not a settled outcome: it must not be
+	// checkpointed, so a later sweep retries it.
+	var ckpt bytes.Buffer
+	if err := ses.SaveCheckpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(ckpt.String(), "doomed") {
+		t.Errorf("abandoned cell was checkpointed:\n%s", ckpt.String())
+	}
+}
+
+// TestAdaptiveSweepCountsSkippedRestarts: patience savings must surface in
+// the sweep stats, and a patience wide enough to never fire must leave the
+// sweep bit-identical to the fixed schedule.
+func TestAdaptiveSweepCountsSkippedRestarts(t *testing.T) {
+	cands := testCands()
+	models := []*dnn.Graph{testCNN, testTF}
+
+	fixed := testOptions()
+	fixed.Restarts = 4
+
+	wide := fixed
+	wide.Patience = 4 // can never fire: bit-identical, same fingerprint
+	if optsFingerprint(fixed) != optsFingerprint(wide) {
+		t.Fatal("inactive patience changed the options fingerprint")
+	}
+	resultsEqual(t, Run(cands, models, fixed), Run(cands, models, wide), "wide patience")
+
+	adaptive := fixed
+	adaptive.Patience = 1
+	if optsFingerprint(fixed) == optsFingerprint(adaptive) {
+		t.Fatal("active patience must change the options fingerprint")
+	}
+	ses := NewSession()
+	if Best(ses.Run(cands, models, adaptive)) == nil {
+		t.Fatal("no feasible candidate")
+	}
+	st := ses.LastSweepStats()
+	if st.SkippedRestarts <= 0 {
+		t.Errorf("adaptive sweep skipped %d restarts, want > 0", st.SkippedRestarts)
+	}
+	if st.SkippedRestarts >= 3*len(cands)*len(models) {
+		t.Errorf("skipped %d restarts, more than the %d that exist", st.SkippedRestarts, 3*len(cands)*len(models))
+	}
+}
+
+// TestSweepStatsTrajectory: every incumbent improvement lands in the
+// trajectory in decreasing-objective order, ending at the best result.
+func TestSweepStatsTrajectory(t *testing.T) {
+	cands := testCands()
+	opt := testOptions()
+	opt.Prune = true
+	ses := NewSession()
+	rs := ses.Run(cands, []*dnn.Graph{testCNN}, opt)
+	best := Best(rs)
+	if best == nil {
+		t.Fatal("no feasible candidate")
+	}
+	st := ses.LastSweepStats()
+	if len(st.Trajectory) == 0 {
+		t.Fatal("empty incumbent trajectory")
+	}
+	for i := 1; i < len(st.Trajectory); i++ {
+		if st.Trajectory[i].Obj >= st.Trajectory[i-1].Obj {
+			t.Errorf("trajectory not strictly improving: %+v", st.Trajectory)
+		}
+	}
+	if last := st.Trajectory[len(st.Trajectory)-1]; last.Obj != best.Obj {
+		t.Errorf("trajectory ends at %g, best is %g", last.Obj, best.Obj)
+	}
+	if st.Candidates != len(cands) || st.Cells != len(cands) {
+		t.Errorf("stats counted %d candidates / %d cells, want %d / %d",
+			st.Candidates, st.Cells, len(cands), len(cands))
+	}
+}
+
+// TestBoundParamsOverride: overrides may only loosen the bound — the
+// evaluation always charges eval.DefaultParams(), so constants above the
+// defaults are clamped (an inflated "lower bound" could prune the true
+// optimum), while smaller constants lower the bound as requested.
+func TestBoundParamsOverride(t *testing.T) {
+	cfg := arch.GArch72()
+	opt := testOptions()
+	p := eval.DefaultParams()
+	def := pruneBound(&cfg, []*dnn.Graph{testCNN}, &p, opt, 100)
+
+	hot := p
+	hot.MACpJ *= 10
+	hot.DRAMpJPerByte *= 10
+	opt.BoundParams = &hot
+	if got := pruneBound(&cfg, []*dnn.Graph{testCNN}, boundParams(opt), opt, 100); got != def {
+		t.Errorf("10x energy constants must be clamped to the defaults: %g vs %g", got, def)
+	}
+
+	cool := p
+	cool.MACpJ /= 10
+	cool.DRAMpJPerByte /= 10
+	opt.BoundParams = &cool
+	if got := pruneBound(&cfg, []*dnn.Graph{testCNN}, boundParams(opt), opt, 100); got >= def {
+		t.Errorf("0.1x energy constants did not lower the bound: %g vs %g", got, def)
+	}
+
+	opt.BoundParams = nil
+	if b := pruneBound(&cfg, []*dnn.Graph{testCNN}, boundParams(opt), opt, 100); b != def {
+		t.Errorf("default bound params diverged: %g vs %g", b, def)
+	}
+}
+
+// TestAbandonedErrorNotInfeasible: the sentinel must never be mistaken for
+// infeasibility or surface as a user-visible error class.
+func TestAbandonedErrorNotInfeasible(t *testing.T) {
+	err := error(&abandonedError{done: 1, planned: 4})
+	if errors.Is(err, ErrInfeasible) {
+		t.Error("abandonedError wraps ErrInfeasible")
+	}
+	if !strings.Contains(err.Error(), "1/4") {
+		t.Errorf("unexpected message: %v", err)
+	}
+}
+
+// TestFingerprintPatienceNotAliasedWithBatchUnits: the active-patience word
+// must be unambiguous against the variable-length BatchUnits tail, or two
+// different option sets could share checkpoint cells.
+func TestFingerprintPatienceNotAliasedWithBatchUnits(t *testing.T) {
+	a := testOptions()
+	a.Restarts = 16
+	a.BatchUnits = []int{1, 2, 4, 8}
+	b := testOptions()
+	b.Restarts = 16
+	b.BatchUnits = []int{1, 2, 4}
+	b.Patience = 8
+	if optsFingerprint(a) == optsFingerprint(b) {
+		t.Fatal("BatchUnits tail aliases the active patience word")
+	}
+}
+
+// TestResumedSweepRestoresDominatedCandidate: a candidate whose cells are
+// all checkpointed must be restored — not discarded as pruned — even when
+// the seeded incumbent dominates its bound; restoring is free, and the
+// resumed sweep must report everything the original run reported.
+func TestResumedSweepRestoresDominatedCandidate(t *testing.T) {
+	base := arch.GArch72()
+	big, err := ScaleUp(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := testOptions()
+	opt.Workers = 1
+	opt.Order = OrderGrid
+	opt.Objective = Objective{Alpha: 8, Beta: 1, Gamma: 1}
+	models := []*dnn.Graph{testCNN}
+	cands := []arch.Config{big, base}
+
+	// Original run with pruning off: both candidates computed and
+	// checkpointed with real objectives.
+	a := NewSession()
+	want := a.Run(cands, models, opt)
+	var ckpt bytes.Buffer
+	if err := a.SaveCheckpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume with pruning ON: the seed dominates big's bound, but big's
+	// cell is checkpointed, so it must be restored verbatim.
+	calls := 0
+	orig := mapModelFn
+	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool) (*MapResult, error) {
+		calls++
+		return orig(ev, cfg, g, o, stop)
+	}
+	defer func() { mapModelFn = orig }()
+
+	b := NewSession()
+	if err := b.LoadCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	pruneOpt := opt
+	pruneOpt.Prune = true
+	got := b.Run(cands, models, pruneOpt)
+	if calls != 0 {
+		t.Errorf("resumed sweep invoked MapModel %d times", calls)
+	}
+	resultsEqual(t, want, got, "resumed prune-on vs original prune-off")
+	if st := b.LastSweepStats(); st.PrunedCandidates != 0 {
+		t.Errorf("resumed sweep pruned %d fully checkpointed candidates", st.PrunedCandidates)
+	}
+}

@@ -12,13 +12,11 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"gemini/internal/arch"
-	"gemini/internal/cost"
 	"gemini/internal/dnn"
 	"gemini/internal/eval"
 )
@@ -45,6 +43,9 @@ type Session struct {
 	cells  map[string]cellRecord
 
 	resumed atomic.Int64 // cells served from the checkpoint instead of mapped
+
+	sweepMu   sync.Mutex
+	lastSweep SweepStats
 }
 
 // NewSession returns an empty session with a fresh shared cache.
@@ -69,6 +70,22 @@ func (s *Session) CheckpointCells() int {
 	s.cellMu.Lock()
 	defer s.cellMu.Unlock()
 	return len(s.cells)
+}
+
+// LastSweepStats returns the scheduler's observability record of the most
+// recent Run/JointRun sweep: dispatch order, pruned candidates, restarts
+// saved by the live incumbent and by portfolio patience, and the incumbent
+// trajectory.
+func (s *Session) LastSweepStats() SweepStats {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	return s.lastSweep
+}
+
+func (s *Session) setLastSweep(st SweepStats) {
+	s.sweepMu.Lock()
+	s.lastSweep = st
+	s.sweepMu.Unlock()
 }
 
 func (s *Session) logf(format string, args ...any) {
@@ -105,34 +122,6 @@ func (s *Session) evaluator(cfg *arch.Config) *eval.Evaluator {
 	return ev
 }
 
-// incumbent is a sweep-scoped best-feasible-objective tracker for pruning.
-// It is deliberately NOT session-scoped: two Run calls may use different
-// objectives or batches, and an incumbent from one is no bound for the
-// other.
-type incumbent struct {
-	mu   sync.Mutex
-	best float64
-}
-
-func newIncumbent() *incumbent { return &incumbent{best: math.Inf(1)} }
-
-func (in *incumbent) get() float64 {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.best
-}
-
-func (in *incumbent) note(obj float64) {
-	if math.IsNaN(obj) || math.IsInf(obj, 1) {
-		return
-	}
-	in.mu.Lock()
-	if obj < in.best {
-		in.best = obj
-	}
-	in.mu.Unlock()
-}
-
 // MapModel maps one model on one architecture through the session's warm
 // evaluator and checkpoint cells.
 func (s *Session) MapModel(cfg *arch.Config, g *dnn.Graph, opt Options) (*MapResult, error) {
@@ -141,7 +130,7 @@ func (s *Session) MapModel(cfg *arch.Config, g *dnn.Graph, opt Options) (*MapRes
 		p := rec.outcome()
 		return p.mr, p.err
 	}
-	mr, err := mapModelFn(s.evaluator(cfg), cfg, g, opt)
+	mr, err := mapModelFn(s.evaluator(cfg), cfg, g, opt, nil)
 	s.storeCell(key, g.Name, mr, err)
 	return mr, err
 }
@@ -157,120 +146,34 @@ func (s *Session) Run(cands []arch.Config, models []*dnn.Graph, opt Options) []C
 	return results
 }
 
-// candState tracks one candidate's progress through the scheduler.
-type candState struct {
-	remaining atomic.Int32
-	pruneOnce sync.Once
-	pruned    atomic.Bool
-	lb        float64
-}
-
-// sweep runs the (candidate, model) task grid on a bounded worker pool and
+// sweep runs the (candidate, model) task grid through the scheduler and
 // returns one CandidateResult per candidate, in candidate order (unsorted).
 func (s *Session) sweep(cands []arch.Config, models []*dnn.Graph, opt Options) []CandidateResult {
-	mce := cost.New()
-	nm := len(models)
-	results := make([]CandidateResult, len(cands))
-	per := make([][]pairOutcome, len(cands))
-	states := make([]*candState, len(cands))
-	for i := range cands {
-		per[i] = make([]pairOutcome, nm)
-		states[i] = &candState{}
-		states[i].remaining.Store(int32(nm))
-	}
-
-	params := eval.DefaultParams()
-	prune := opt.Prune && objMonotone(opt.Objective)
-	if opt.Prune && !prune {
-		s.logf("dse: pruning disabled: objective %+v is not monotone", opt.Objective)
-	}
-	optFP := optsFingerprint(opt)
-	inc := newIncumbent()
-
-	var onMu sync.Mutex
-	finish := func(ci int) {
-		st := states[ci]
-		var cr CandidateResult
-		if st.pruned.Load() {
-			cr = CandidateResult{
-				Cfg: cands[ci], MC: mce.Evaluate(&cands[ci]),
-				Obj: math.Inf(1), Pruned: true, LowerBound: st.lb,
-			}
-		} else {
-			cr = reduceCandidate(&cands[ci], per[ci], models, mce, opt)
-			if cr.Feasible {
-				inc.note(cr.Obj)
-			}
-		}
-		results[ci] = cr
-		if opt.OnResult != nil {
-			onMu.Lock()
-			opt.OnResult(cr)
-			onMu.Unlock()
-		}
-	}
-
-	total := len(cands) * nm
-	if total == 0 {
-		for ci := range cands {
-			finish(ci)
-		}
-		return results
-	}
-
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > total {
-		workers = total
-	}
-	tasks := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range tasks {
-				ci, mi := k/nm, k%nm
-				st := states[ci]
-				if prune {
-					st.pruneOnce.Do(func() {
-						lb := pruneBound(&cands[ci], models, &params, opt, mce.Evaluate(&cands[ci]).Total())
-						if best := inc.get(); lb > best {
-							st.lb = lb
-							st.pruned.Store(true)
-							s.logf("dse: pruned %s: objective lower bound %.6g > best feasible %.6g",
-								cands[ci].Name, lb, best)
-						}
-					})
-				}
-				if !st.pruned.Load() {
-					per[ci][mi] = s.runCell(&cands[ci], models[mi], opt, optFP)
-				}
-				if st.remaining.Add(-1) == 0 {
-					finish(ci)
-				}
-			}
-		}()
-	}
-	for k := 0; k < total; k++ {
-		tasks <- k
-	}
-	close(tasks)
-	wg.Wait()
-	return results
+	return s.newScheduler(cands, models, opt).run()
 }
 
-// runCell executes (or restores) one (candidate, model) mapping cell.
-func (s *Session) runCell(cfg *arch.Config, g *dnn.Graph, opt Options, optFP uint64) pairOutcome {
-	key := cellKey(eval.ConfigFingerprint(cfg), g.Name, optFP)
+// runCell executes (or restores) one (candidate, model) mapping cell, named
+// by the caller-computed key (the scheduler already built it for its
+// checkpoint peek). stop, when non-nil, is the scheduler's live-incumbent
+// gate polled between SA restarts; an abandoned portfolio is not a settled
+// outcome, so it is returned flagged and never stored.
+func (s *Session) runCell(cfg *arch.Config, g *dnn.Graph, opt Options, key string, stop func() bool) pairOutcome {
 	if rec, ok := s.lookupCell(key); ok {
-		return rec.outcome()
+		p := rec.outcome()
+		p.restored = true
+		return p
 	}
-	mr, err := mapModelFn(s.evaluator(cfg), cfg, g, opt)
+	mr, err := mapModelFn(s.evaluator(cfg), cfg, g, opt, stop)
+	var ab *abandonedError
+	if errors.As(err, &ab) {
+		return pairOutcome{abandoned: true, abandonedRestarts: ab.planned - ab.done}
+	}
 	s.storeCell(key, g.Name, mr, err)
-	return pairOutcome{mr: mr, err: err}
+	out := pairOutcome{mr: mr, err: err}
+	if mr != nil {
+		out.skippedRestarts = mr.SkippedRestarts
+	}
+	return out
 }
 
 // JointRun explores chiplet reuse over the session (see the package-level
@@ -391,12 +294,19 @@ func (r cellRecord) outcome() pairOutcome {
 func (m *MapResult) asOutcome() pairOutcome { return pairOutcome{mr: m} }
 
 func (s *Session) lookupCell(key string) (cellRecord, bool) {
-	s.cellMu.Lock()
-	rec, ok := s.cells[key]
-	s.cellMu.Unlock()
+	rec, ok := s.peekCell(key)
 	if ok {
 		s.resumed.Add(1)
 	}
+	return rec, ok
+}
+
+// peekCell reads a checkpoint cell without counting it as resumed; the
+// scheduler uses it to seed the pruning incumbent before dispatch.
+func (s *Session) peekCell(key string) (cellRecord, bool) {
+	s.cellMu.Lock()
+	rec, ok := s.cells[key]
+	s.cellMu.Unlock()
 	return rec, ok
 }
 
@@ -486,6 +396,9 @@ func fnvWord(h, v uint64) uint64 {
 // optsFingerprint hashes every Options field the mapping result depends on.
 // Alpha is deliberately excluded: it only ranks candidates, it never changes
 // a (candidate, model) mapping, so checkpoints survive re-ranking sweeps.
+// Order is likewise excluded (it only schedules), and Patience is folded in
+// only when it can actually change a portfolio (0 < Patience < restarts),
+// so pre-adaptive checkpoints keep matching non-adaptive sweeps.
 func optsFingerprint(opt Options) uint64 {
 	restarts := opt.Restarts
 	if restarts < 1 {
@@ -503,7 +416,29 @@ func optsFingerprint(opt Options) uint64 {
 	for _, bu := range opt.BatchUnits {
 		h = fnvWord(h, uint64(int64(bu)))
 	}
+	if p := activePatience(opt); p > 0 {
+		// The sentinel word terminates the variable-length BatchUnits list,
+		// so {BatchUnits: [1,2,4], Patience: 8} can never alias
+		// {BatchUnits: [1,2,4,8]}: ^0 is not a representable batch unit
+		// (batch units are positive ints).
+		h = fnvWord(h, ^uint64(0))
+		h = fnvWord(h, uint64(int64(p)))
+	}
 	return h
+}
+
+// activePatience normalizes Options.Patience to its effective value: 0
+// whenever the portfolio cannot stop early (non-positive patience, or
+// patience wide enough that the consecutive-miss streak can never reach it).
+func activePatience(opt Options) int {
+	restarts := opt.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	if opt.Patience <= 0 || opt.Patience >= restarts {
+		return 0
+	}
+	return opt.Patience
 }
 
 // cellKey names one (candidate, model, options) cell in the checkpoint.

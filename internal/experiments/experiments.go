@@ -32,6 +32,14 @@ type Options struct {
 	Workers      int
 	Seed         int64
 
+	// Restarts widens the per-cell SA portfolio; Patience stops a cell's
+	// portfolio after that many consecutive non-improving restarts (0 =
+	// fixed schedule). Order overrides the sweep dispatch order ("" keeps
+	// the DSE default, ascending lower bound).
+	Restarts int
+	Patience int
+	Order    dse.SweepOrder
+
 	// Session, when set, runs every figure's sweeps and mappings through
 	// one shared DSE session, so the figures reuse each other's warm
 	// evaluation-cache entries (Fig. 6 and Fig. 7 sweep the same space;
@@ -158,6 +166,13 @@ func (o Options) dseOptions(batch int) dse.Options {
 	d.SAIterations = o.SAIterations
 	d.Workers = o.workers()
 	d.Seed = o.Seed
+	if o.Restarts > 0 {
+		d.Restarts = o.Restarts
+	}
+	d.Patience = o.Patience
+	if o.Order != "" {
+		d.Order = o.Order
+	}
 	if o.Quick {
 		d.MaxGroupLayers = 7
 		d.BatchUnits = []int{1, 2}

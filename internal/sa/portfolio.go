@@ -14,15 +14,42 @@ type Portfolio struct {
 	// BestRestart is the winning restart index (ties go to the lowest
 	// index, so the fold is deterministic).
 	BestRestart int
-	// Costs records every restart's best cost, in restart order.
+	// Costs records every restart's best cost, in restart order. Its length
+	// is the number of restarts that actually ran; it is shorter than
+	// Planned when patience or an abandon callback stopped the portfolio.
 	Costs []float64
+	// Planned is the requested portfolio width.
+	Planned int
+	// Abandoned reports that the Stop callback interrupted the portfolio.
+	// Best holds the best result of the restarts that did run, but callers
+	// that abandon because the whole cell is dominated typically discard it.
+	Abandoned bool
 }
+
+// Skipped returns how many planned restarts never ran.
+func (p Portfolio) Skipped() int { return p.Planned - len(p.Costs) }
 
 // RestartSeed derives the seed of restart i from the base seed. Restart 0
 // uses the base seed itself, so a one-restart portfolio is bit-identical to
 // a plain Optimize call.
 func RestartSeed(base int64, i int) int64 {
 	return base + int64(i)
+}
+
+// AdaptiveOptions configures early stopping of a multi-start portfolio.
+// The zero value disables both mechanisms, making MultiStartAdaptive
+// bit-identical to MultiStart.
+type AdaptiveOptions struct {
+	// Patience stops the portfolio after this many consecutive restarts
+	// that failed to improve the best cost (<= 0: never stop early).
+	// Restart 0 always runs, and any Patience >= restarts can never
+	// trigger, so such portfolios are bit-identical to the fixed schedule.
+	Patience int
+	// Stop, when non-nil, is polled before every restart after the first;
+	// returning true abandons the remaining restarts immediately. The DSE
+	// scheduler uses it to re-read the live pruning incumbent between
+	// restarts and walk away from dominated cells.
+	Stop func() bool
 }
 
 // MultiStart anneals the scheme restarts times with deterministically
@@ -34,18 +61,40 @@ func RestartSeed(base int64, i int) int64 {
 // (scheme, evaluator params, options, restarts) tuple always yields a
 // bit-identical winner regardless of cache state.
 func MultiStart(input *core.Scheme, ev *eval.Evaluator, opt Options, restarts int) Portfolio {
+	return MultiStartAdaptive(input, ev, opt, restarts, AdaptiveOptions{})
+}
+
+// MultiStartAdaptive is MultiStart with an adaptive schedule: restarts run
+// in the same deterministic order with the same derived seeds, but the
+// portfolio stops early after ao.Patience consecutive non-improving seeds,
+// and ao.Stop can abandon it between restarts. The fold over the restarts
+// that do run is identical to MultiStart's, so a portfolio that never stops
+// early (Patience <= 0 or >= restarts, Stop never firing) is bit-identical
+// to the fixed schedule.
+func MultiStartAdaptive(input *core.Scheme, ev *eval.Evaluator, opt Options, restarts int, ao AdaptiveOptions) Portfolio {
 	if restarts < 1 {
 		restarts = 1
 	}
-	p := Portfolio{Costs: make([]float64, restarts)}
+	p := Portfolio{Costs: make([]float64, 0, restarts), Planned: restarts}
+	streak := 0
 	for i := 0; i < restarts; i++ {
+		if i > 0 && ao.Stop != nil && ao.Stop() {
+			p.Abandoned = true
+			break
+		}
 		o := opt
 		o.Seed = RestartSeed(opt.Seed, i)
 		r := Optimize(input, ev, o)
-		p.Costs[i] = r.Cost
+		p.Costs = append(p.Costs, r.Cost)
 		if i == 0 || betterCost(r.Cost, p.Best.Cost) {
 			p.Best = r
 			p.BestRestart = i
+			streak = 0
+		} else {
+			streak++
+		}
+		if ao.Patience > 0 && streak >= ao.Patience {
+			break
 		}
 	}
 	return p

@@ -123,3 +123,104 @@ func TestBetterCostNaN(t *testing.T) {
 		}
 	}
 }
+
+// TestAdaptiveWidePatienceBitIdentical pins the acceptance criterion: a
+// patience that can never trigger (>= restarts, or disabled) must leave the
+// adaptive portfolio bit-identical to the fixed schedule.
+func TestAdaptiveWidePatienceBitIdentical(t *testing.T) {
+	cfg := arch.GArch72()
+	s := portfolioScheme(t, &cfg)
+	opt := DefaultOptions()
+	opt.Iterations = 120
+
+	want := MultiStart(s, eval.New(&cfg), opt, 4)
+	for _, patience := range []int{0, -1, 4, 5, 100} {
+		got := MultiStartAdaptive(s, eval.New(&cfg), opt, 4, AdaptiveOptions{Patience: patience})
+		if got.Best.Cost != want.Best.Cost || got.BestRestart != want.BestRestart ||
+			got.Abandoned || len(got.Costs) != len(want.Costs) {
+			t.Fatalf("patience=%d diverged: %+v vs %+v", patience, got, want)
+		}
+		for i := range want.Costs {
+			if got.Costs[i] != want.Costs[i] {
+				t.Errorf("patience=%d restart %d: %v vs %v", patience, i, got.Costs[i], want.Costs[i])
+			}
+		}
+	}
+}
+
+// TestAdaptivePatiencePrefix: a patience-stopped portfolio must run exactly
+// the prefix of the fixed schedule predicted by the consecutive-miss streak,
+// with identical per-restart costs and the same fold over that prefix.
+func TestAdaptivePatiencePrefix(t *testing.T) {
+	cfg := arch.GArch72()
+	s := portfolioScheme(t, &cfg)
+	opt := DefaultOptions()
+	opt.Iterations = 120
+	const restarts = 8
+
+	full := MultiStart(s, eval.New(&cfg), opt, restarts)
+	for patience := 1; patience < restarts; patience++ {
+		// Predict the stop point from the full schedule's costs.
+		wantLen, streak := restarts, 0
+		best := full.Costs[0]
+		for i := 1; i < restarts; i++ {
+			if betterCost(full.Costs[i], best) {
+				best = full.Costs[i]
+				streak = 0
+			} else {
+				streak++
+			}
+			if streak >= patience {
+				wantLen = i + 1
+				break
+			}
+		}
+
+		got := MultiStartAdaptive(s, eval.New(&cfg), opt, restarts, AdaptiveOptions{Patience: patience})
+		if got.Abandoned {
+			t.Fatalf("patience=%d: portfolio marked abandoned", patience)
+		}
+		if len(got.Costs) != wantLen || got.Skipped() != restarts-wantLen {
+			t.Fatalf("patience=%d ran %d restarts (skipped %d), want %d (%d)",
+				patience, len(got.Costs), got.Skipped(), wantLen, restarts-wantLen)
+		}
+		for i := range got.Costs {
+			if got.Costs[i] != full.Costs[i] {
+				t.Errorf("patience=%d restart %d: %v vs fixed %v", patience, i, got.Costs[i], full.Costs[i])
+			}
+		}
+	}
+}
+
+// TestAdaptiveStopAbandons: the Stop callback abandons the portfolio between
+// restarts — restart 0 always runs, and a constantly-true Stop cuts
+// everything after it.
+func TestAdaptiveStopAbandons(t *testing.T) {
+	cfg := arch.GArch72()
+	s := portfolioScheme(t, &cfg)
+	opt := DefaultOptions()
+	opt.Iterations = 80
+
+	polls := 0
+	p := MultiStartAdaptive(s, eval.New(&cfg), opt, 4, AdaptiveOptions{
+		Stop: func() bool { polls++; return true },
+	})
+	if !p.Abandoned {
+		t.Fatal("portfolio not marked abandoned")
+	}
+	if len(p.Costs) != 1 || p.Skipped() != 3 {
+		t.Fatalf("ran %d restarts (skipped %d), want 1 (3)", len(p.Costs), p.Skipped())
+	}
+	if polls != 1 {
+		t.Errorf("Stop polled %d times, want 1", polls)
+	}
+
+	// A Stop that never fires changes nothing.
+	q := MultiStartAdaptive(s, eval.New(&cfg), opt, 4, AdaptiveOptions{
+		Stop: func() bool { return false },
+	})
+	w := MultiStart(s, eval.New(&cfg), opt, 4)
+	if q.Abandoned || q.Best.Cost != w.Best.Cost || len(q.Costs) != len(w.Costs) {
+		t.Errorf("inert Stop diverged: %+v vs %+v", q, w)
+	}
+}

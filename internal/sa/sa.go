@@ -9,6 +9,7 @@ package sa
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"gemini/internal/core"
 	"gemini/internal/eval"
@@ -120,21 +121,23 @@ func Optimize(input *core.Scheme, ev *eval.Evaluator, opt Options) Result {
 	affected := consumerClosure(s)
 
 	// Group selection weights proportional to optimization-space size.
-	weights := make([]float64, n)
+	// Selection runs on every iteration of the hot loop, so the cumulative
+	// weights are precomputed once and each pick is a binary search instead
+	// of an O(n) scan: pick returns the smallest gi with cumW[gi] >= x,
+	// which is the group the linear subtraction scan would land on.
+	cumW := make([]float64, n)
 	totalW := 0.0
 	for gi, g := range s.Groups {
-		weights[gi] = space.GroupWeight(ev.Cfg.Cores(), len(g.MSs))
-		totalW += weights[gi]
+		totalW += space.GroupWeight(ev.Cfg.Cores(), len(g.MSs))
+		cumW[gi] = totalW
 	}
 	pick := func() int {
 		x := rng.Float64() * totalW
-		for gi, w := range weights {
-			x -= w
-			if x <= 0 {
-				return gi
-			}
+		gi := sort.SearchFloat64s(cumW, x)
+		if gi >= n {
+			return n - 1
 		}
-		return n - 1
+		return gi
 	}
 
 	best := s.Clone()
@@ -145,9 +148,19 @@ func Optimize(input *core.Scheme, ev *eval.Evaluator, opt Options) Result {
 		cooling = math.Pow(opt.FinalTemp/opt.InitTemp, 1/float64(opt.Iterations-1))
 	}
 
-	saveE := make([]float64, n)
-	saveD := make([]float64, n)
-	saveF := make([]bool, n)
+	// A rejected move must restore exactly the state entries measure wrote:
+	// gi alone for OP1-4, affected[gi] for OP5. Snapshotting only those
+	// entries replaces three O(n) copies per iteration with O(touched).
+	maxTouched := 1
+	for _, a := range affected {
+		if len(a) > maxTouched {
+			maxTouched = len(a)
+		}
+	}
+	saveE := make([]float64, maxTouched)
+	saveD := make([]float64, maxTouched)
+	saveF := make([]bool, maxTouched)
+	var giBuf [1]int
 	// dirty marks groups where s has drifted from the best snapshot.
 	dirty := make([]bool, n)
 
@@ -171,17 +184,16 @@ func Optimize(input *core.Scheme, ev *eval.Evaluator, opt Options) Result {
 		}
 		res.Applied++
 
-		copy(saveE, st.energy)
-		copy(saveD, st.delay)
-		copy(saveF, st.feas)
+		touched := giBuf[:]
+		touched[0] = gi
 		if op == core.OpFD {
 			// OF changes alter where consumer groups fetch data from; only
 			// the mutated group and its consumers can change.
-			for _, gj := range affected[gi] {
-				measure(ev, s, st, gj)
-			}
-		} else {
-			measure(ev, s, st, gi)
+			touched = affected[gi]
+		}
+		for j, gj := range touched {
+			saveE[j], saveD[j], saveF[j] = st.energy[gj], st.delay[gj], st.feas[gj]
+			measure(ev, s, st, gj)
 		}
 		next := st.cost(opt.Beta, opt.Gamma)
 
@@ -210,9 +222,9 @@ func Optimize(input *core.Scheme, ev *eval.Evaluator, opt Options) Result {
 			}
 		} else {
 			s.Groups[gi] = old
-			copy(st.energy, saveE)
-			copy(st.delay, saveD)
-			copy(st.feas, saveF)
+			for j, gj := range touched {
+				st.energy[gj], st.delay[gj], st.feas[gj] = saveE[j], saveD[j], saveF[j]
+			}
 		}
 		temp *= cooling
 	}

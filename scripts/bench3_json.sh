@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the PR-3 sweep-scheduler benchmark set — grid vs bound-ordered
+# dispatch and fixed vs adaptive SA portfolios under bound pruning — plus
+# the PR-1 hot-loop and PR-2 session benchmarks, and emits a BENCH_3-style
+# JSON report on stdout: ns/op, B/op, allocs/op and the scheduler's
+# work-saved accounting (pruned candidates, abandoned/skipped restarts) per
+# benchmark. CI uploads the result as an artifact and gates on
+# cmd/bench-compare: >10% allocs regression vs the committed BENCH_1/BENCH_2
+# baselines fails, the warm sweep must stay faster than cold, and the
+# bound-ordered sweep must not regress vs grid order.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-10x}"
+PATTERN='BenchmarkSAOptimize$|BenchmarkEvaluateGroup$|BenchmarkDSESessionSweepCold$|BenchmarkDSESessionSweepWarm$|BenchmarkDSESweepRestarts1$|BenchmarkDSESweepRestarts4$|BenchmarkDSESweepGridFixed$|BenchmarkDSESweepOrdered$|BenchmarkDSESweepAdaptive$'
+OUT="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime="$BENCHTIME" .)"
+
+echo "$OUT" >&2
+
+echo "$OUT" | awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; bytes = ""; allocs = ""
+	pruned = ""; abandoned = ""; skipped = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "B/op") bytes = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+		if ($(i+1) == "pruned_candidates") pruned = $i
+		if ($(i+1) == "abandoned_restarts") abandoned = $i
+		if ($(i+1) == "skipped_restarts") skipped = $i
+	}
+	if (ns == "") next
+	if (!first) printf ",\n"
+	first = 0
+	printf "  \"%s\": { \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, bytes, allocs
+	if (pruned != "") printf ", \"pruned_candidates\": %s", pruned
+	if (abandoned != "") printf ", \"abandoned_restarts\": %s", abandoned
+	if (skipped != "") printf ", \"skipped_restarts\": %s", skipped
+	printf " }"
+}
+END { print "\n}" }
+'
