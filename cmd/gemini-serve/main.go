@@ -1,0 +1,86 @@
+// Command gemini-serve runs the DSE sweep service: a long-lived HTTP server
+// over a bounded pool of dse.Sessions. Clients POST JSON sweep specs to
+// /sweep and read per-candidate results back as an NDJSON stream; sweeps
+// are checkpointed per id under -data, so re-POSTing a spec after a client
+// or server restart resumes instead of recomputing.
+//
+// Usage:
+//
+//	gemini-serve -addr :8080 -data /var/lib/gemini -sessions 2 -max-sweeps 4
+//
+// Endpoints and the NDJSON schema are documented in docs/http-api.md; try:
+//
+//	curl -N -X POST localhost:8080/sweep -d '{
+//	  "space": {"tops": 72, "reduced": true},
+//	  "models": ["tinycnn"], "sa_iterations": 100, "prune": true
+//	}'
+//
+// SIGINT/SIGTERM shut the server down cleanly: running sweeps are canceled
+// (their checkpoints survive, each stream ends with a typed error event)
+// and in-flight responses drain before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gemini/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gemini-serve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "checkpoint directory (empty = no persistence)")
+	sessions := flag.Int("sessions", 1, "DSE session pool size")
+	maxSweeps := flag.Int("max-sweeps", 4, "max concurrently running sweeps (excess POSTs get 429)")
+	maxCells := flag.Int("max-cells", 0, "per-sweep (candidate, model) cell cap (0 = default)")
+	quiet := flag.Bool("quiet", false, "suppress per-sweep scheduling logs")
+	flag.Parse()
+
+	cfg := serve.Config{
+		Sessions:            *sessions,
+		MaxConcurrentSweeps: *maxSweeps,
+		MaxCells:            *maxCells,
+		DataDir:             *data,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	srv := serve.New(cfg)
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("listening on %s (sessions=%d, max-sweeps=%d, data=%q)", *addr, *sessions, *maxSweeps, *data)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case got := <-sig:
+		log.Printf("received %v, shutting down", got)
+	}
+
+	// Cancel running sweeps first so their handlers finish their streams,
+	// then drain connections.
+	srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("serve: %v", err)
+	}
+	log.Printf("shutdown complete")
+}

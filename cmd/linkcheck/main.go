@@ -1,0 +1,197 @@
+// Command linkcheck validates the repo's Markdown cross-references offline:
+// every relative link in the given files (or directories, walked for *.md)
+// must point at an existing file or directory, and every fragment —
+// `other.md#section` or an in-file `#section` — must match a heading's
+// GitHub-style anchor in the target document. External http(s) and mailto
+// links are deliberately not fetched; CI must not flake on the network.
+//
+// Usage:
+//
+//	linkcheck README.md docs
+//
+// Exit status is 1 when any link is broken, with one file:line: message per
+// finding.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck file.md|dir [...]")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		fi, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		if !fi.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	broken := 0
+	for _, file := range files {
+		findings, err := checkFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// linkPattern matches inline Markdown links [text](target); images share
+// the shape with a leading bang.
+var linkPattern = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkFile validates every relative link of one Markdown file.
+func checkFile(file string) ([]string, error) {
+	lines, err := readLines(file)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	dir := filepath.Dir(file)
+	fenced := false
+	for i, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if fenced {
+			continue
+		}
+		for _, m := range linkPattern.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if msg := checkTarget(file, dir, target); msg != "" {
+				findings = append(findings, fmt.Sprintf("%s:%d: %s", file, i+1, msg))
+			}
+		}
+	}
+	return findings, nil
+}
+
+// checkTarget validates one link target; "" means the link is fine.
+func checkTarget(file, dir, target string) string {
+	switch {
+	case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return "" // external: not checked offline
+	case strings.HasPrefix(target, "#"):
+		ok, err := hasAnchor(file, target[1:])
+		if err != nil {
+			return err.Error()
+		}
+		if !ok {
+			return fmt.Sprintf("broken anchor %q (no matching heading)", target)
+		}
+		return ""
+	}
+	path, frag, _ := strings.Cut(target, "#")
+	resolved := filepath.Join(dir, filepath.FromSlash(path))
+	fi, err := os.Stat(resolved)
+	if err != nil {
+		return fmt.Sprintf("broken link %q (%s does not exist)", target, resolved)
+	}
+	if frag != "" {
+		if fi.IsDir() || !strings.HasSuffix(resolved, ".md") {
+			return fmt.Sprintf("fragment on non-Markdown target %q", target)
+		}
+		ok, err := hasAnchor(resolved, frag)
+		if err != nil {
+			return err.Error()
+		}
+		if !ok {
+			return fmt.Sprintf("broken anchor %q (no matching heading in %s)", target, resolved)
+		}
+	}
+	return ""
+}
+
+// hasAnchor reports whether a Markdown file contains a heading whose
+// GitHub-style anchor equals frag.
+func hasAnchor(file, frag string) (bool, error) {
+	lines, err := readLines(file)
+	if err != nil {
+		return false, err
+	}
+	fenced := false
+	for _, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if fenced || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(line, "#")
+		if anchorFor(heading) == strings.ToLower(frag) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// anchorFor approximates GitHub's heading-to-anchor slug: lowercase, code
+// ticks stripped, punctuation dropped, spaces to hyphens.
+func anchorFor(heading string) string {
+	h := strings.ToLower(strings.TrimSpace(heading))
+	h = strings.ReplaceAll(h, "`", "")
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}
+
+func readLines(file string) ([]string, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	return lines, sc.Err()
+}

@@ -18,8 +18,8 @@ func quickOpts() MapOptions {
 
 func TestModelsList(t *testing.T) {
 	names := Models()
-	if len(names) != 9 {
-		t.Fatalf("models = %v, want 9 entries", names)
+	if len(names) != 11 {
+		t.Fatalf("models = %v, want 11 entries", names)
 	}
 	for _, want := range []string{"resnet50", "transformer", "googlenet"} {
 		found := false

@@ -6,9 +6,10 @@ import (
 	"strings"
 )
 
-// ModelNames lists the workloads of the paper's evaluation (Sec. VI-A3 and
-// Fig. 8): ResNet-50, ResNeXt-50, Inception-ResNet-v1, PNASNet, GoogLeNet,
-// Transformer and Transformer-Large.
+// ModelNames lists the registered workloads: the paper's evaluation set
+// (Sec. VI-A3 and Fig. 8 — ResNet-50, ResNeXt-50, Inception-ResNet-v1,
+// PNASNet, GoogLeNet, Transformer, Transformer-Large, plus VGG-16 and
+// MobileNetV2) and the test-scale tinycnn/tinytransformer workloads.
 func ModelNames() []string {
 	names := make([]string, 0, len(modelZoo))
 	for n := range modelZoo {
@@ -26,6 +27,18 @@ var modelZoo = map[string]func() *Graph{
 	"googlenet":        GoogLeNet,
 	"transformer":      Transformer,
 	"transformerlarge": TransformerLarge,
+	// Test-scale synthetic workloads, registered so sweep specs (HTTP
+	// clients, CI smoke runs) can request a cheap end-to-end sweep by name.
+	"tinycnn":         TinyCNN,
+	"tinytransformer": TinyTransformer,
+}
+
+// HasModel reports whether name is a registered zoo model, without
+// building it — request validators use this so rejecting a bad spec never
+// pays for constructing the valid graphs around it.
+func HasModel(name string) bool {
+	_, ok := modelZoo[strings.ToLower(name)]
+	return ok
 }
 
 // Model builds a zoo model by name.

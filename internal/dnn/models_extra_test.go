@@ -60,7 +60,7 @@ func TestExtraModelsRegistered(t *testing.T) {
 			t.Errorf("Model(%q): %v", name, err)
 		}
 	}
-	if len(ModelNames()) != 9 {
-		t.Errorf("zoo size = %d, want 9", len(ModelNames()))
+	if len(ModelNames()) != 11 {
+		t.Errorf("zoo size = %d, want 11", len(ModelNames()))
 	}
 }

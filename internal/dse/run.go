@@ -82,6 +82,11 @@ type Options struct {
 	// completes (including pruned and errored candidates). Calls are
 	// serialized but arrive in completion order, not candidate order.
 	OnResult func(CandidateResult) `json:"-"`
+	// SweepID optionally names the sweep for logs and SweepStats; the sweep
+	// service keys server-side checkpoints by it. Like Order it only
+	// labels/schedules — it never changes a mapping — so it is excluded
+	// from the checkpoint fingerprint.
+	SweepID string `json:"sweep_id,omitempty"`
 }
 
 // DefaultOptions returns throughput-scenario settings (batch 64, Sec. VI-A1).

@@ -11,6 +11,8 @@
 package dse
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
@@ -48,9 +50,18 @@ type IncumbentStep struct {
 
 // SweepStats is the scheduler's per-sweep observability record.
 type SweepStats struct {
-	Order      SweepOrder
+	// SweepID echoes Options.SweepID (empty for unnamed sweeps).
+	SweepID string
+	// Order is the dispatch order the sweep actually used.
+	Order SweepOrder
+	// Candidates is the number of architecture candidates in the sweep.
 	Candidates int
-	Cells      int // total (candidate, model) cells in the grid
+	// Cells is the total (candidate, model) grid size.
+	Cells int
+	// Canceled reports that the sweep's context was canceled before every
+	// cell settled; unfinished cells carry errors wrapping the context's
+	// error and are never checkpointed.
+	Canceled bool
 
 	// ResumedCells counts cells served from the checkpoint this sweep.
 	ResumedCells int
@@ -122,11 +133,17 @@ type candState struct {
 // scheduler runs one sweep's (candidate, model) grid.
 type scheduler struct {
 	ses    *Session
+	ctx    context.Context
 	cands  []arch.Config
 	models []*dnn.Graph
 	opt    Options
 	optFP  uint64
 	mce    *cost.Evaluator
+
+	// stats is the published per-sweep record, valid after run returns; it
+	// is what RunContext hands back so concurrent sweeps never read each
+	// other's numbers through the session.
+	stats SweepStats
 
 	prune  bool
 	inc    *incumbent
@@ -142,9 +159,10 @@ type scheduler struct {
 
 // newScheduler computes per-candidate bounds, fixes the dispatch order and
 // seeds the incumbent from checkpointed cells.
-func (s *Session) newScheduler(cands []arch.Config, models []*dnn.Graph, opt Options) *scheduler {
+func (s *Session) newScheduler(ctx context.Context, cands []arch.Config, models []*dnn.Graph, opt Options) *scheduler {
 	sc := &scheduler{
 		ses:    s,
+		ctx:    ctx,
 		cands:  cands,
 		models: models,
 		opt:    opt,
@@ -306,11 +324,18 @@ func (sc *scheduler) run() []CandidateResult {
 	return results
 }
 
-// runTask executes one (candidate, model) cell under the live bound gate.
+// runTask executes one (candidate, model) cell under the live bound gate
+// and the sweep context.
 func (sc *scheduler) runTask(k, nm int, per [][]pairOutcome) {
 	ci, mi := k/nm, k%nm
 	st := sc.states[ci]
 	key := cellKey(eval.ConfigFingerprint(&sc.cands[ci]), sc.models[mi].Name, sc.optFP)
+	if err := sc.ctx.Err(); err != nil {
+		// Canceled sweep: fail the remaining cells fast. Nothing is stored,
+		// so a resumed sweep retries exactly these cells.
+		per[ci][mi] = pairOutcome{err: fmt.Errorf("dse: cell not run: %w", err)}
+		return
+	}
 	if sc.prune && !st.pruned.Load() {
 		// The incumbent is live: re-check before every cell, not just the
 		// candidate's first, so a candidate whose remaining cells became
@@ -327,12 +352,25 @@ func (sc *scheduler) runTask(k, nm int, per [][]pairOutcome) {
 	if st.pruned.Load() {
 		return
 	}
-	var stop func() bool
-	if sc.prune && st.lb > 0 {
-		stop = func() bool { return st.lb > sc.inc.get() }
+	// The stop gate is polled between SA restarts: it abandons the cell
+	// when the sweep is canceled, or — with pruning active — when the live
+	// incumbent already dominates this candidate's bound.
+	gated := sc.prune && st.lb > 0
+	stop := func() bool {
+		if sc.ctx.Err() != nil {
+			return true
+		}
+		return gated && st.lb > sc.inc.get()
 	}
 	out := sc.ses.runCell(&sc.cands[ci], sc.models[mi], sc.opt, key, stop)
 	if out.abandoned {
+		if err := sc.ctx.Err(); err != nil {
+			// Abandoned because the sweep was canceled, not because the
+			// candidate is dominated: report the cancellation, never
+			// "pruned".
+			per[ci][mi] = pairOutcome{err: fmt.Errorf("dse: cell abandoned: %w", err)}
+			return
+		}
 		// The portfolio walked away mid-cell because the incumbent already
 		// dominates this candidate's bound; the partial result is not a
 		// settled outcome, so it is neither recorded nor checkpointed.
@@ -355,9 +393,11 @@ func (sc *scheduler) publishStats() {
 		order = OrderGrid
 	}
 	stats := SweepStats{
+		SweepID:           sc.opt.SweepID,
 		Order:             order,
 		Candidates:        len(sc.cands),
 		Cells:             len(sc.cands) * len(sc.models),
+		Canceled:          sc.ctx.Err() != nil,
 		ResumedCells:      int(sc.resumed.Load()),
 		PrunedCandidates:  int(sc.pruned.Load()),
 		AbandonedRestarts: int(sc.abandoned.Load()),
@@ -365,8 +405,13 @@ func (sc *scheduler) publishStats() {
 		SeededIncumbent:   sc.seeded,
 		Trajectory:        sc.inc.trajectory(),
 	}
+	sc.stats = stats
 	sc.ses.setLastSweep(stats)
-	sc.ses.logf("dse: sweep done (order %s): %d candidates (%d pruned), %d cells (%d resumed), %d restarts abandoned, %d skipped by patience, incumbent %.6g",
-		order, stats.Candidates, stats.PrunedCandidates, stats.Cells, stats.ResumedCells,
+	state := "done"
+	if stats.Canceled {
+		state = "canceled"
+	}
+	sc.ses.logf("dse: sweep %s %s (order %s): %d candidates (%d pruned), %d cells (%d resumed), %d restarts abandoned, %d skipped by patience, incumbent %.6g",
+		sweepName(sc.opt.SweepID), state, order, stats.Candidates, stats.PrunedCandidates, stats.Cells, stats.ResumedCells,
 		stats.AbandonedRestarts, stats.SkippedRestarts, sc.inc.get())
 }

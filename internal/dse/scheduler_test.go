@@ -2,6 +2,7 @@ package dse
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -57,7 +58,7 @@ func TestBoundOrderDispatchesCheapFirst(t *testing.T) {
 	// big first in grid order; the scheduler must flip them (its 4x MC at
 	// alpha=8 dwarfs its slightly better delay bound).
 	ses := NewSession()
-	sc := ses.newScheduler([]arch.Config{big, base}, []*dnn.Graph{testCNN}, opt)
+	sc := ses.newScheduler(context.Background(), []arch.Config{big, base}, []*dnn.Graph{testCNN}, opt)
 	if sc.states[0].lb <= sc.states[1].lb {
 		t.Fatalf("bound of big (%g) should exceed base (%g)", sc.states[0].lb, sc.states[1].lb)
 	}

@@ -7,6 +7,7 @@
 package dse
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,9 +27,13 @@ import (
 // infeasibility.
 var mapModelFn = mapModelEval
 
-// Session shares evaluation state across DSE runs. Safe for use from one
-// goroutine; the parallelism lives inside Run/JointRun. The zero value is
-// not usable — construct with NewSession.
+// Session shares evaluation state across DSE runs. All methods are safe for
+// concurrent use: the sweep service runs several Run/RunContext sweeps on
+// one session at once so they share the evaluation cache and checkpoint
+// cells (each sweep gets its own scheduler and incumbent; LastSweepStats
+// then reports whichever sweep published last — concurrent callers should
+// use the stats RunContext returns). The zero value is not usable —
+// construct with NewSession.
 type Session struct {
 	// Logf, when set, receives scheduling decisions that must not be silent
 	// (candidate pruning, checkpoint skips). log.Printf fits.
@@ -70,6 +75,25 @@ func (s *Session) CheckpointCells() int {
 	s.cellMu.Lock()
 	defer s.cellMu.Unlock()
 	return len(s.cells)
+}
+
+// SettledCells reports how many of one specific sweep's (candidate, model)
+// cells are already settled in the session — the number a run of that
+// sweep would restore instead of recompute. Unlike CheckpointCells it is
+// scoped to the given grid and options, so a shared session's unrelated
+// cells do not inflate it.
+func (s *Session) SettledCells(cands []arch.Config, models []*dnn.Graph, opt Options) int {
+	optFP := optsFingerprint(opt)
+	n := 0
+	for ci := range cands {
+		fp := eval.ConfigFingerprint(&cands[ci])
+		for _, g := range models {
+			if _, ok := s.peekCell(cellKey(fp, g.Name, optFP)); ok {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // LastSweepStats returns the scheduler's observability record of the most
@@ -141,15 +165,43 @@ func (s *Session) MapModel(cfg *arch.Config, g *dnn.Graph, opt Options) (*MapRes
 // for SaveCheckpoint; cells already present (from a previous run or a
 // loaded checkpoint) are restored instead of recomputed.
 func (s *Session) Run(cands []arch.Config, models []*dnn.Graph, opt Options) []CandidateResult {
-	results := s.sweep(cands, models, opt)
-	sortResults(results)
+	results, _, _ := s.RunContext(context.Background(), cands, models, opt)
 	return results
+}
+
+// RunContext is Run with cancellation and per-sweep stats. When ctx is
+// canceled mid-sweep the remaining (candidate, model) cells fail fast with
+// an error wrapping ctx.Err() (in-flight SA portfolios abandon between
+// restarts), already-settled cells stay checkpointed, and the partial
+// results are returned together with a non-nil error — so a canceled sweep
+// can be checkpointed and resumed without recomputing its completed cells.
+// The returned SweepStats belongs to this sweep, which is the race-free way
+// to read stats when several sweeps share the session.
+func (s *Session) RunContext(ctx context.Context, cands []arch.Config, models []*dnn.Graph, opt Options) ([]CandidateResult, SweepStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sc := s.newScheduler(ctx, cands, models, opt)
+	results := sc.run()
+	sortResults(results)
+	if err := ctx.Err(); err != nil {
+		return results, sc.stats, fmt.Errorf("dse: sweep %s canceled: %w", sweepName(opt.SweepID), err)
+	}
+	return results, sc.stats, nil
+}
+
+// sweepName renders a sweep id for log and error text.
+func sweepName(id string) string {
+	if id == "" {
+		return "(unnamed)"
+	}
+	return id
 }
 
 // sweep runs the (candidate, model) task grid through the scheduler and
 // returns one CandidateResult per candidate, in candidate order (unsorted).
 func (s *Session) sweep(cands []arch.Config, models []*dnn.Graph, opt Options) []CandidateResult {
-	return s.newScheduler(cands, models, opt).run()
+	return s.newScheduler(context.Background(), cands, models, opt).run()
 }
 
 // runCell executes (or restores) one (candidate, model) mapping cell, named
@@ -396,9 +448,11 @@ func fnvWord(h, v uint64) uint64 {
 // optsFingerprint hashes every Options field the mapping result depends on.
 // Alpha is deliberately excluded: it only ranks candidates, it never changes
 // a (candidate, model) mapping, so checkpoints survive re-ranking sweeps.
-// Order is likewise excluded (it only schedules), and Patience is folded in
-// only when it can actually change a portfolio (0 < Patience < restarts),
-// so pre-adaptive checkpoints keep matching non-adaptive sweeps.
+// Order and SweepID are likewise excluded (one only schedules, the other
+// only labels — a renamed sweep must keep hitting its old cells), and
+// Patience is folded in only when it can actually change a portfolio
+// (0 < Patience < restarts), so pre-adaptive checkpoints keep matching
+// non-adaptive sweeps.
 func optsFingerprint(opt Options) uint64 {
 	restarts := opt.Restarts
 	if restarts < 1 {

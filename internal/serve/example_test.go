@@ -1,0 +1,60 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"gemini/internal/dse"
+	"gemini/internal/serve"
+)
+
+// Example_sweep is the minimal service round trip: start an in-process
+// sweep server, POST a one-candidate sweep spec, and consume the NDJSON
+// event stream. examples/serve runs the same flow against a real listener.
+func Example_sweep() {
+	srv := serve.New(serve.Config{})
+	defer srv.Close()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	spec := dse.Spec{
+		ID: "example",
+		Space: dse.SpaceSpec{
+			TOPS: 72, Cuts: []int{1}, DRAMPerTOPS: []float64{2},
+			NoCBWs: []float64{32}, D2DRatios: []float64{0.5},
+			GLBsKB: []int{1024}, MACs: []int{1024},
+		},
+		Models:       []string{"tinycnn"},
+		SAIterations: 30,
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(hs.URL+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev serve.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			panic(err)
+		}
+		switch ev.Type {
+		case "start":
+			fmt.Printf("start: %d candidate(s), %d cell(s)\n", ev.Candidates, ev.Cells)
+		case "result":
+			fmt.Printf("result %d: %s\n", ev.Seq, ev.Result.Status)
+		case "done":
+			fmt.Printf("done: best is %s, resumed %d cell(s)\n", ev.Best.Status, ev.Stats.ResumedCells)
+		}
+	}
+	// Output:
+	// start: 1 candidate(s), 1 cell(s)
+	// result 1: ok
+	// done: best is ok, resumed 0 cell(s)
+}

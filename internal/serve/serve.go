@@ -1,0 +1,360 @@
+// Package serve is the HTTP front end of the DSE sweep engine: a long-lived
+// server owning a bounded pool of dse.Sessions, accepting JSON sweep specs
+// and streaming per-candidate results back as NDJSON while the sweep runs.
+//
+// Endpoints:
+//
+//	POST   /sweep        submit a dse.Spec; the response body is an NDJSON
+//	                     event stream (start, one result per candidate in
+//	                     completion order, done/error)
+//	GET    /sweeps       list every sweep the server knows about
+//	GET    /sweeps/{id}  one sweep's status, progress and final stats
+//	DELETE /sweeps/{id}  cancel a running sweep
+//	GET    /healthz      liveness plus session-cache and incumbent metrics
+//
+// Sweeps are checkpointed server-side per sweep id (Config.DataDir): every
+// settled (candidate, model) cell is persisted as it completes, so a killed
+// client that re-POSTs its spec under the same id — or a restarted server —
+// resumes from the checkpoint and recomputes none of the finished cells.
+// Concurrent sweeps are spread round-robin over the session pool and share
+// each session's evaluation cache through the existing sweep scheduler.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gemini/internal/dse"
+)
+
+// Config sizes and locates a Server. The zero value is usable: it serves
+// from a single session with modest concurrency and no persistence.
+type Config struct {
+	// Sessions is the session-pool size (default 1). More sessions mean
+	// less cache sharing but also less cache-lock contention; sweeps are
+	// assigned round-robin.
+	Sessions int
+	// MaxConcurrentSweeps bounds simultaneously running sweeps (default 4).
+	// Excess POSTs are rejected with 429 rather than queued, so a client
+	// can fail over to another replica.
+	MaxConcurrentSweeps int
+	// MaxCells caps a single sweep's (candidate, model) grid (default
+	// 1<<20 cells); larger specs are rejected with 400.
+	MaxCells int
+	// DataDir is where per-sweep checkpoints live; empty disables
+	// persistence (sweeps then only share state within the process).
+	DataDir string
+	// Logf, when set, receives server lifecycle and scheduling lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) sessions() int {
+	if c.Sessions <= 0 {
+		return 1
+	}
+	return c.Sessions
+}
+
+func (c Config) maxSweeps() int {
+	if c.MaxConcurrentSweeps <= 0 {
+		return 4
+	}
+	return c.MaxConcurrentSweeps
+}
+
+func (c Config) maxCells() int {
+	if c.MaxCells <= 0 {
+		return 1 << 20
+	}
+	return c.MaxCells
+}
+
+// Server is the sweep service. Create with New, mount as an http.Handler,
+// and Close on shutdown to cancel running sweeps. Server is safe for
+// concurrent use.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	base  context.Context
+	stop  context.CancelFunc
+	start time.Time
+
+	pool []*dse.Session
+	next atomic.Uint64
+
+	mu      sync.Mutex
+	sweeps  map[string]*sweep
+	order   []string // sweep ids in registration order (for listing/eviction)
+	running int
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		base:   base,
+		stop:   stop,
+		start:  time.Now(),
+		pool:   make([]*dse.Session, cfg.sessions()),
+		sweeps: make(map[string]*sweep),
+	}
+	for i := range s.pool {
+		s.pool[i] = dse.NewSession()
+		s.pool[i].Logf = s.logf
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sweep", s.handleSweep)
+	mux.HandleFunc("GET /sweeps", s.handleList)
+	mux.HandleFunc("GET /sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /sweeps/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP dispatches to the server's routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels every running sweep and refuses new work. In-flight POST
+// handlers observe the cancellation, checkpoint their settled cells and
+// finish their streams; Close does not wait for them — callers that need
+// the drain should pair it with http.Server.Shutdown.
+func (s *Server) Close() { s.stop() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// session picks the next pool session round-robin.
+func (s *Server) session() *dse.Session {
+	return s.pool[int(s.next.Add(1))%len(s.pool)]
+}
+
+// sweepIDPattern is the accepted client-supplied sweep id shape: short,
+// path- and filename-safe (ids key checkpoint files on disk).
+var sweepIDPattern = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// retiredSweeps bounds the finished-sweep history kept for GET /sweeps.
+const retiredSweeps = 1024
+
+// register records a new running sweep, enforcing the id-uniqueness and
+// concurrency limits. The returned http status is 0 on success.
+func (s *Server) register(sw *sweep) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.base.Err() != nil {
+		return http.StatusServiceUnavailable, fmt.Errorf("server is shutting down")
+	}
+	if old, ok := s.sweeps[sw.id]; ok {
+		if old.stateNow() == StateRunning {
+			return http.StatusConflict, fmt.Errorf("sweep %q is already running", sw.id)
+		}
+		// A finished record under the same id is superseded: re-POSTing a
+		// spec is how clients resume after a disconnect or server restart.
+	}
+	if s.running >= s.cfg.maxSweeps() {
+		return http.StatusTooManyRequests, fmt.Errorf("at capacity: %d sweeps running", s.running)
+	}
+	s.running++
+	if _, ok := s.sweeps[sw.id]; !ok {
+		s.order = append(s.order, sw.id)
+	}
+	s.sweeps[sw.id] = sw
+	// Evict the oldest finished sweeps beyond the history bound.
+	for len(s.order) > retiredSweeps {
+		evicted := false
+		for i, id := range s.order {
+			if s.sweeps[id].stateNow() != StateRunning {
+				delete(s.sweeps, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break
+		}
+	}
+	return 0, nil
+}
+
+// release marks a sweep's run slot free.
+func (s *Server) release() {
+	s.mu.Lock()
+	s.running--
+	s.mu.Unlock()
+}
+
+func (s *Server) lookup(id string) (*sweep, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	return sw, ok
+}
+
+// statuses snapshots every known sweep in registration order.
+func (s *Server) statuses() []SweepStatus {
+	s.mu.Lock()
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	sws := make([]*sweep, 0, len(ids))
+	for _, id := range ids {
+		if sw, ok := s.sweeps[id]; ok {
+			sws = append(sws, sw)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]SweepStatus, len(sws))
+	for i, sw := range sws {
+		out[i] = sw.status()
+	}
+	return out
+}
+
+// --- plain-JSON handlers -------------------------------------------------
+
+// errorBody is the JSON error envelope of every non-streaming failure.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	type listBody struct {
+		Sweeps []SweepStatus `json:"sweeps"`
+	}
+	writeJSON(w, http.StatusOK, listBody{Sweeps: s.statuses()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sw.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	sw.cancel()
+	writeJSON(w, http.StatusAccepted, sw.status())
+}
+
+// SessionHealth is one pool session's health snapshot.
+type SessionHealth struct {
+	// Index is the session's pool slot.
+	Index int `json:"index"`
+	// CacheHits / CacheMisses / CacheEntries mirror eval.CacheStats.
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+	// CacheHitRate is hits / (hits + misses), 0 when idle.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// CheckpointCells counts the settled cells the session holds.
+	CheckpointCells int `json:"checkpoint_cells"`
+	// ResumedCells counts cells served from checkpoints over the session's
+	// lifetime.
+	ResumedCells int64 `json:"resumed_cells"`
+}
+
+// SweepCounts aggregates sweep states for the health endpoint.
+type SweepCounts struct {
+	// Running, Done, Canceled and Failed count sweeps by state.
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Canceled int `json:"canceled"`
+	Failed   int `json:"failed"`
+}
+
+// RunningSweep is the health endpoint's live view of one running sweep: its
+// progress and the current pruning incumbent.
+type RunningSweep struct {
+	// ID names the sweep.
+	ID string `json:"id"`
+	// DoneCandidates / Candidates is the sweep's progress.
+	DoneCandidates int `json:"done_candidates"`
+	// Candidates is the sweep's total candidate count.
+	Candidates int `json:"candidates"`
+	// Incumbent is the best feasible objective streamed so far (absent
+	// until one candidate is feasible).
+	Incumbent *CandidateSummary `json:"incumbent,omitempty"`
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	// Status is "ok" while the server accepts work, "closing" after Close.
+	Status string `json:"status"`
+	// UptimeSeconds is the time since New.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Sessions reports per-session cache metrics.
+	Sessions []SessionHealth `json:"sessions"`
+	// Sweeps aggregates sweep states.
+	Sweeps SweepCounts `json:"sweeps"`
+	// Running lists every running sweep with its live incumbent.
+	Running []RunningSweep `json:"running,omitempty"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h := Health{Status: "ok", UptimeSeconds: time.Since(s.start).Seconds()}
+	if s.base.Err() != nil {
+		h.Status = "closing"
+	}
+	for i, ses := range s.pool {
+		cs := ses.CacheStats()
+		h.Sessions = append(h.Sessions, SessionHealth{
+			Index:           i,
+			CacheHits:       cs.Hits,
+			CacheMisses:     cs.Misses,
+			CacheEntries:    cs.Entries,
+			CacheHitRate:    cs.HitRate(),
+			CheckpointCells: ses.CheckpointCells(),
+			ResumedCells:    ses.ResumedCells(),
+		})
+	}
+	for _, st := range s.statuses() {
+		switch st.State {
+		case StateRunning:
+			h.Sweeps.Running++
+			h.Running = append(h.Running, RunningSweep{
+				ID:             st.ID,
+				DoneCandidates: st.DoneCandidates,
+				Candidates:     st.Candidates,
+				Incumbent:      st.Best,
+			})
+		case StateDone:
+			h.Sweeps.Done++
+		case StateCanceled:
+			h.Sweeps.Canceled++
+		case StateFailed:
+			h.Sweeps.Failed++
+		}
+	}
+	sort.Slice(h.Running, func(a, b int) bool { return h.Running[a].ID < h.Running[b].ID })
+	writeJSON(w, http.StatusOK, h)
+}

@@ -1,0 +1,590 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gemini/internal/dse"
+)
+
+// tinySpec builds a cheap sweep spec with candidates = len(nocs) (one MAC
+// count, cut 1x1, so the NoC list is the only multi-valued dimension).
+func tinySpec(id string, nocs ...float64) dse.Spec {
+	if len(nocs) == 0 {
+		nocs = []float64{32}
+	}
+	return dse.Spec{
+		ID: id,
+		Space: dse.SpaceSpec{
+			TOPS: 72, Cuts: []int{1}, DRAMPerTOPS: []float64{2},
+			NoCBWs: nocs, D2DRatios: []float64{0.5},
+			GLBsKB: []int{1024}, MACs: []int{1024},
+		},
+		Models:       []string{"tinycnn"},
+		SAIterations: 30,
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	hs := httptest.NewServer(s)
+	t.Cleanup(func() { hs.Close(); s.Close() })
+	return s, hs
+}
+
+func postSpec(t *testing.T, url string, spec dse.Spec) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// readEvents drains an NDJSON stream.
+func readEvents(t *testing.T, resp *http.Response) []Event {
+	t.Helper()
+	defer resp.Body.Close()
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	return events
+}
+
+func runSweep(t *testing.T, url string, spec dse.Spec) []Event {
+	t.Helper()
+	resp := postSpec(t, url, spec)
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		var eb errorBody
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		t.Fatalf("POST /sweep: status %d: %s", resp.StatusCode, eb.Error)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	return readEvents(t, resp)
+}
+
+func getStatus(t *testing.T, url, id string) (SweepStatus, int) {
+	t.Helper()
+	resp, err := http.Get(url + "/sweeps/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st SweepStatus
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+// TestSweepRoundTrip pins the tentpole's happy path: POST a spec, stream
+// start / one result per candidate / done, then read the finished status.
+func TestSweepRoundTrip(t *testing.T) {
+	_, hs := newTestServer(t, Config{DataDir: t.TempDir()})
+	spec := tinySpec("round-trip", 32, 64)
+
+	events := runSweep(t, hs.URL, spec)
+	if len(events) != 4 { // start + 2 results + done
+		t.Fatalf("got %d events, want 4: %+v", len(events), events)
+	}
+	start := events[0]
+	if start.Type != "start" || start.SweepID != "round-trip" || start.Candidates != 2 || start.Cells != 2 {
+		t.Errorf("bad start event: %+v", start)
+	}
+	if len(start.Models) != 1 || start.Models[0] != "tinycnn" {
+		t.Errorf("start models = %v", start.Models)
+	}
+	for _, ev := range events[1:3] {
+		if ev.Type != "result" || ev.Result == nil {
+			t.Fatalf("bad result event: %+v", ev)
+		}
+		if ev.Result.Status != "ok" || ev.Result.Objective <= 0 {
+			t.Errorf("candidate %s: status=%s obj=%g", ev.Result.Arch, ev.Result.Status, ev.Result.Objective)
+		}
+	}
+	done := events[3]
+	if done.Type != "done" || done.Best == nil || done.Stats == nil {
+		t.Fatalf("bad done event: %+v", done)
+	}
+	if done.Stats.Candidates != 2 || done.Stats.Cells != 2 || done.Stats.Canceled {
+		t.Errorf("done stats: %+v", done.Stats)
+	}
+	// The winner must be the lower-objective streamed result.
+	best := events[1].Result
+	if events[2].Result.Objective < best.Objective {
+		best = events[2].Result
+	}
+	if done.Best.Arch != best.Arch {
+		t.Errorf("done best = %s, want %s", done.Best.Arch, best.Arch)
+	}
+
+	// A fresh sweep with different mapping options on the same (shared)
+	// session must not report the first sweep's cells as its own
+	// checkpoint: checkpoint_cells is scoped to the sweep's grid+options.
+	fresh := tinySpec("fresh-after", 32)
+	fresh.Seed = 99
+	freshEvents := runSweep(t, hs.URL, fresh)
+	if freshEvents[0].CheckpointCells != 0 {
+		t.Errorf("fresh sweep start reports checkpoint_cells=%d, want 0", freshEvents[0].CheckpointCells)
+	}
+
+	st, code := getStatus(t, hs.URL, "round-trip")
+	if code != http.StatusOK {
+		t.Fatalf("GET /sweeps/round-trip: %d", code)
+	}
+	if st.State != StateDone || st.DoneCandidates != 2 || st.Best == nil || st.Stats == nil || !st.Checkpoint {
+		t.Errorf("status: %+v", st)
+	}
+	if st.FinishedAt == nil || st.FinishedAt.Before(st.StartedAt) {
+		t.Errorf("finished_at not set sanely: %+v", st)
+	}
+}
+
+// TestStreamOrder pins the NDJSON framing contract: start first, done last,
+// result seq strictly 1..N in stream order.
+func TestStreamOrder(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	events := runSweep(t, hs.URL, tinySpec("ordered", 8, 16, 32, 64))
+	if events[0].Type != "start" {
+		t.Fatalf("first event %q, want start", events[0].Type)
+	}
+	if events[len(events)-1].Type != "done" {
+		t.Fatalf("last event %q, want done", events[len(events)-1].Type)
+	}
+	seq := 0
+	for _, ev := range events[1 : len(events)-1] {
+		seq++
+		if ev.Type != "result" || ev.Seq != seq {
+			t.Errorf("event %d: type=%s seq=%d, want result seq=%d", seq, ev.Type, ev.Seq, seq)
+		}
+	}
+	if seq != 4 {
+		t.Errorf("streamed %d results, want 4", seq)
+	}
+}
+
+// TestResumeAfterRestart pins the acceptance criterion: a brand-new server
+// process (fresh sessions) pointed at the same data dir resumes a finished
+// sweep from its checkpoint and recomputes zero completed cells.
+func TestResumeAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinySpec("restart-me", 32, 64)
+
+	_, hsA := newTestServer(t, Config{DataDir: dir})
+	first := runSweep(t, hsA.URL, spec)
+	firstDone := first[len(first)-1]
+	if firstDone.Type != "done" || firstDone.Stats.ResumedCells != 0 {
+		t.Fatalf("first run: %+v", firstDone)
+	}
+	hsA.Close()
+
+	_, hsB := newTestServer(t, Config{DataDir: dir})
+	second := runSweep(t, hsB.URL, spec)
+	if second[0].CheckpointCells == 0 {
+		t.Error("restarted server loaded no checkpoint cells")
+	}
+	done := second[len(second)-1]
+	if done.Type != "done" {
+		t.Fatalf("second run ended with %q", done.Type)
+	}
+	if done.Stats.ResumedCells != done.Stats.Cells {
+		t.Errorf("resumed %d of %d cells; a restarted sweep must recompute zero completed cells",
+			done.Stats.ResumedCells, done.Stats.Cells)
+	}
+	// Identical outcome either way.
+	if firstDone.Best.Arch != done.Best.Arch || firstDone.Best.Objective != done.Best.Objective {
+		t.Errorf("resumed best %+v != original %+v", done.Best, firstDone.Best)
+	}
+}
+
+// TestResumeAfterMidSweepCancel kills a sweep partway (DELETE), restarts
+// the server, and re-POSTs: cells settled before the kill must be restored,
+// not recomputed, and the sweep must complete.
+func TestResumeAfterMidSweepCancel(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinySpec("killed", 8, 16, 32, 64)
+	spec.Workers = 1
+	spec.SAIterations = 400
+	spec.Restarts = 4
+
+	_, hsA := newTestServer(t, Config{DataDir: dir})
+	resp := postSpec(t, hsA.URL, spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST: %d", resp.StatusCode)
+	}
+	// Read events until the first candidate settles, then cancel.
+	sc := bufio.NewScanner(resp.Body)
+	var seen int
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type == "result" {
+			seen++
+			req, _ := http.NewRequest(http.MethodDelete, hsA.URL+"/sweeps/killed", nil)
+			dresp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dresp.Body.Close()
+			if dresp.StatusCode != http.StatusAccepted {
+				t.Fatalf("DELETE: %d", dresp.StatusCode)
+			}
+			break
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no result before cancel")
+	}
+	// Drain the rest of the stream: it must end in a typed error event.
+	var last Event
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	if last.Type != "error" || !strings.Contains(last.Error, "canceled") {
+		t.Fatalf("canceled sweep ended with %+v", last)
+	}
+	st, _ := getStatus(t, hsA.URL, "killed")
+	if st.State != StateCanceled {
+		t.Errorf("state = %s, want canceled", st.State)
+	}
+	hsA.Close()
+
+	_, hsB := newTestServer(t, Config{DataDir: dir})
+	events := runSweep(t, hsB.URL, spec)
+	if events[0].CheckpointCells == 0 {
+		t.Error("no checkpoint cells survived the kill")
+	}
+	done := events[len(events)-1]
+	if done.Type != "done" {
+		t.Fatalf("resumed sweep ended with %q: %+v", done.Type, done)
+	}
+	if done.Stats.ResumedCells == 0 {
+		t.Error("resumed sweep recomputed every cell")
+	}
+	if done.Stats.ResumedCells < seen {
+		t.Errorf("resumed %d cells, want >= the %d that settled before the kill", done.Stats.ResumedCells, seen)
+	}
+}
+
+// TestConcurrentSweeps runs two sweeps at once on one shared session; under
+// -race this is the concurrency acceptance test.
+func TestConcurrentSweeps(t *testing.T) {
+	_, hs := newTestServer(t, Config{Sessions: 1, DataDir: t.TempDir()})
+	specs := []dse.Spec{tinySpec("conc-a", 8, 32), tinySpec("conc-b", 16, 64)}
+	// Overlap the grids so the sweeps race on the same shared cache keys.
+	specs[1].Models = []string{"tinycnn"}
+
+	// No t.Fatal from goroutines: collect raw streams, parse on the main
+	// goroutine.
+	type outcome struct {
+		status int
+		lines  []string
+		err    error
+	}
+	var wg sync.WaitGroup
+	outs := make([]outcome, len(specs))
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, err := json.Marshal(specs[i])
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			resp, err := http.Post(hs.URL+"/sweep", "application/json", bytes.NewReader(body))
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			outs[i].status = resp.StatusCode
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			for sc.Scan() {
+				outs[i].lines = append(outs[i].lines, sc.Text())
+			}
+			outs[i].err = sc.Err()
+		}(i)
+	}
+	wg.Wait()
+	results := make([][]Event, len(specs))
+	for i, o := range outs {
+		if o.err != nil || o.status != http.StatusOK {
+			t.Fatalf("sweep %d: status %d, err %v", i, o.status, o.err)
+		}
+		for _, line := range o.lines {
+			var ev Event
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("sweep %d: bad line %q: %v", i, line, err)
+			}
+			results[i] = append(results[i], ev)
+		}
+	}
+	for i, events := range results {
+		if len(events) == 0 {
+			t.Fatalf("sweep %d: no events", i)
+		}
+		done := events[len(events)-1]
+		if done.Type != "done" || done.Stats == nil || done.Stats.Canceled {
+			t.Errorf("sweep %d ended badly: %+v", i, done)
+		}
+	}
+	// Both sweeps must be visible, finished, on the status API.
+	for _, id := range []string{"conc-a", "conc-b"} {
+		st, code := getStatus(t, hs.URL, id)
+		if code != http.StatusOK || st.State != StateDone {
+			t.Errorf("%s: code=%d state=%s", id, code, st.State)
+		}
+	}
+}
+
+func TestSweepValidationErrors(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxCells: 1})
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var eb errorBody
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		return resp.StatusCode, eb.Error
+	}
+	cases := []struct {
+		name, body, want string
+	}{
+		{"garbage", "{", "decoding"},
+		{"unknown field", `{"space":{"tops":72},"models":["tinycnn"],"bogus":1}`, "unknown field"},
+		{"bad space", `{"space":{"tops":3},"models":["tinycnn"]}`, "tops"},
+		{"unknown model", `{"space":{"tops":72},"models":["nope"]}`, "unknown model"},
+		{"bad id", `{"id":"../etc/passwd","space":{"tops":72},"models":["tinycnn"]}`, "sweep id"},
+		{"too many cells", `{"space":{"tops":72,"reduced":true},"models":["tinycnn","tinytransformer"]}`, "cells"},
+	}
+	for _, c := range cases {
+		code, msg := post(c.body)
+		if code != http.StatusBadRequest || !strings.Contains(msg, c.want) {
+			t.Errorf("%s: code=%d msg=%q, want 400 containing %q", c.name, code, msg, c.want)
+		}
+	}
+}
+
+// TestDuplicateAndCapacity pins the 409 (same id already running) and 429
+// (server at capacity) rejections.
+func TestDuplicateAndCapacity(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxConcurrentSweeps: 1})
+	slow := tinySpec("slow", 8, 16, 32, 64)
+	slow.SAIterations = 3000
+	slow.Restarts = 6
+	slow.Workers = 1
+
+	resp := postSpec(t, hs.URL, slow)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST: %d", resp.StatusCode)
+	}
+	defer resp.Body.Close()
+	// Wait for the start event so the sweep is registered.
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("no start event")
+	}
+
+	dup := postSpec(t, hs.URL, slow)
+	dup.Body.Close()
+	if dup.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate running id: %d, want 409", dup.StatusCode)
+	}
+	other := postSpec(t, hs.URL, tinySpec("other"))
+	other.Body.Close()
+	if other.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("over capacity: %d, want 429", other.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/sweeps/slow", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	for sc.Scan() { // drain to completion
+	}
+
+	// With the slot free and the old sweep finished, the same id may rerun.
+	waitFor(t, func() bool {
+		st, _ := getStatus(t, hs.URL, "slow")
+		return st.State != StateRunning
+	})
+	quick := tinySpec("slow")
+	events := runSweep(t, hs.URL, quick)
+	if events[len(events)-1].Type != "done" {
+		t.Errorf("rerun under a retired id failed: %+v", events[len(events)-1])
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func TestHealthz(t *testing.T) {
+	_, hs := newTestServer(t, Config{Sessions: 2, DataDir: t.TempDir()})
+	runSweep(t, hs.URL, tinySpec("healthy", 32, 64))
+
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status %q", h.Status)
+	}
+	if len(h.Sessions) != 2 {
+		t.Fatalf("%d sessions, want 2", len(h.Sessions))
+	}
+	var cells int
+	for _, sh := range h.Sessions {
+		cells += sh.CheckpointCells
+	}
+	if cells != 2 {
+		t.Errorf("sessions hold %d cells, want 2", cells)
+	}
+	if h.Sweeps.Done != 1 || h.Sweeps.Running != 0 {
+		t.Errorf("sweep counts: %+v", h.Sweeps)
+	}
+}
+
+func TestListAndUnknownSweep(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	runSweep(t, hs.URL, tinySpec("listed"))
+
+	resp, err := http.Get(hs.URL + "/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Sweeps []SweepStatus `json:"sweeps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Sweeps) != 1 || body.Sweeps[0].ID != "listed" {
+		t.Errorf("list: %+v", body.Sweeps)
+	}
+	if _, code := getStatus(t, hs.URL, "nope"); code != http.StatusNotFound {
+		t.Errorf("unknown sweep: %d, want 404", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/sweeps/nope", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown: %d, want 404", dresp.StatusCode)
+	}
+}
+
+// TestServerAssignsID covers id generation and the X-Sweep-Id header.
+func TestServerAssignsID(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	spec := tinySpec("")
+	resp := postSpec(t, hs.URL, spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST: %d", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Sweep-Id")
+	events := readEvents(t, resp)
+	if id == "" || !strings.HasPrefix(id, "sweep-") {
+		t.Errorf("X-Sweep-Id = %q", id)
+	}
+	if events[0].SweepID != id {
+		t.Errorf("stream sweep_id %q != header %q", events[0].SweepID, id)
+	}
+	if _, code := getStatus(t, hs.URL, id); code != http.StatusOK {
+		t.Errorf("GET by assigned id: %d", code)
+	}
+}
+
+// TestShutdownCancelsSweeps pins Close semantics: running sweeps end as
+// canceled with their streams closed by a typed error event.
+func TestShutdownCancelsSweeps(t *testing.T) {
+	s, hs := newTestServer(t, Config{DataDir: t.TempDir()})
+	slow := tinySpec("shutdown", 8, 16, 32, 64)
+	slow.SAIterations = 3000
+	slow.Restarts = 6
+	slow.Workers = 1
+
+	resp := postSpec(t, hs.URL, slow)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST: %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() { // start event: sweep is registered
+		t.Fatal("no start event")
+	}
+	s.Close()
+	var last Event
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	if last.Type != "error" {
+		t.Fatalf("shutdown stream ended with %+v", last)
+	}
+	// New work is refused while closing.
+	refused := postSpec(t, hs.URL, tinySpec("late"))
+	refused.Body.Close()
+	if refused.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("POST after Close: %d, want 503", refused.StatusCode)
+	}
+	if s.base.Err() == nil {
+		t.Error("base context not canceled")
+	}
+}

@@ -1,0 +1,550 @@
+// Sweep execution: one POST /sweep request's lifecycle. The handler
+// resolves the spec, registers the sweep, binds it to a pool session,
+// replays the sweep's server-side checkpoint, and streams typed NDJSON
+// events while dse.Session.RunContext walks the grid. Every settled cell is
+// re-checkpointed as candidates complete, so the on-disk state is never
+// more than one candidate behind the stream.
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gemini/internal/dse"
+)
+
+// SweepState is the lifecycle state of a sweep.
+type SweepState string
+
+// Sweep lifecycle states.
+const (
+	// StateRunning marks a sweep whose grid is still being walked.
+	StateRunning SweepState = "running"
+	// StateDone marks a sweep whose every candidate settled.
+	StateDone SweepState = "done"
+	// StateCanceled marks a sweep stopped early (client disconnect,
+	// DELETE /sweeps/{id}, or server shutdown); its checkpoint survives.
+	StateCanceled SweepState = "canceled"
+	// StateFailed marks a sweep that died of an infrastructure error.
+	StateFailed SweepState = "failed"
+)
+
+// CandidateSummary is the JSON shape of one candidate's outcome, used in
+// result events, done events and sweep statuses. Objective-class numbers
+// are omitted rather than sent as +Inf (which JSON cannot carry) when the
+// candidate is not feasible.
+type CandidateSummary struct {
+	// Arch is the candidate's configuration name.
+	Arch string `json:"arch"`
+	// Chiplets and Cores describe the candidate's partitioning.
+	Chiplets int `json:"chiplets"`
+	// Cores is the candidate's total core count.
+	Cores int `json:"cores"`
+	// Status is "ok", "infeasible", "pruned" or "error".
+	Status string `json:"status"`
+	// Objective is MC^alpha * E^beta * D^gamma (feasible candidates only).
+	Objective float64 `json:"objective,omitempty"`
+	// MCUSD is the candidate's monetary cost in dollars.
+	MCUSD float64 `json:"mc_usd,omitempty"`
+	// EnergyJ is the geometric-mean mapping energy (feasible only).
+	EnergyJ float64 `json:"energy_j,omitempty"`
+	// DelayS is the geometric-mean mapping delay (feasible only).
+	DelayS float64 `json:"delay_s,omitempty"`
+	// EDP is EnergyJ * DelayS (feasible only).
+	EDP float64 `json:"edp,omitempty"`
+	// LowerBound is the objective bound that justified a prune (pruned
+	// candidates only).
+	LowerBound float64 `json:"lower_bound,omitempty"`
+	// Error carries the infrastructure error (errored candidates only).
+	Error string `json:"error,omitempty"`
+}
+
+// finite returns v when it is a real number, else 0 so the field is omitted
+// from JSON instead of breaking the encoder.
+func finite(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// summarize converts a dse.CandidateResult to its wire shape.
+func summarize(r *dse.CandidateResult) *CandidateSummary {
+	cs := &CandidateSummary{
+		Arch:       r.Cfg.Name,
+		Chiplets:   r.Cfg.Chiplets(),
+		Cores:      r.Cfg.Cores(),
+		Status:     r.Status(),
+		MCUSD:      finite(r.MC.Total()),
+		LowerBound: finite(r.LowerBound),
+	}
+	if r.Feasible {
+		cs.Objective = finite(r.Obj)
+		cs.EnergyJ = finite(r.Energy)
+		cs.DelayS = finite(r.Delay)
+		cs.EDP = finite(r.EDP())
+	}
+	if r.Err != nil {
+		cs.Error = r.Err.Error()
+	}
+	return cs
+}
+
+// StatsSummary is the JSON shape of dse.SweepStats (which itself is not
+// JSON-safe: an unseeded incumbent is +Inf).
+type StatsSummary struct {
+	// Order is the dispatch order the sweep used ("bound" or "grid").
+	Order string `json:"order"`
+	// Candidates and Cells size the sweep grid.
+	Candidates int `json:"candidates"`
+	// Cells is the total (candidate, model) cell count.
+	Cells int `json:"cells"`
+	// Canceled reports an early stop; unfinished cells were not run.
+	Canceled bool `json:"canceled,omitempty"`
+	// ResumedCells counts cells served from the server-side checkpoint.
+	ResumedCells int `json:"resumed_cells"`
+	// PrunedCandidates counts candidates the bound gate skipped.
+	PrunedCandidates int `json:"pruned_candidates"`
+	// AbandonedRestarts counts SA restarts cut off by the live incumbent.
+	AbandonedRestarts int `json:"abandoned_restarts"`
+	// SkippedRestarts counts SA restarts saved by portfolio patience.
+	SkippedRestarts int `json:"skipped_restarts"`
+	// SeededIncumbent is the incumbent restored from the checkpoint before
+	// the first task (omitted when nothing seeded).
+	SeededIncumbent float64 `json:"seeded_incumbent,omitempty"`
+	// Trajectory records every incumbent improvement in order.
+	Trajectory []TrajectoryStep `json:"trajectory,omitempty"`
+}
+
+// TrajectoryStep is one incumbent improvement in a StatsSummary.
+type TrajectoryStep struct {
+	// Candidate is the improving candidate ("(checkpoint seed)" for the
+	// restored initial value).
+	Candidate string `json:"candidate"`
+	// Objective is the improved incumbent value.
+	Objective float64 `json:"objective"`
+}
+
+// summarizeStats converts dse.SweepStats to its wire shape.
+func summarizeStats(st dse.SweepStats) *StatsSummary {
+	out := &StatsSummary{
+		Order:             string(st.Order),
+		Candidates:        st.Candidates,
+		Cells:             st.Cells,
+		Canceled:          st.Canceled,
+		ResumedCells:      st.ResumedCells,
+		PrunedCandidates:  st.PrunedCandidates,
+		AbandonedRestarts: st.AbandonedRestarts,
+		SkippedRestarts:   st.SkippedRestarts,
+		SeededIncumbent:   finite(st.SeededIncumbent),
+	}
+	for _, step := range st.Trajectory {
+		out.Trajectory = append(out.Trajectory, TrajectoryStep{Candidate: step.Candidate, Objective: finite(step.Obj)})
+	}
+	return out
+}
+
+// Event is one NDJSON line of a POST /sweep response stream.
+type Event struct {
+	// Type is "start", "result", "done" or "error".
+	Type string `json:"type"`
+	// SweepID names the sweep (every event carries it, so streams can be
+	// demultiplexed by tooling that merges them).
+	SweepID string `json:"sweep_id"`
+	// Seq is the 1-based completion index of a result event.
+	Seq int `json:"seq,omitempty"`
+	// Candidates, Cells and Models describe the grid (start events).
+	Candidates int `json:"candidates,omitempty"`
+	// Cells is the (candidate, model) grid size (start events).
+	Cells int `json:"cells,omitempty"`
+	// Models lists the workloads (start events).
+	Models []string `json:"models,omitempty"`
+	// CheckpointCells is how many of this sweep's own (candidate, model)
+	// cells were already settled — and will be restored, not recomputed —
+	// when it started (start events; > 0 means the sweep is resuming).
+	// Cells of unrelated sweeps sharing the session are not counted.
+	CheckpointCells int `json:"checkpoint_cells,omitempty"`
+	// Result is the candidate outcome (result events).
+	Result *CandidateSummary `json:"result,omitempty"`
+	// Best is the winning candidate (done events, when any is feasible).
+	Best *CandidateSummary `json:"best,omitempty"`
+	// Stats is the sweep's scheduler accounting (done events).
+	Stats *StatsSummary `json:"stats,omitempty"`
+	// ElapsedMS is the sweep wall time (done events).
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+	// Error explains an error event (spec rejected mid-flight, sweep
+	// canceled, infrastructure failure).
+	Error string `json:"error,omitempty"`
+}
+
+// SweepStatus is the GET /sweeps/{id} body: a point-in-time view of one
+// sweep's progress.
+type SweepStatus struct {
+	// ID names the sweep.
+	ID string `json:"id"`
+	// State is the sweep's lifecycle state.
+	State SweepState `json:"state"`
+	// Candidates and Cells size the grid.
+	Candidates int `json:"candidates"`
+	// Cells is the (candidate, model) grid size.
+	Cells int `json:"cells"`
+	// DoneCandidates counts candidates whose outcome has streamed.
+	DoneCandidates int `json:"done_candidates"`
+	// Best is the best feasible candidate streamed so far.
+	Best *CandidateSummary `json:"best,omitempty"`
+	// Stats is the final scheduler accounting (finished sweeps only).
+	Stats *StatsSummary `json:"stats,omitempty"`
+	// Checkpoint reports whether a server-side checkpoint file exists for
+	// this sweep id.
+	Checkpoint bool `json:"checkpoint,omitempty"`
+	// Error is the sweep-level failure (canceled or failed sweeps).
+	Error string `json:"error,omitempty"`
+	// StartedAt is when the sweep registered.
+	StartedAt time.Time `json:"started_at"`
+	// FinishedAt is when the sweep left StateRunning (finished sweeps).
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// sweep is the server-side record of one sweep.
+type sweep struct {
+	id     string
+	server *Server
+	cancel context.CancelFunc
+	// ckpt caches whether a checkpoint file exists for this sweep id, so
+	// status snapshots (GET /sweeps, /healthz, the eviction scan) never
+	// touch the filesystem.
+	ckpt atomic.Bool
+
+	mu       sync.Mutex
+	state    SweepState
+	cands    int
+	cells    int
+	done     int
+	best     *CandidateSummary
+	stats    *StatsSummary
+	err      string
+	started  time.Time
+	finished time.Time
+}
+
+// stateNow reads just the lifecycle state — cheap enough for the server's
+// registration path, which runs under the server-wide mutex.
+func (sw *sweep) stateNow() SweepState {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.state
+}
+
+// status snapshots the sweep.
+func (sw *sweep) status() SweepStatus {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	st := SweepStatus{
+		ID:             sw.id,
+		State:          sw.state,
+		Candidates:     sw.cands,
+		Cells:          sw.cells,
+		DoneCandidates: sw.done,
+		Best:           sw.best,
+		Stats:          sw.stats,
+		Error:          sw.err,
+		StartedAt:      sw.started,
+		Checkpoint:     sw.ckpt.Load(),
+	}
+	if !sw.finished.IsZero() {
+		f := sw.finished
+		st.FinishedAt = &f
+	}
+	return st
+}
+
+// noteResult folds one streamed candidate into the live progress view.
+func (sw *sweep) noteResult(cs *CandidateSummary) {
+	sw.mu.Lock()
+	sw.done++
+	if cs.Status == "ok" && (sw.best == nil || cs.Objective < sw.best.Objective) {
+		sw.best = cs
+	}
+	sw.mu.Unlock()
+}
+
+// finish settles the sweep's final state.
+func (sw *sweep) finish(state SweepState, stats *StatsSummary, best *CandidateSummary, errText string) {
+	sw.mu.Lock()
+	sw.state = state
+	sw.stats = stats
+	if best != nil {
+		sw.best = best
+	}
+	sw.err = errText
+	sw.finished = time.Now()
+	sw.mu.Unlock()
+}
+
+// newSweepID generates a server-assigned sweep id.
+func newSweepID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back to
+		// a time-derived id rather than crash the handler.
+		return fmt.Sprintf("sweep-%d", time.Now().UnixNano())
+	}
+	return "sweep-" + hex.EncodeToString(b[:])
+}
+
+// streamWriter serializes NDJSON events onto a response, flushing per line
+// and going quiet (rather than erroring the sweep) once the client is gone.
+type streamWriter struct {
+	mu      sync.Mutex
+	w       http.ResponseWriter
+	flush   func()
+	enc     *json.Encoder
+	stopped bool
+}
+
+func newStreamWriter(w http.ResponseWriter) *streamWriter {
+	sw := &streamWriter{w: w, enc: json.NewEncoder(w), flush: func() {}}
+	if f, ok := w.(http.Flusher); ok {
+		sw.flush = f.Flush
+	}
+	return sw
+}
+
+func (sw *streamWriter) send(ev Event) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.stopped {
+		return
+	}
+	if err := sw.enc.Encode(ev); err != nil {
+		sw.stopped = true
+		return
+	}
+	sw.flush()
+}
+
+// --- checkpoint persistence ----------------------------------------------
+
+// checkpointPath maps a sweep id to its on-disk checkpoint, or "" when
+// persistence is disabled.
+func (s *Server) checkpointPath(id string) string {
+	if s.cfg.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.DataDir, id+".ckpt")
+}
+
+func (s *Server) hasCheckpoint(id string) bool {
+	path := s.checkpointPath(id)
+	if path == "" {
+		return false
+	}
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// loadCheckpoint merges a sweep's persisted cells into the session, if a
+// checkpoint exists. A corrupt checkpoint is reported, not fatal: the sweep
+// then recomputes.
+func (s *Server) loadCheckpoint(ses *dse.Session, id string) error {
+	path := s.checkpointPath(id)
+	if path == "" {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	return ses.LoadCheckpoint(f)
+}
+
+// saveCheckpoint atomically persists the session's settled cells under the
+// sweep's id. The session is shared, so the file may also carry cells of
+// concurrent sweeps — harmless (cells are keyed by architecture, model and
+// options) and useful: resuming one sweep warms its neighbours too.
+func (s *Server) saveCheckpoint(ses *dse.Session, id string) error {
+	path := s.checkpointPath(id)
+	if path == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.cfg.DataDir, id+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := ses.SaveCheckpoint(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// --- the POST /sweep handler ---------------------------------------------
+
+// specBodyLimit bounds a POST /sweep request body.
+const specBodyLimit = 1 << 20
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var spec dse.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, specBodyLimit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding sweep spec: %v", err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if spec.ID == "" {
+		spec.ID = newSweepID()
+	} else if !sweepIDPattern.MatchString(spec.ID) {
+		writeError(w, http.StatusBadRequest, "sweep id %q: want %s", spec.ID, sweepIDPattern)
+		return
+	}
+	cands, err := spec.Candidates()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	graphs, err := spec.Graphs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cells := len(cands) * len(graphs)
+	if cells > s.cfg.maxCells() {
+		writeError(w, http.StatusBadRequest, "sweep has %d cells, server cap is %d", cells, s.cfg.maxCells())
+		return
+	}
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	sw := &sweep{
+		id:      spec.ID,
+		server:  s,
+		cancel:  cancel,
+		state:   StateRunning,
+		cands:   len(cands),
+		cells:   cells,
+		started: time.Now(),
+	}
+	if code, err := s.register(sw); code != 0 {
+		writeError(w, code, "%v", err)
+		return
+	}
+	defer s.release()
+	// Server shutdown cancels the sweep like a client disconnect would.
+	stopWatch := context.AfterFunc(s.base, cancel)
+	defer stopWatch()
+
+	ses := s.session()
+	sw.ckpt.Store(s.hasCheckpoint(spec.ID))
+	if err := s.loadCheckpoint(ses, spec.ID); err != nil {
+		s.logf("serve: sweep %s: checkpoint load failed, recomputing: %v", spec.ID, err)
+	}
+	opt := spec.Options()
+	// A client-supplied worker count is a resource request against a
+	// shared server: clamp it to the machine so one spec cannot spawn an
+	// unbounded goroutine fleet (0 already means GOMAXPROCS).
+	if opt.Workers > runtime.GOMAXPROCS(0) {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Sweep-Id", spec.ID)
+	w.WriteHeader(http.StatusOK)
+	stream := newStreamWriter(w)
+	stream.send(Event{
+		Type:            "start",
+		SweepID:         spec.ID,
+		Candidates:      len(cands),
+		Cells:           cells,
+		Models:          spec.Models,
+		CheckpointCells: ses.SettledCells(cands, graphs, opt),
+	})
+
+	// Checkpoint continuously but off the result path: OnResult runs in
+	// the scheduler's serialized callback section, so serializing the
+	// whole session to disk there would stall sweep workers. A dedicated
+	// saver goroutine coalesces save requests instead — the on-disk state
+	// trails the stream only by saves still in flight, and the final save
+	// below covers the tail.
+	saveReq := make(chan struct{}, 1)
+	saverDone := make(chan struct{})
+	save := func(label string) {
+		if err := s.saveCheckpoint(ses, spec.ID); err != nil {
+			s.logf("serve: sweep %s: %s checkpoint save failed: %v", spec.ID, label, err)
+		} else if s.checkpointPath(spec.ID) != "" {
+			sw.ckpt.Store(true)
+		}
+	}
+	go func() {
+		defer close(saverDone)
+		for range saveReq {
+			save("incremental")
+		}
+	}()
+
+	var seqMu sync.Mutex
+	seq := 0
+	opt.OnResult = func(cr dse.CandidateResult) {
+		cs := summarize(&cr)
+		sw.noteResult(cs)
+		seqMu.Lock()
+		seq++
+		n := seq
+		seqMu.Unlock()
+		stream.send(Event{Type: "result", SweepID: spec.ID, Seq: n, Result: cs})
+		select {
+		case saveReq <- struct{}{}:
+		default: // a save is already pending; it will pick this cell up
+		}
+	}
+
+	s.logf("serve: sweep %s: %d candidates x %d models (%d cells)", spec.ID, len(cands), len(graphs), cells)
+	begin := time.Now()
+	results, stats, runErr := ses.RunContext(ctx, cands, graphs, opt)
+	close(saveReq)
+	<-saverDone
+	save("final")
+
+	elapsed := time.Since(begin).Milliseconds()
+	switch {
+	case runErr != nil && (errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded)):
+		sw.finish(StateCanceled, summarizeStats(stats), nil, runErr.Error())
+		stream.send(Event{Type: "error", SweepID: spec.ID, Error: runErr.Error(), Stats: summarizeStats(stats), ElapsedMS: elapsed})
+	case runErr != nil:
+		sw.finish(StateFailed, summarizeStats(stats), nil, runErr.Error())
+		stream.send(Event{Type: "error", SweepID: spec.ID, Error: runErr.Error(), Stats: summarizeStats(stats), ElapsedMS: elapsed})
+	default:
+		var best *CandidateSummary
+		if b := dse.Best(results); b != nil {
+			best = summarize(b)
+		}
+		sw.finish(StateDone, summarizeStats(stats), best, "")
+		stream.send(Event{Type: "done", SweepID: spec.ID, Best: best, Stats: summarizeStats(stats), ElapsedMS: elapsed})
+	}
+}
