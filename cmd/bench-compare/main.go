@@ -84,6 +84,8 @@ func main() {
 	nsGate := flag.Bool("ns-gate", true, "fail on ns/op regressions; disable when old and new reports come from different machines (allocs/op stays gated — it is machine-independent)")
 	warmFactor := flag.Float64("warm-factor", 2, "required cold/warm speedup of the DSE session sweep in the new report (0 disables); cold and warm come from the same run, so this check is machine-relative")
 	orderedFactor := flag.Float64("ordered-factor", 0, "required grid/ordered speedup of the pruning-enabled scheduler sweep in the new report (0 disables); both come from the same run, so this check is machine-relative")
+	tightBoundFactor := flag.Float64("tightbound-factor", 0, "required PR3-bound/tight-bound speedup of the weak-first sweep in the new report (0 disables); both come from the same run, so this check is machine-relative")
+	diskWarmFactor := flag.Float64("diskwarm-factor", 0, "max allowed disk-warm/in-process-warm slowdown of the session sweep in the new report (0 disables); both come from the same run, so this check is machine-relative")
 	flag.Parse()
 	if *newPath == "" {
 		log.Fatal("-new is required")
@@ -166,6 +168,38 @@ func main() {
 			failed = true
 		default:
 			fmt.Printf("ok   bound-ordered sweep speedup %.2fx (>= %.2fx)\n", grid.NsPerOp/ordered.NsPerOp, *orderedFactor)
+		}
+	}
+
+	if *tightBoundFactor > 0 {
+		pr3, okP := newB["BenchmarkDSESweepPR3Bound"]
+		tight, okT := newB["BenchmarkDSESweepTightBound"]
+		switch {
+		case !okP || !okT:
+			fmt.Printf("FAIL tight-bound check: PR3/tight bound benchmarks missing from %s\n", *newPath)
+			failed = true
+		case pr3.NsPerOp < *tightBoundFactor*tight.NsPerOp:
+			fmt.Printf("FAIL tight-bound sweep speedup %.2fx < required %.2fx (PR3 bound %.6g ns, tight %.6g ns)\n",
+				pr3.NsPerOp/tight.NsPerOp, *tightBoundFactor, pr3.NsPerOp, tight.NsPerOp)
+			failed = true
+		default:
+			fmt.Printf("ok   tight-bound sweep speedup %.2fx (>= %.2fx)\n", pr3.NsPerOp/tight.NsPerOp, *tightBoundFactor)
+		}
+	}
+
+	if *diskWarmFactor > 0 {
+		warm, okW := newB["BenchmarkDSESessionSweepWarm"]
+		disk, okD := newB["BenchmarkDSESweepDiskWarm"]
+		switch {
+		case !okW || !okD:
+			fmt.Printf("FAIL disk-warm check: warm/disk-warm sweep benchmarks missing from %s\n", *newPath)
+			failed = true
+		case disk.NsPerOp > *diskWarmFactor*warm.NsPerOp:
+			fmt.Printf("FAIL disk-warm sweep %.2fx slower than in-process warm, limit %.2fx (disk %.6g ns, warm %.6g ns)\n",
+				disk.NsPerOp/warm.NsPerOp, *diskWarmFactor, disk.NsPerOp, warm.NsPerOp)
+			failed = true
+		default:
+			fmt.Printf("ok   disk-warm sweep within %.2fx of in-process warm (limit %.2fx)\n", disk.NsPerOp/warm.NsPerOp, *diskWarmFactor)
 		}
 	}
 

@@ -44,6 +44,9 @@ func main() {
 	beta := flag.Float64("beta", 1, "energy exponent of the objective")
 	gamma := flag.Float64("gamma", 1, "delay exponent of the objective")
 	prune := flag.Bool("prune", false, "skip candidates whose objective lower bound exceeds the best seen (decisions are logged)")
+	bound := flag.String("bound", "compulsory", "lower-bound formulation for pruning/ordering: compulsory (compute + DRAM + compulsory activation/interconnect traffic) or compute-dram (the legacy compute+weight bound)")
+	abandonEvery := flag.Int("abandon-every", 0, "in-loop abandonment stride: dominated cells stop mid-anneal after this many SA iterations (0 = engine default of 32, negative = between-restart checks only)")
+	cacheDir := flag.String("cache-dir", "", "evaluation-cache spill directory: warm group evaluations from a previous process and re-save as the sweep runs")
 	resume := flag.String("resume", "", "checkpoint file: load completed cells from it if present, save on completion")
 	stream := flag.Bool("stream", false, "print each candidate result as it completes")
 	out := flag.String("out", "", "write full result table CSV to this path")
@@ -82,6 +85,16 @@ func main() {
 	opt.Workers = *workers
 	opt.Objective = dse.Objective{Alpha: *alpha, Beta: *beta, Gamma: *gamma}
 	opt.Prune = *prune
+	opt.AbandonEvery = *abandonEvery
+	opt.CacheDir = *cacheDir
+	switch *bound {
+	case "compulsory":
+		opt.Bound = dse.BoundCompulsory
+	case "compute-dram":
+		opt.Bound = dse.BoundComputeDRAM
+	default:
+		log.Fatalf("unsupported -bound %q (want compulsory or compute-dram)", *bound)
+	}
 	switch *order {
 	case "bound":
 		opt.Order = dse.OrderBound
@@ -132,9 +145,13 @@ func main() {
 	st := ses.CacheStats()
 	fmt.Printf("shared cache: %d hits / %d misses (%.1f%% hit rate), %d entries; %d cells resumed\n",
 		st.Hits, st.Misses, 100*st.HitRate(), st.Entries, ses.ResumedCells())
+	if *cacheDir != "" {
+		fmt.Printf("disk cache (%s): %d entries warmed from disk, %d hits served by them, %d background saves\n",
+			dse.CachePath(*cacheDir), st.DiskLoaded, st.DiskHits, st.DiskSaves)
+	}
 	ss := ses.LastSweepStats()
-	fmt.Printf("scheduler: order=%s, %d/%d candidates pruned, %d cells resumed, %d restarts abandoned by the incumbent, %d skipped by patience\n",
-		ss.Order, ss.PrunedCandidates, ss.Candidates, ss.ResumedCells, ss.AbandonedRestarts, ss.SkippedRestarts)
+	fmt.Printf("scheduler: order=%s (bound=%s), %d/%d candidates pruned, %d cells resumed, %d restarts abandoned by the incumbent, %d skipped by patience, %d SA iterations\n",
+		ss.Order, *bound, ss.PrunedCandidates, ss.Candidates, ss.ResumedCells, ss.AbandonedRestarts, ss.SkippedRestarts, ss.SAIterations)
 	if len(ss.Trajectory) > 0 {
 		fmt.Print("incumbent trajectory:")
 		for _, step := range ss.Trajectory {

@@ -40,6 +40,7 @@ func main() {
 
 	addr := flag.String("addr", ":8080", "listen address")
 	data := flag.String("data", "", "checkpoint directory (empty = no persistence)")
+	cacheDir := flag.String("cache-dir", "", "evaluation-cache spill directory: sweeps warm from the previous process's group evaluations and re-save as they run (empty = in-process cache only)")
 	sessions := flag.Int("sessions", 1, "DSE session pool size")
 	maxSweeps := flag.Int("max-sweeps", 4, "max concurrently running sweeps (excess POSTs get 429)")
 	maxCells := flag.Int("max-cells", 0, "per-sweep (candidate, model) cell cap (0 = default)")
@@ -51,6 +52,7 @@ func main() {
 		MaxConcurrentSweeps: *maxSweeps,
 		MaxCells:            *maxCells,
 		DataDir:             *data,
+		CacheDir:            *cacheDir,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf
@@ -60,7 +62,7 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("listening on %s (sessions=%d, max-sweeps=%d, data=%q)", *addr, *sessions, *maxSweeps, *data)
+	log.Printf("listening on %s (sessions=%d, max-sweeps=%d, data=%q, cache-dir=%q)", *addr, *sessions, *maxSweeps, *data, *cacheDir)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

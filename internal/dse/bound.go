@@ -1,16 +1,245 @@
+// Objective lower bounds for candidate pruning and bound-ordered dispatch.
+//
+// Every term here is a compulsory cost: a quantity the evaluation model
+// provably charges any feasible mapping the pipeline can produce, derived
+// from invariants of core.Scheme validation, the analyzer's flow emission
+// and the intra-core residency rule. A bound computed from anything less
+// than an invariant could exceed the true optimum's objective and pruning
+// would silently discard the best candidate, so each term carries its
+// soundness argument next to the code that computes it.
 package dse
 
 import (
-	"math"
+	"sync"
+	"sync/atomic"
 
 	"gemini/internal/arch"
 	"gemini/internal/dnn"
 	"gemini/internal/eval"
+	"gemini/internal/graphpart"
+	"gemini/internal/noc"
 )
 
+// BoundLevel selects the lower-bound formulation used for pruning and
+// bound-ordered dispatch. Bounds only schedule and prune — they never change
+// a mapping — so the level is excluded from the checkpoint fingerprint.
+type BoundLevel string
+
+const (
+	// BoundCompulsory (and the zero value) is the full compulsory-traffic
+	// bound: compute and weight-DRAM floors plus compulsory activation DRAM
+	// traffic, GLB-capacity weight streaming, inter-layer transfer energy
+	// and the aggregate interconnect capacity. It is the tightest sound
+	// bound the engine knows and the default.
+	BoundCompulsory BoundLevel = "compulsory"
+	// BoundComputeDRAM is the earlier compute + weight-DRAM-only bound. It
+	// ignores all activation and interconnect traffic; it is kept so the
+	// benchmark suite can quantify the compulsory-traffic gain and so sweeps
+	// can be replayed against the historical schedule.
+	BoundComputeDRAM BoundLevel = "compute-dram"
+)
+
+// modelDemand aggregates the per-sample compulsory quantities of one DNN.
+// Everything in it is a property of the graph alone — independent of the
+// architecture, batch and mapping options — so it is computed once per graph
+// and cached process-wide.
+type modelDemand struct {
+	macs   float64 // multiply-accumulates per sample
+	vecOps float64 // vector-unit operations per sample
+
+	weightBytes      float64   // total stationary weight bytes
+	layerWeightBytes []float64 // per-layer weight bytes (capacity streaming)
+
+	// ofmapBytes is the total output bytes every layer produces per sample.
+	// The intra-core engine charges at least OutBytes of GLB traffic per
+	// pass for every workload (vector-only workloads charge In+Out, PE
+	// workloads charge inReads+wReads+outWrites >= OutBytes), so each output
+	// byte costs at least one GLB write.
+	ofmapBytes float64
+
+	// extReadBytes is the minimal external-input volume read from DRAM per
+	// sample. Layers consuming the DNN input must carry an explicit IF
+	// (core.NeedsExplicitIF / validateFD), and the analyzer emits their
+	// needed regions as per-pass DRAM reads unconditionally, so this traffic
+	// cannot be mapped away.
+	extReadBytes float64
+
+	// outWriteBytes is the ofmap volume of every graph-output layer per
+	// sample. A layer with zero consumers must carry an explicit OF
+	// (core.NeedsExplicitOF), and the analyzer writes its full per-pass
+	// ofmap to DRAM, so the model's outputs are always written back.
+	outWriteBytes float64
+
+	// interBytes is the minimal producer-to-consumer volume of every
+	// internal edge per sample. Scheme validation keeps the cores of one
+	// group disjoint across layers, so when producer and consumer share a
+	// group the data crosses at least one NoC/D2D link (distinct cores, and
+	// every route between distinct cores has >= 1 link); when they do not,
+	// the consumer reads the data from DRAM (the analyzer's prodMS == nil
+	// path). Either way each byte is charged at least
+	// min(one on-chip hop, one D2D hop, one DRAM access).
+	interBytes float64
+}
+
+// demandCache memoizes modelDemand per graph. Graphs are immutable after
+// construction (the evaluator relies on the same invariant for its pointer
+// keyed memo), so entries can never go stale — but graph builders mint
+// fresh pointers per call (a long-lived server builds new graphs for every
+// sweep spec), so the package-global map is bounded like the other memos:
+// past the limit it is flushed wholesale, which only costs recomputation.
+var (
+	demandCache      sync.Map // *dnn.Graph -> *modelDemand
+	demandCount      atomic.Int64
+	demandCacheLimit = int64(1 << 10)
+)
+
+func demandFor(g *dnn.Graph) *modelDemand {
+	if v, ok := demandCache.Load(g); ok {
+		return v.(*modelDemand)
+	}
+	d := computeDemand(g)
+	if demandCount.Add(1) > demandCacheLimit {
+		demandCache.Range(func(k, _ any) bool { demandCache.Delete(k); return true })
+		demandCount.Store(1)
+	}
+	demandCache.Store(g, d)
+	return d
+}
+
+func computeDemand(g *dnn.Graph) *modelDemand {
+	d := &modelDemand{layerWeightBytes: make([]float64, len(g.Layers))}
+	cons := g.Consumers()
+	for _, l := range g.Layers {
+		d.macs += float64(l.MACs())
+		d.vecOps += float64(l.VectorOps())
+		wb := float64(l.WeightVol()) * dnn.ElemBytes
+		d.layerWeightBytes[l.ID] = wb
+		d.weightBytes += wb
+		ofb := float64(l.OfmapVol()) * dnn.ElemBytes
+		d.ofmapBytes += ofb
+		if len(cons[l.ID]) == 0 {
+			d.outWriteBytes += ofb
+		}
+		for _, in := range l.Inputs {
+			if in.Src == dnn.ExternalInput {
+				d.extReadBytes += float64(edgeMinVol(l, in, l.IH(), l.IW(), l.IC)) * dnn.ElemBytes
+			} else {
+				pl := g.Layer(in.Src)
+				d.interBytes += float64(edgeMinVol(l, in, pl.OH, pl.OW, pl.OK)) * dnn.ElemBytes
+			}
+		}
+	}
+	return d
+}
+
+// edgeMinVol returns the minimal producer-region volume (elements per
+// sample) any feasible mapping must move across edge in to compute layer l's
+// full output cube.
+//
+// Soundness: dnn.NeededRegion maps an output sub-cube to the producer region
+// it requires, and each of its four dimensions depends only on the matching
+// output dimension. The union of the needed regions over any partition of
+// the output cube therefore contains the union over single output elements,
+// which factorizes into the product of per-dimension unions — the partition
+// can only enlarge per-part regions, never shrink the union. For Conv/Pool
+// the per-dimension union is the gap-aware window cover (stride > kernel
+// leaves unread rows, so the convex hull NeededRegion reports for a range
+// would overestimate); for every other kind NeededRegion over the full
+// ranges already is the union (its dimension maps are constant or the
+// identity).
+func edgeMinVol(l *dnn.Layer, in dnn.Input, srcOH, srcOW, srcOK int) int64 {
+	switch l.Kind {
+	case dnn.Conv, dnn.Pool:
+		h := coveredDim(l.OH, l.R, l.Stride, l.PadH, srcOH)
+		w := coveredDim(l.OW, l.S, l.Stride, l.PadW, srcOW)
+		c := l.InputCRange(dnn.Range{Lo: 0, Hi: l.OK}).
+			Shift(-in.DstOff).
+			Intersect(dnn.Range{Lo: 0, Hi: srcOK}).Len()
+		return int64(h) * int64(w) * int64(c)
+	default:
+		reg := l.NeededRegion(in,
+			dnn.Range{Lo: 0, Hi: l.OH}, dnn.Range{Lo: 0, Hi: l.OW},
+			dnn.Range{Lo: 0, Hi: 1}, dnn.Range{Lo: 0, Hi: l.OK},
+			srcOH, srcOW, srcOK)
+		return reg.Vol()
+	}
+}
+
+// coveredDim counts the input coordinates in [0, src) read by at least one
+// of the n sliding windows of length k at positions o*stride-pad. With
+// stride <= k the windows tile a contiguous interval; with stride > k they
+// leave gaps and only the clipped window lengths count.
+func coveredDim(n, k, stride, pad, src int) int {
+	if n <= 0 || src <= 0 {
+		return 0
+	}
+	if stride <= 0 {
+		stride = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	if stride <= k {
+		lo, hi := -pad, (n-1)*stride-pad+k
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > src {
+			hi = src
+		}
+		if hi <= lo {
+			return 0
+		}
+		return hi - lo
+	}
+	total := 0
+	for o := 0; o < n; o++ {
+		lo := o*stride - pad
+		hi := lo + k
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > src {
+			hi = src
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	return total
+}
+
+// minPasses returns the smallest per-group pipeline pass count any scheme
+// the mapping pipeline can produce for these options: ceil(batch / maxBU)
+// where maxBU is the largest usable batch unit. It mirrors graphpart's
+// filtering exactly (candidates outside [1, batch] are dropped, an empty
+// result falls back to {1}), and the SA operators never mutate a group's
+// BatchUnit, so no reachable scheme has fewer passes.
+func minPasses(opt Options) int {
+	batch := opt.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	bus := opt.BatchUnits
+	if len(bus) == 0 {
+		bus = graphpart.DefaultOptions().BatchUnits
+	}
+	maxBU := 0
+	for _, bu := range bus {
+		if bu >= 1 && bu <= batch && bu > maxBU {
+			maxBU = bu
+		}
+	}
+	if maxBU < 1 {
+		maxBU = 1
+	}
+	return (batch + maxBU - 1) / maxBU
+}
+
 // lowerBoundED returns provable lower bounds on the total energy (J) and
-// delay (s) of any feasible mapping of g on cfg at the given batch, from
-// two invariants of the evaluation model:
+// delay (s) of any feasible mapping of g on cfg under opt.
+//
+// The BoundComputeDRAM terms rest on two invariants of the evaluation model:
 //
 //   - every MAC executes on a PE array whose aggregate throughput is
 //     Cores * MACsPerCore per cycle, and costs at least MACpJ;
@@ -18,70 +247,132 @@ import (
 //     (resident slices load once, streaming slices more), over a DRAM
 //     system of DRAMBW GB/s, at DRAMpJPerByte.
 //
-// The bounds ignore activations, NoC/D2D transfers, pipeline fill and
-// utilization loss, all of which only increase cost, so the bound can never
+// The BoundCompulsory level adds floors the evaluator also always charges:
+//
+//   - vector ops at VecOppJ and one GLB write per produced output byte
+//     (the intra-core engine's traffic term is >= OutBytes per pass);
+//   - compulsory activation DRAM traffic: external-input reads and
+//     graph-output write-backs are explicit flows by scheme validation
+//     (core.NeedsExplicitIF/OF), emitted every pass, and pass count times
+//     batch unit covers the batch;
+//   - GLB-capacity weight streaming: a weight slice is loaded once per run
+//     only when every core holding it keeps it GLB-resident, residency
+//     implies the slice fits that core's GLB, cores within a group are
+//     distinct, so at most Cores*GLBPerCore weight bytes per group escape
+//     per-pass streaming; any single layer exceeding that aggregate streams
+//     its excess on every one of its group's >= minPasses passes;
+//   - inter-layer transfers: disjoint per-group core sets mean same-group
+//     producer->consumer data crosses >= 1 link, and cross-group data takes
+//     the DRAM path, so each compulsory inter-layer byte costs at least
+//     min(NoC hop, D2D hop, DRAM access) energy;
+//   - interconnect capacity: each compulsory DRAM byte occupies a DRAM
+//     controller and each inter-layer byte occupies a link or a controller,
+//     and a sum of per-pass maxima is at least the total load over the total
+//     bandwidth, so delay >= (dram + inter) / (DRAMBW + LinkBWSum).
+//
+// Every term only charges costs the evaluator actually charges and never
+// more of them than any reachable scheme incurs, so the bound can never
 // exclude the true optimum.
-func lowerBoundED(cfg *arch.Config, g *dnn.Graph, p *eval.Params, batch int) (eLB, dLB float64) {
+func lowerBoundED(cfg *arch.Config, g *dnn.Graph, p *eval.Params, opt Options) (eLB, dLB float64) {
+	batch := float64(opt.Batch)
 	if batch < 1 {
 		batch = 1
 	}
-	macs := float64(g.TotalMACs()) * float64(batch)
-	weightBytes := float64(g.TotalWeights()) * dnn.ElemBytes
+	d := demandFor(g)
+	macs := d.macs * batch
 
 	peakMACsPerSec := float64(cfg.Cores()) * float64(cfg.MACsPerCore) * cfg.FreqGHz * 1e9
 	if peakMACsPerSec > 0 {
 		dLB = macs / peakMACsPerSec
 	}
+
+	dramBytes := d.weightBytes
+	full := opt.Bound != BoundComputeDRAM
+	if full {
+		dramBytes += (d.extReadBytes + d.outWriteBytes) * batch
+		if pm := minPasses(opt); pm > 1 {
+			agg := float64(cfg.Cores()) * float64(cfg.GLBPerCore)
+			excess := 0.0
+			for _, wb := range d.layerWeightBytes {
+				if wb > agg {
+					excess += wb - agg
+				}
+			}
+			dramBytes += float64(pm-1) * excess
+		}
+	}
 	if dram := cfg.DRAMBW * 1e9; dram > 0 {
-		if t := weightBytes / dram; t > dLB {
+		if t := dramBytes / dram; t > dLB {
 			dLB = t
 		}
 	}
-	eLB = macs*p.MACpJ*1e-12 + weightBytes*p.DRAMpJPerByte*1e-12
+
+	eLB = macs*p.MACpJ*1e-12 + dramBytes*p.DRAMpJPerByte*1e-12
+	if full {
+		inter := d.interBytes * batch
+		hop := p.NoCHoppJPerByte + p.RouterpJPerByte
+		if v := p.D2DpJPerByte + p.RouterpJPerByte; v < hop {
+			hop = v
+		}
+		if p.DRAMpJPerByte < hop {
+			hop = p.DRAMpJPerByte
+		}
+		eLB += d.vecOps*batch*p.VecOppJ*1e-12 +
+			d.ofmapBytes*batch*p.GLBpJPerByte*1e-12 +
+			inter*hop*1e-12
+		if cap := (cfg.DRAMBW + noc.LinkBWSum(cfg)) * 1e9; cap > 0 {
+			if t := (dramBytes + inter) / cap; t > dLB {
+				dLB = t
+			}
+		}
+	}
 	return eLB, dLB
 }
 
 // boundParams resolves the technology constants the lower bounds use:
 // Options.BoundParams when set, otherwise the evaluator defaults. The
 // session's evaluators always charge eval.DefaultParams(), so an override
-// is clamped to never exceed the defaults on the constants the bound
+// is clamped to never exceed the defaults on any constant the bound
 // consumes — a "lower bound" computed from larger constants than the
 // evaluation actually charges would not bound the evaluated objective, and
-// pruning could discard the true optimum. Overrides can therefore only
-// loosen (lower) the bound, never unsoundly tighten it; bounds only
-// schedule and prune, so the choice is not part of the checkpoint
+// pruning could discard the true optimum. The clamp covers every constant
+// the compulsory-traffic bound reads (MAC, vector, GLB, NoC hop, router,
+// D2D and DRAM energies); the bound is monotone increasing in each, so
+// overrides can only loosen (lower) it, never unsoundly tighten it. Bounds
+// only schedule and prune, so the choice is not part of the checkpoint
 // fingerprint.
 func boundParams(opt Options) *eval.Params {
 	p := eval.DefaultParams()
 	if bp := opt.BoundParams; bp != nil {
-		if bp.MACpJ < p.MACpJ {
-			p.MACpJ = bp.MACpJ
+		clamp := func(dst *float64, v float64) {
+			if v < *dst {
+				*dst = v
+			}
 		}
-		if bp.DRAMpJPerByte < p.DRAMpJPerByte {
-			p.DRAMpJPerByte = bp.DRAMpJPerByte
-		}
+		clamp(&p.MACpJ, bp.MACpJ)
+		clamp(&p.VecOppJ, bp.VecOppJ)
+		clamp(&p.GLBpJPerByte, bp.GLBpJPerByte)
+		clamp(&p.NoCHoppJPerByte, bp.NoCHoppJPerByte)
+		clamp(&p.RouterpJPerByte, bp.RouterpJPerByte)
+		clamp(&p.D2DpJPerByte, bp.D2DpJPerByte)
+		clamp(&p.DRAMpJPerByte, bp.DRAMpJPerByte)
 	}
 	return &p
 }
 
 // pruneBound computes the candidate's objective lower bound over a model
-// set: MC^alpha * geomean(lowerBound(E))^beta * geomean(lowerBound(D))^gamma,
-// accumulated in log space like reduceCandidate. It is only a bound when
-// every exponent is non-negative; callers must gate on objMonotone.
+// set: MC^alpha * geomean(lowerBound(E))^beta * geomean(lowerBound(D))^gamma.
+// It is a thin wrapper over lowerBoundED and the scheduler's mixedBound
+// fold, so tests exercising it pin exactly the reduction the sweep runs.
+// It is only a bound when every exponent is non-negative; callers must
+// gate on objMonotone.
 func pruneBound(cfg *arch.Config, models []*dnn.Graph, p *eval.Params, opt Options, mcTotal float64) float64 {
-	n := float64(len(models))
-	if n == 0 {
-		return 0
+	eLBs := make([]float64, len(models))
+	dLBs := make([]float64, len(models))
+	for mi, g := range models {
+		eLBs[mi], dLBs[mi] = lowerBoundED(cfg, g, p, opt)
 	}
-	// math.Log(0) is -Inf and math.Exp(-Inf) is 0, so zero bounds flow
-	// through the log-space mean exactly.
-	var sumLogE, sumLogD float64
-	for _, g := range models {
-		eLB, dLB := lowerBoundED(cfg, g, p, opt.Batch)
-		sumLogE += math.Log(eLB)
-		sumLogD += math.Log(dLB)
-	}
-	return Score(mcTotal, math.Exp(sumLogE/n), math.Exp(sumLogD/n), opt.Objective)
+	return mixedBound(mcTotal, eLBs, dLBs, nil, opt.Objective)
 }
 
 // objMonotone reports whether the objective is monotone non-decreasing in

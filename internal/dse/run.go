@@ -70,6 +70,23 @@ type Options struct {
 	// value >= Restarts) runs the full fixed schedule, bit-identical to the
 	// pre-adaptive engine.
 	Patience int
+	// AbandonEvery controls in-loop abandonment: with pruning active, every
+	// cell's SA search polls the scheduler's live incumbent on this
+	// iteration stride and walks away mid-anneal once its candidate is
+	// dominated (on top of the existing between-restart checks). 0 uses the
+	// engine default (32); < 0 disables the in-loop check, restoring the
+	// between-restarts-only behavior. Abandoned cells are never settled or
+	// checkpointed, so the option only schedules — like Order it is excluded
+	// from the checkpoint fingerprint and non-abandoned results stay
+	// bit-identical.
+	AbandonEvery int `json:"abandon_every,omitempty"`
+	// Bound selects the lower-bound formulation behind Prune and OrderBound:
+	// BoundCompulsory (the zero value) is the full compulsory-traffic bound;
+	// BoundComputeDRAM is the historical compute+weight-DRAM bound, kept for
+	// benchmarking the compulsory-traffic gain. Like Order it only schedules
+	// and prunes — it never changes a mapping — so it is excluded from the
+	// checkpoint fingerprint.
+	Bound BoundLevel `json:"bound,omitempty"`
 	// BoundParams loosens the technology constants the pruning lower
 	// bounds are computed from (default: eval.DefaultParams()). Because the
 	// evaluation itself always charges the defaults, overrides are clamped
@@ -78,6 +95,19 @@ type Options struct {
 	// only schedule and prune — they never change a mapping — so the field
 	// is excluded from the checkpoint fingerprint.
 	BoundParams *eval.Params `json:"-"`
+	// CacheDir, when set, backs the session's shared evaluation cache with a
+	// disk spill in this directory: RunContext warms the cache from the
+	// directory's spill file once per session, re-saves it in the background
+	// as candidates complete (coalesced off the result path, atomic rename),
+	// and saves a final snapshot when the sweep ends. Group results are
+	// keyed by stable (arch, graph, group) fingerprints, so a restarted
+	// process pointed at the same directory recomputes none of its
+	// predecessor's cached group evaluations. Serving from disk is
+	// bit-identical to recomputing, and the option never changes a mapping,
+	// so it is excluded from the checkpoint fingerprint. Not settable
+	// through the JSON sweep spec: where a server spills its cache is the
+	// operator's choice, not the client's.
+	CacheDir string `json:"-"`
 	// OnResult, when set, streams each candidate's result as soon as it
 	// completes (including pruned and errored candidates). Calls are
 	// serialized but arrive in completion order, not candidate order.
@@ -119,6 +149,9 @@ type MapResult struct {
 	Restarts        int
 	BestRestart     int
 	SkippedRestarts int
+	// SAIterations is the total annealing iterations attempted across the
+	// portfolio (0 for restored cells, which did no search work).
+	SAIterations int
 
 	// Summary marks results restored from a session checkpoint: energies,
 	// delays and group statistics are exact, but per-group evaluation detail
@@ -127,10 +160,12 @@ type MapResult struct {
 }
 
 // abandonedError marks a cell whose SA portfolio the scheduler's live
-// incumbent cut off mid-flight. It is internal to the sweep machinery: the
-// candidate is reported Pruned, never errored, and the partial cell is not
-// checkpointed.
-type abandonedError struct{ done, planned int }
+// incumbent cut off mid-flight — between restarts or mid-anneal. It is
+// internal to the sweep machinery: the candidate is reported Pruned, never
+// errored, and the partial cell is not checkpointed. iters carries the SA
+// iterations the cell burned before walking away, for the scheduler's
+// work accounting.
+type abandonedError struct{ done, planned, iters int }
 
 func (e *abandonedError) Error() string {
 	return fmt.Sprintf("dse: portfolio abandoned by incumbent after %d/%d restarts", e.done, e.planned)
@@ -169,10 +204,17 @@ func mapModelEval(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, opt Option
 	so.Iterations = opt.SAIterations
 	so.Seed = opt.Seed
 	so.Beta, so.Gamma = opt.Objective.Beta, opt.Objective.Gamma
+	if stop != nil && opt.AbandonEvery >= 0 {
+		// In-loop abandonment: the scheduler's stop gate also interrupts the
+		// annealing hot loop itself, not just the gaps between restarts, so
+		// a cell dominated mid-anneal stops within AbandonEvery iterations.
+		so.Dominated = func(float64) bool { return stop() }
+		so.CheckEvery = opt.AbandonEvery
+	}
 	pf := sa.MultiStartAdaptive(part.Scheme, ev, so, opt.Restarts,
 		sa.AdaptiveOptions{Patience: activePatience(opt), Stop: stop})
 	if pf.Abandoned {
-		return nil, &abandonedError{done: len(pf.Costs), planned: pf.Planned}
+		return nil, &abandonedError{done: len(pf.Costs), planned: pf.Planned, iters: pf.Iterations}
 	}
 	res := pf.Best
 	if !res.Eval.Feasible {
@@ -189,6 +231,7 @@ func mapModelEval(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, opt Option
 		Restarts:          len(pf.Costs),
 		BestRestart:       pf.BestRestart,
 		SkippedRestarts:   pf.Skipped(),
+		SAIterations:      pf.Iterations,
 	}, nil
 }
 
@@ -206,6 +249,7 @@ type pairOutcome struct {
 	skippedRestarts   int
 	abandoned         bool
 	abandonedRestarts int
+	saIterations      int
 }
 
 // infeasible reports whether the cell ran correctly but found no mapping.

@@ -67,11 +67,17 @@ type SweepStats struct {
 	ResumedCells int
 	// PrunedCandidates counts candidates the bound gate skipped or cut off.
 	PrunedCandidates int
-	// AbandonedRestarts counts SA restarts never run because the live
-	// incumbent dominated a cell's candidate mid-portfolio.
+	// AbandonedRestarts counts SA restarts never completed because the live
+	// incumbent dominated a cell's candidate mid-portfolio (a restart cut
+	// off mid-anneal by the in-loop check counts: it never finished).
 	AbandonedRestarts int
 	// SkippedRestarts counts SA restarts saved by portfolio patience.
 	SkippedRestarts int
+	// SAIterations is the total annealing iterations the sweep attempted
+	// across every cell, partial abandoned restarts included. With in-loop
+	// abandonment active a dominated-cell workload spends strictly fewer
+	// iterations than with between-restart checks alone.
+	SAIterations int
 
 	// SeededIncumbent is the incumbent value restored from checkpointed
 	// cells before the first task ran (+Inf when nothing seeded).
@@ -155,6 +161,7 @@ type scheduler struct {
 	pruned    atomic.Int64
 	abandoned atomic.Int64
 	skipped   atomic.Int64
+	saIters   atomic.Int64
 }
 
 // newScheduler computes per-candidate bounds, fixes the dispatch order and
@@ -185,9 +192,28 @@ func (s *Session) newScheduler(ctx context.Context, cands []arch.Config, models 
 	}
 	if sc.prune || ordered {
 		params := boundParams(opt)
+		eLBs := make([]float64, len(models))
+		dLBs := make([]float64, len(models))
 		for ci := range cands {
-			sc.states[ci].lb = pruneBound(&cands[ci], models, params, opt,
-				sc.mce.Evaluate(&cands[ci]).Total())
+			mc := sc.mce.Evaluate(&cands[ci]).Total()
+			for mi, g := range models {
+				eLBs[mi], dLBs[mi] = lowerBoundED(&cands[ci], g, params, opt)
+			}
+			lb := mixedBound(mc, eLBs, dLBs, nil, opt.Objective)
+			if sc.prune {
+				// Bound-aware seeding breadth: a partially checkpointed
+				// candidate's own bound tightens by substituting the actual
+				// (restored-verbatim) energies and delays of its settled
+				// cells for their lower bounds. The mix stays a lower bound
+				// on the candidate's final objective — never an incumbent:
+				// an unachieved value must not prune *other* candidates, but
+				// it may prune its own, so partial resumes cut dominated
+				// candidates off before their missing cells are mapped.
+				if mixed := sc.partialCheckpointBound(ci, mc, eLBs, dLBs); mixed > lb {
+					lb = mixed
+				}
+			}
+			sc.states[ci].lb = lb
 		}
 	}
 	if ordered {
@@ -199,6 +225,65 @@ func (s *Session) newScheduler(ctx context.Context, cands []arch.Config, models 
 		sc.seedIncumbent()
 	}
 	return sc
+}
+
+// mixedBound folds per-model energy/delay values into the candidate
+// objective in log space (exactly reduceCandidate's geomean; math.Log(0)
+// is -Inf and math.Exp(-Inf) is 0, so zero bounds flow through the mean
+// exactly). When rec is non-nil, rec[mi] overrides the bound with a
+// checkpointed cell's actual values; a nil entry keeps the lower bound.
+func mixedBound(mc float64, eLBs, dLBs []float64, rec []*cellRecord, obj Objective) float64 {
+	n := float64(len(eLBs))
+	if n == 0 {
+		return 0
+	}
+	var sumLogE, sumLogD float64
+	for mi := range eLBs {
+		e, d := eLBs[mi], dLBs[mi]
+		if rec != nil && rec[mi] != nil {
+			e, d = rec[mi].Energy, rec[mi].Delay
+		}
+		sumLogE += math.Log(e)
+		sumLogD += math.Log(d)
+	}
+	return Score(mc, math.Exp(sumLogE/n), math.Exp(sumLogD/n), obj)
+}
+
+// partialCheckpointBound refines a candidate's lower bound from its
+// partially checkpointed cells: settled feasible cells contribute their
+// achieved energy/delay (they will be restored verbatim, so those values
+// are exact), missing cells keep their per-model lower bounds. The result
+// is therefore still a lower bound on the candidate's final objective —
+// sound for pruning the candidate itself and for ordering, unlike seeding
+// the shared incumbent with it, which would unsoundly prune others. It
+// returns 0 (no refinement) when nothing is checkpointed, when everything
+// is (the full-checkpoint incumbent seed already covers that case and the
+// restored candidate must keep reporting its real outcome), or when any
+// settled cell is infeasible (the candidate must be reported infeasible,
+// not pruned).
+func (sc *scheduler) partialCheckpointBound(ci int, mc float64, eLBs, dLBs []float64) float64 {
+	if len(sc.models) == 0 {
+		return 0
+	}
+	fp := eval.ConfigFingerprint(&sc.cands[ci])
+	recs := make([]*cellRecord, len(sc.models))
+	settled := 0
+	for mi, g := range sc.models {
+		rec, ok := sc.ses.peekCell(cellKey(fp, g.Name, sc.optFP))
+		if !ok {
+			continue
+		}
+		if !rec.Feasible {
+			return 0
+		}
+		r := rec
+		recs[mi] = &r
+		settled++
+	}
+	if settled == 0 || settled == len(sc.models) {
+		return 0
+	}
+	return mixedBound(mc, eLBs, dLBs, recs, sc.opt.Objective)
 }
 
 // seedIncumbent restores the pruning incumbent from the checkpoint: any
@@ -363,6 +448,7 @@ func (sc *scheduler) runTask(k, nm int, per [][]pairOutcome) {
 		return gated && st.lb > sc.inc.get()
 	}
 	out := sc.ses.runCell(&sc.cands[ci], sc.models[mi], sc.opt, key, stop)
+	sc.saIters.Add(int64(out.saIterations))
 	if out.abandoned {
 		if err := sc.ctx.Err(); err != nil {
 			// Abandoned because the sweep was canceled, not because the
@@ -402,6 +488,7 @@ func (sc *scheduler) publishStats() {
 		PrunedCandidates:  int(sc.pruned.Load()),
 		AbandonedRestarts: int(sc.abandoned.Load()),
 		SkippedRestarts:   int(sc.skipped.Load()),
+		SAIterations:      int(sc.saIters.Load()),
 		SeededIncumbent:   sc.seeded,
 		Trajectory:        sc.inc.trajectory(),
 	}

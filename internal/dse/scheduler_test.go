@@ -5,7 +5,9 @@ import (
 	"context"
 	"errors"
 	"math"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"gemini/internal/arch"
@@ -267,12 +269,30 @@ func TestBoundParamsOverride(t *testing.T) {
 	p := eval.DefaultParams()
 	def := pruneBound(&cfg, []*dnn.Graph{testCNN}, &p, opt, 100)
 
-	hot := p
-	hot.MACpJ *= 10
-	hot.DRAMpJPerByte *= 10
-	opt.BoundParams = &hot
+	// The clamp must cover every constant the v2 bound consumes: inflating
+	// any one of them (and all of them) must leave the bound at the default.
+	inflate := []func(*eval.Params){
+		func(q *eval.Params) { q.MACpJ *= 10 },
+		func(q *eval.Params) { q.VecOppJ *= 10 },
+		func(q *eval.Params) { q.GLBpJPerByte *= 10 },
+		func(q *eval.Params) { q.NoCHoppJPerByte *= 10 },
+		func(q *eval.Params) { q.RouterpJPerByte *= 10 },
+		func(q *eval.Params) { q.D2DpJPerByte *= 10 },
+		func(q *eval.Params) { q.DRAMpJPerByte *= 10 },
+	}
+	all := p
+	for i, f := range inflate {
+		hot := p
+		f(&hot)
+		f(&all)
+		opt.BoundParams = &hot
+		if got := pruneBound(&cfg, []*dnn.Graph{testCNN}, boundParams(opt), opt, 100); got != def {
+			t.Errorf("inflated constant #%d must be clamped to the defaults: %g vs %g", i, got, def)
+		}
+	}
+	opt.BoundParams = &all
 	if got := pruneBound(&cfg, []*dnn.Graph{testCNN}, boundParams(opt), opt, 100); got != def {
-		t.Errorf("10x energy constants must be clamped to the defaults: %g vs %g", got, def)
+		t.Errorf("all constants inflated must be clamped to the defaults: %g vs %g", got, def)
 	}
 
 	cool := p
@@ -281,6 +301,14 @@ func TestBoundParamsOverride(t *testing.T) {
 	opt.BoundParams = &cool
 	if got := pruneBound(&cfg, []*dnn.Graph{testCNN}, boundParams(opt), opt, 100); got >= def {
 		t.Errorf("0.1x energy constants did not lower the bound: %g vs %g", got, def)
+	}
+	// Loosening the interconnect constants must also only lower the bound.
+	coolNet := p
+	coolNet.NoCHoppJPerByte /= 10
+	coolNet.RouterpJPerByte /= 10
+	opt.BoundParams = &coolNet
+	if got := pruneBound(&cfg, []*dnn.Graph{testCNN}, boundParams(opt), opt, 100); got > def {
+		t.Errorf("0.1x interconnect constants raised the bound: %g vs %g", got, def)
 	}
 
 	opt.BoundParams = nil
@@ -366,5 +394,194 @@ func TestResumedSweepRestoresDominatedCandidate(t *testing.T) {
 	resultsEqual(t, want, got, "resumed prune-on vs original prune-off")
 	if st := b.LastSweepStats(); st.PrunedCandidates != 0 {
 		t.Errorf("resumed sweep pruned %d fully checkpointed candidates", st.PrunedCandidates)
+	}
+}
+
+// TestPartialCheckpointBoundPrunes pins the bound-aware seeding-breadth
+// satellite: a half-checkpointed dominated candidate — one model's cell
+// settled, the other missing — must be pruned via its refined per-candidate
+// bound without mapping the missing cell. The refined value is a bound on
+// the candidate itself, never the shared incumbent, so the winning
+// candidate is untouched.
+func TestPartialCheckpointBoundPrunes(t *testing.T) {
+	strong := arch.GArch72()
+	weak := arch.GArch72()
+	weak.FreqGHz /= 256 // dominated: same cost, 256x the delay
+	weak.Name = weak.String()
+	models := []*dnn.Graph{testCNN, testTF}
+
+	opt := testOptions()
+	opt.Workers = 1
+	opt.Prune = true
+	opt.Order = OrderGrid // dispatch weak first: only the refined bound can save it
+
+	// Session A settles exactly half of weak's cells (model 1 of 2) plus all
+	// of strong's, then checkpoints. Cell keys ignore the model list, so the
+	// half-sweep writes the same cells the full sweep will look up.
+	a := NewSession()
+	if Best(a.Run([]arch.Config{weak, strong}, models[:1], opt)) == nil {
+		t.Fatal("half sweep infeasible")
+	}
+	if Best(a.Run([]arch.Config{strong}, models, opt)) == nil {
+		t.Fatal("strong sweep infeasible")
+	}
+	var ckpt bytes.Buffer
+	if err := a.SaveCheckpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	// The resumed sweep: strong is fully checkpointed (seeds the incumbent),
+	// weak is half checkpointed. Its refined bound mixes the settled cell's
+	// huge achieved delay with the missing cell's lower bound, exceeding the
+	// seeded incumbent — so the missing cell is never mapped.
+	calls := 0
+	orig := mapModelFn
+	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool) (*MapResult, error) {
+		calls++
+		return orig(ev, cfg, g, o, stop)
+	}
+	defer func() { mapModelFn = orig }()
+
+	b := NewSession()
+	if err := b.LoadCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	rs := b.Run([]arch.Config{weak, strong}, models, opt)
+	if calls != 0 {
+		t.Errorf("resumed sweep invoked MapModel %d times; the refined bound should prune weak's missing cell", calls)
+	}
+	if rs[0].Cfg.Name != strong.Name || !rs[0].Feasible {
+		t.Fatalf("strong should win: %s (%s)", rs[0].Cfg.Name, rs[0].Status())
+	}
+	var wr *CandidateResult
+	for i := range rs {
+		if rs[i].Cfg.Name == weak.Name {
+			wr = &rs[i]
+		}
+	}
+	if wr == nil || !wr.Pruned {
+		t.Fatalf("half-checkpointed dominated candidate not pruned: %+v", wr)
+	}
+	if wr.LowerBound <= 0 || wr.LowerBound <= rs[0].Obj {
+		t.Errorf("refined bound %g should exceed the incumbent %g", wr.LowerBound, rs[0].Obj)
+	}
+
+	// Sanity: without the refinement-carrying checkpoint, the same grid-order
+	// sweep maps weak in full (nothing to prune it with when it runs first).
+	cold := NewSession()
+	coldRes := cold.Run([]arch.Config{weak, strong}, models, opt)
+	for i := range coldRes {
+		if coldRes[i].Pruned {
+			t.Fatalf("cold sweep pruned %s; this workload must only be prunable via the checkpoint", coldRes[i].Cfg.Name)
+		}
+	}
+}
+
+// TestInLoopAbandonBitIdenticalWhenNeverDominated: the in-loop hook is
+// active on every sweep with pruning, so a workload where nothing is ever
+// dominated must produce bit-identical results and identical SA iteration
+// counts with the hook on (default), on with a custom stride, and off.
+func TestInLoopAbandonBitIdenticalWhenNeverDominated(t *testing.T) {
+	cands := testCands()
+	models := []*dnn.Graph{testCNN, testTF}
+	opt := testOptions()
+	opt.Prune = true
+	opt.Restarts = 2
+
+	run := func(abandonEvery int) ([]CandidateResult, SweepStats) {
+		o := opt
+		o.AbandonEvery = abandonEvery
+		ses := NewSession()
+		rs := ses.Run(cands, models, o)
+		return rs, ses.LastSweepStats()
+	}
+
+	off, offSt := run(-1)
+	for i := range off {
+		if off[i].Pruned {
+			t.Fatalf("%s pruned; this workload must have no dominated candidate", off[i].Cfg.Name)
+		}
+	}
+	def, defSt := run(0)
+	custom, customSt := run(5)
+	resultsEqual(t, off, def, "in-loop default vs off")
+	resultsEqual(t, off, custom, "in-loop stride-5 vs off")
+	if offSt.SAIterations == 0 {
+		t.Fatal("stats recorded no SA iterations")
+	}
+	if defSt.SAIterations != offSt.SAIterations || customSt.SAIterations != offSt.SAIterations {
+		t.Errorf("never-firing hook changed SA iteration counts: off=%d def=%d custom=%d",
+			offSt.SAIterations, defSt.SAIterations, customSt.SAIterations)
+	}
+}
+
+// TestInLoopAbandonSavesIterations: on a workload where dominated cells are
+// already mid-anneal when the incumbent lands, the in-loop check must
+// strictly reduce total SA iterations versus between-restart checks alone
+// (with one restart per cell, the between-restart gate can save nothing),
+// while preserving the winning candidate. Mid-cell domination only happens
+// under concurrency, so the injected mapModel holds the strong candidate's
+// result back until both weak cells have entered their search.
+func TestInLoopAbandonSavesIterations(t *testing.T) {
+	strong := arch.GArch72()
+	var weak []arch.Config
+	for _, div := range []float64{64, 128} {
+		w := arch.GArch72()
+		w.FreqGHz /= div
+		w.Name = w.String()
+		weak = append(weak, w)
+	}
+	cands := append([]arch.Config{strong}, weak...)
+	models := []*dnn.Graph{testCNN}
+	opt := testOptions()
+	opt.Prune = true
+	opt.Order = OrderBound // strong dispatches first
+	opt.Restarts = 1       // no between-restart gaps: only the in-loop check can save work
+	opt.Workers = 3        // strong + both weak cells run concurrently
+	opt.SAIterations = 400
+
+	orig := mapModelFn
+	defer func() { mapModelFn = orig }()
+
+	run := func(abandonEvery int) (*CandidateResult, SweepStats) {
+		var weakStarted atomic.Int32
+		mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool) (*MapResult, error) {
+			if cfg.Name == strong.Name {
+				// Let the dominated cells pass their pre-cell bound check and
+				// enter SA before the incumbent exists, so only the in-loop
+				// poll can cut them off.
+				for weakStarted.Load() < 2 {
+					runtime.Gosched()
+				}
+			} else {
+				weakStarted.Add(1)
+			}
+			return orig(ev, cfg, g, o, stop)
+		}
+		o := opt
+		o.AbandonEvery = abandonEvery
+		ses := NewSession()
+		best := Best(ses.Run(cands, models, o))
+		if best == nil {
+			t.Fatal("no feasible candidate")
+		}
+		return best, ses.LastSweepStats()
+	}
+
+	bestOff, offSt := run(-1)
+	bestOn, onSt := run(8)
+	if bestOn.Cfg.Name != bestOff.Cfg.Name || bestOn.Obj != bestOff.Obj {
+		t.Fatalf("in-loop abandonment changed the winner: %s (%g) vs %s (%g)",
+			bestOn.Cfg.Name, bestOn.Obj, bestOff.Cfg.Name, bestOff.Obj)
+	}
+	// Off: every weak cell anneals to completion (the pre-cell and
+	// between-restart gates cannot fire mid-cell). On: both weak cells stop
+	// at an abandonment poll.
+	if offSt.SAIterations != 3*opt.SAIterations {
+		t.Fatalf("off-run iterations = %d, want %d (all cells complete)", offSt.SAIterations, 3*opt.SAIterations)
+	}
+	if onSt.SAIterations >= offSt.SAIterations {
+		t.Errorf("in-loop abandonment saved nothing: %d vs %d iterations (pruned %d/%d)",
+			onSt.SAIterations, offSt.SAIterations, onSt.PrunedCandidates, offSt.PrunedCandidates)
 	}
 }

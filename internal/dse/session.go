@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -51,15 +52,90 @@ type Session struct {
 
 	sweepMu   sync.Mutex
 	lastSweep SweepStats
+
+	diskMu     sync.Mutex
+	diskWarmed map[string]bool // cache dirs already loaded into this session
 }
 
 // NewSession returns an empty session with a fresh shared cache.
 func NewSession() *Session {
 	return &Session{
-		cache: eval.NewCache(),
-		evals: make(map[uint64]*eval.Evaluator),
-		cells: make(map[string]cellRecord),
+		cache:      eval.NewCache(),
+		evals:      make(map[uint64]*eval.Evaluator),
+		cells:      make(map[string]cellRecord),
+		diskWarmed: make(map[string]bool),
 	}
+}
+
+// cacheFileName is the spill file a CacheDir holds.
+const cacheFileName = "evalcache.ndjson"
+
+// CachePath returns the spill file path for a cache directory, so CLIs and
+// tests can point at the exact file RunContext reads and writes.
+func CachePath(dir string) string { return filepath.Join(dir, cacheFileName) }
+
+// WarmDiskCache loads the cache directory's spill file into the session's
+// shared evaluation cache, once per (session, directory) — later calls are
+// free no-ops. It is called automatically by RunContext when
+// Options.CacheDir is set; exposing it lets front ends warm before their
+// first sweep and report the entry count. A missing or damaged file
+// degrades to a cold cache and is never an error (per-entry corruption
+// tolerance lives in eval.Cache.LoadDisk); only real I/O failures surface.
+func (s *Session) WarmDiskCache(dir string) (int, error) {
+	s.diskMu.Lock()
+	defer s.diskMu.Unlock()
+	if s.diskWarmed[dir] {
+		return 0, nil
+	}
+	n, err := s.cache.LoadDisk(CachePath(dir))
+	if err != nil {
+		return 0, err
+	}
+	s.diskWarmed[dir] = true
+	if n > 0 {
+		s.logf("dse: warmed %d cached group evaluations from %s", n, CachePath(dir))
+	}
+	return n, nil
+}
+
+// startCacheSaver spawns the coalesced background spill loop for one sweep:
+// poke requests a save (non-blocking, collapsing bursts into one write, the
+// same pattern the sweep service uses for checkpoints), stop drains the
+// loop and writes the final snapshot. Each save first merges the file's
+// current entries back into the cache and then snapshots it, so writers
+// with *different* caches sharing one directory (a multi-session server
+// pool, or two processes) converge on the union instead of last-writer-
+// wins discarding each other's work; SaveDisk renames atomically, so any
+// complete snapshot is valid.
+func (s *Session) startCacheSaver(dir string) (poke, stop func()) {
+	req := make(chan struct{}, 1)
+	done := make(chan struct{})
+	save := func(label string) {
+		if _, err := s.cache.LoadDisk(CachePath(dir)); err != nil {
+			s.logf("dse: %s cache merge failed: %v", label, err)
+		}
+		if err := s.cache.SaveDisk(CachePath(dir)); err != nil {
+			s.logf("dse: %s cache save failed: %v", label, err)
+		}
+	}
+	go func() {
+		defer close(done)
+		for range req {
+			save("incremental")
+		}
+	}()
+	poke = func() {
+		select {
+		case req <- struct{}{}:
+		default: // a save is already pending; it will pick these entries up
+		}
+	}
+	stop = func() {
+		close(req)
+		<-done
+		save("final")
+	}
+	return poke, stop
 }
 
 // ResumedCells reports how many cells were served from the checkpoint
@@ -172,7 +248,8 @@ func (s *Session) Run(cands []arch.Config, models []*dnn.Graph, opt Options) []C
 // RunContext is Run with cancellation and per-sweep stats. When ctx is
 // canceled mid-sweep the remaining (candidate, model) cells fail fast with
 // an error wrapping ctx.Err() (in-flight SA portfolios abandon between
-// restarts), already-settled cells stay checkpointed, and the partial
+// restarts and, unless Options.AbandonEvery disables the in-loop check,
+// mid-anneal), already-settled cells stay checkpointed, and the partial
 // results are returned together with a non-nil error — so a canceled sweep
 // can be checkpointed and resumed without recomputing its completed cells.
 // The returned SweepStats belongs to this sweep, which is the race-free way
@@ -180,6 +257,20 @@ func (s *Session) Run(cands []arch.Config, models []*dnn.Graph, opt Options) []C
 func (s *Session) RunContext(ctx context.Context, cands []arch.Config, models []*dnn.Graph, opt Options) ([]CandidateResult, SweepStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if dir := opt.CacheDir; dir != "" {
+		if _, err := s.WarmDiskCache(dir); err != nil {
+			s.logf("dse: disk cache warm failed, running cold: %v", err)
+		}
+		poke, stop := s.startCacheSaver(dir)
+		defer stop()
+		prev := opt.OnResult
+		opt.OnResult = func(cr CandidateResult) {
+			if prev != nil {
+				prev(cr)
+			}
+			poke()
+		}
 	}
 	sc := s.newScheduler(ctx, cands, models, opt)
 	results := sc.run()
@@ -218,12 +309,13 @@ func (s *Session) runCell(cfg *arch.Config, g *dnn.Graph, opt Options, key strin
 	mr, err := mapModelFn(s.evaluator(cfg), cfg, g, opt, stop)
 	var ab *abandonedError
 	if errors.As(err, &ab) {
-		return pairOutcome{abandoned: true, abandonedRestarts: ab.planned - ab.done}
+		return pairOutcome{abandoned: true, abandonedRestarts: ab.planned - ab.done, saIterations: ab.iters}
 	}
 	s.storeCell(key, g.Name, mr, err)
 	out := pairOutcome{mr: mr, err: err}
 	if mr != nil {
 		out.skippedRestarts = mr.SkippedRestarts
+		out.saIterations = mr.SAIterations
 	}
 	return out
 }

@@ -371,7 +371,7 @@ func TestPruningSoundness(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := eval.DefaultParams()
-	eLB, dLB := lowerBoundED(&cfg, testCNN, &p, opt.Batch)
+	eLB, dLB := lowerBoundED(&cfg, testCNN, &p, opt)
 	if eLB <= 0 || dLB <= 0 {
 		t.Fatalf("degenerate bounds: e=%v d=%v", eLB, dLB)
 	}

@@ -137,6 +137,12 @@ type Spec struct {
 	Prune bool `json:"prune,omitempty"`
 	// Order is the dispatch order: "bound" (default) or "grid".
 	Order string `json:"order,omitempty"`
+	// Bound is the lower-bound formulation: "compulsory" (default) or
+	// "compute-dram" (the legacy compute+weight bound).
+	Bound string `json:"bound,omitempty"`
+	// AbandonEvery is the in-loop abandonment stride (0 = engine default,
+	// negative = between-restart checks only).
+	AbandonEvery int `json:"abandon_every,omitempty"`
 }
 
 // Validate checks the spec without enumerating the space: space selection,
@@ -160,6 +166,11 @@ func (s *Spec) Validate() error {
 	case "", OrderBound, OrderGrid:
 	default:
 		return fmt.Errorf("dse: unsupported order %q (want %q or %q)", s.Order, OrderBound, OrderGrid)
+	}
+	switch BoundLevel(s.Bound) {
+	case "", BoundCompulsory, BoundComputeDRAM:
+	default:
+		return fmt.Errorf("dse: unsupported bound %q (want %q or %q)", s.Bound, BoundCompulsory, BoundComputeDRAM)
 	}
 	for _, c := range [...]struct {
 		name string
@@ -220,6 +231,10 @@ func (s *Spec) Options() Options {
 	if s.Order != "" {
 		opt.Order = SweepOrder(s.Order)
 	}
+	if s.Bound != "" {
+		opt.Bound = BoundLevel(s.Bound)
+	}
+	opt.AbandonEvery = s.AbandonEvery
 	return opt
 }
 

@@ -9,6 +9,63 @@ import (
 	"gemini/internal/dnn"
 )
 
+// graphFPs memoizes GraphFingerprint per graph. Graphs must not be mutated
+// after evaluation starts (the evaluator documents the same invariant for
+// its pointer-keyed memo), so entries can never go stale. The map is
+// package-global and graph builders mint fresh pointers per call (a
+// long-lived server builds new graphs for every sweep spec), so it is
+// bounded like the other memos: past the limit it is flushed wholesale,
+// which only costs recomputation.
+var (
+	graphFPs      sync.Map // *dnn.Graph -> uint64
+	graphFPCount  atomic.Int64
+	graphFPsLimit = int64(1 << 10)
+)
+
+// GraphFingerprint hashes the structural content of a DNN graph —
+// everything a GroupResult can depend on: layer kinds, output cubes, kernel
+// geometry, channel layout and the typed edge list. The graph's name is
+// ignored, so two structurally identical graphs share cache entries
+// (results are bit-identical by construction). Unlike the pointer identity
+// the per-evaluator memo uses, the fingerprint is stable across processes,
+// which is what lets a shared cache spill to disk and warm a successor
+// process. Computed once per graph and memoized.
+func GraphFingerprint(g *dnn.Graph) uint64 {
+	if v, ok := graphFPs.Load(g); ok {
+		return v.(uint64)
+	}
+	h := uint64(fnvOffset)
+	for _, l := range g.Layers {
+		for _, v := range [...]uint64{
+			uint64(l.ID), uint64(l.Kind),
+			uint64(l.OH), uint64(l.OW), uint64(l.OK),
+			uint64(l.R), uint64(l.S), uint64(l.Stride),
+			uint64(l.PadH), uint64(l.PadW),
+			uint64(l.IC), uint64(l.Groups),
+			uint64(l.FusedOps),
+		} {
+			h = fnv1a(h, v)
+		}
+		if l.HasWeights {
+			h = fnv1a(h, 1)
+		} else {
+			h = fnv1a(h, 0)
+		}
+		for _, in := range l.Inputs {
+			h = fnv1a(h, uint64(int64(in.Src)))
+			h = fnv1a(h, uint64(in.DstOff))
+			h = fnv1a(h, uint64(in.Role))
+		}
+		h = fnv1a(h, ^uint64(0)) // layer terminator
+	}
+	if graphFPCount.Add(1) > graphFPsLimit {
+		graphFPs.Range(func(k, _ any) bool { graphFPs.Delete(k); return true })
+		graphFPCount.Store(1)
+	}
+	graphFPs.Store(g, h)
+	return h
+}
+
 // ConfigFingerprint hashes the structural fields of an architecture
 // configuration — everything a GroupResult can depend on, and nothing it
 // cannot (the Name is ignored). Two configs with equal fingerprints are
@@ -31,11 +88,13 @@ func ConfigFingerprint(cfg *arch.Config) uint64 {
 }
 
 // CacheKey addresses one group evaluation in a shared Cache: the
-// architecture fingerprint, the graph identity, and the group fingerprint
-// (encoding + batch + params + cross-group context).
+// architecture fingerprint, the graph fingerprint, and the group
+// fingerprint (encoding + batch + params + cross-group context). All three
+// components are stable across processes, so a cache can round-trip through
+// SaveDisk/LoadDisk and keep serving.
 type CacheKey struct {
 	Arch  uint64
-	Graph *dnn.Graph
+	Graph uint64
 	FP    uint64
 }
 
@@ -48,25 +107,36 @@ const cacheShards = 64
 // is far below the limit, and a flush only costs recomputation).
 const cacheShardLimit = 1 << 14
 
+// cacheEntry is one stored result plus its provenance: disk marks entries
+// merged in by LoadDisk, so hit accounting can tell cross-process warmth
+// from in-process warmth.
+type cacheEntry struct {
+	r    GroupResult
+	disk bool
+}
+
 type cacheShard struct {
 	mu sync.RWMutex
-	m  map[CacheKey]GroupResult
+	m  map[CacheKey]cacheEntry
 }
 
 // Cache is a concurrency-safe group-result store shared across evaluators —
 // and therefore across architecture candidates, models, SA restarts and
 // whole DSE runs. It memoizes exactly what the per-evaluator memo does, so
-// serving from the cache is bit-identical to recomputing.
+// serving from the cache is bit-identical to recomputing. SaveDisk and
+// LoadDisk spill and restore it across process boundaries.
 type Cache struct {
 	shards                [cacheShards]cacheShard
 	hits, misses, flushes atomic.Int64
+
+	diskHits, diskLoaded, diskSaves atomic.Int64
 }
 
 // NewCache returns an empty shared cache.
 func NewCache() *Cache {
 	c := &Cache{}
 	for i := range c.shards {
-		c.shards[i].m = make(map[CacheKey]GroupResult)
+		c.shards[i].m = make(map[CacheKey]cacheEntry)
 	}
 	return c
 }
@@ -75,18 +145,22 @@ func (c *Cache) shard(k CacheKey) *cacheShard {
 	return &c.shards[(k.Arch^k.FP)%cacheShards]
 }
 
-// get returns the cached result for k, counting the hit or miss.
+// get returns the cached result for k, counting the hit or miss (and,
+// separately, hits served by disk-loaded entries).
 func (c *Cache) get(k CacheKey) (GroupResult, bool) {
 	s := c.shard(k)
 	s.mu.RLock()
-	r, ok := s.m[k]
+	e, ok := s.m[k]
 	s.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
+		if e.disk {
+			c.diskHits.Add(1)
+		}
 	} else {
 		c.misses.Add(1)
 	}
-	return r, ok
+	return e.r, ok
 }
 
 // put stores a computed result, flushing the shard if it is full.
@@ -97,7 +171,7 @@ func (c *Cache) put(k CacheKey, r GroupResult) {
 		clear(s.m)
 		c.flushes.Add(1)
 	}
-	s.m[k] = r
+	s.m[k] = cacheEntry{r: r}
 	s.mu.Unlock()
 }
 
@@ -105,6 +179,11 @@ func (c *Cache) put(k CacheKey, r GroupResult) {
 type CacheStats struct {
 	Hits, Misses, Flushes int64
 	Entries               int
+
+	// DiskHits counts hits served by entries a LoadDisk call merged in —
+	// work a predecessor process paid for. DiskLoaded is the total entries
+	// merged from disk, DiskSaves the completed SaveDisk calls.
+	DiskHits, DiskLoaded, DiskSaves int64
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -118,9 +197,12 @@ func (s CacheStats) HitRate() float64 {
 // Stats reports the cache's lookup accounting and current size.
 func (c *Cache) Stats() CacheStats {
 	st := CacheStats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Flushes: c.flushes.Load(),
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Flushes:    c.flushes.Load(),
+		DiskHits:   c.diskHits.Load(),
+		DiskLoaded: c.diskLoaded.Load(),
+		DiskSaves:  c.diskSaves.Load(),
 	}
 	for i := range c.shards {
 		s := &c.shards[i]

@@ -1,0 +1,207 @@
+// Disk spill for the shared evaluation cache. Group results are pure
+// functions of their (arch, graph, group) fingerprints, so a cache written
+// by one process is valid input for any other: a restarted service warms
+// from its predecessor's cells instead of recomputing them.
+//
+// The format is line-oriented JSON — a version header followed by one entry
+// per line — written to a temp file and atomically renamed into place.
+// Loading tolerates corruption at entry granularity: a truncated tail or a
+// damaged line costs exactly the entries it carried, never the file, and a
+// file too broken to parse degrades to a cold cache rather than an error.
+// Float fields survive the JSON round trip bit-exactly (Go encodes the
+// shortest representation that parses back to the same value), so a
+// disk-served result is bit-identical to the recomputation it replaces.
+package eval
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// diskHeader is the first line of a spilled cache file.
+type diskHeader struct {
+	Kind    string `json:"kind"`
+	Version int    `json:"version"`
+}
+
+const (
+	diskKind    = "gemini-eval-cache"
+	diskVersion = 1
+)
+
+// diskEntry is one cache cell on disk. Fingerprints are hex strings: JSON
+// numbers are float64 and would corrupt uint64 keys past 2^53.
+type diskEntry struct {
+	Arch   string      `json:"a"`
+	Graph  string      `json:"g"`
+	FP     string      `json:"f"`
+	Result GroupResult `json:"r"`
+}
+
+// SaveDisk atomically writes a snapshot of every cache entry (locally
+// computed and disk-loaded alike) to path, creating parent directories as
+// needed. Entries are emitted in sorted key order, so identical caches
+// produce identical files. Concurrent SaveDisk calls are safe: each writes
+// its own temp file and the rename is atomic, so readers always see a
+// complete file (last writer wins).
+func (c *Cache) SaveDisk(path string) error {
+	type kv struct {
+		k CacheKey
+		e cacheEntry
+	}
+	var all []kv
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k, e := range s.m {
+			all = append(all, kv{k, e})
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(all, func(a, b int) bool {
+		ka, kb := all[a].k, all[b].k
+		if ka.Arch != kb.Arch {
+			return ka.Arch < kb.Arch
+		}
+		if ka.Graph != kb.Graph {
+			return ka.Graph < kb.Graph
+		}
+		return ka.FP < kb.FP
+	})
+
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("eval: cache save: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("eval: cache save: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(diskHeader{Kind: diskKind, Version: diskVersion}); err != nil {
+		tmp.Close()
+		return fmt.Errorf("eval: cache save: %w", err)
+	}
+	for _, e := range all {
+		de := diskEntry{
+			Arch:   fmt.Sprintf("%016x", e.k.Arch),
+			Graph:  fmt.Sprintf("%016x", e.k.Graph),
+			FP:     fmt.Sprintf("%016x", e.k.FP),
+			Result: e.e.r,
+		}
+		if err := enc.Encode(de); err != nil {
+			tmp.Close()
+			return fmt.Errorf("eval: cache save: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("eval: cache save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("eval: cache save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("eval: cache save: %w", err)
+	}
+	c.diskSaves.Add(1)
+	return nil
+}
+
+// LoadDisk merges a previously spilled cache file into the cache and
+// reports how many entries it added. A missing file is a cold start, not an
+// error. Corruption is tolerated at entry granularity: undecodable lines
+// (and anything past a truncation point) are skipped, a header from an
+// unknown version or kind skips the whole file, and in every such case the
+// cache simply stays colder — LoadDisk errors only on real I/O failure.
+// Entries already present in memory are kept (they are bit-identical by key
+// determinism, and keeping them preserves the locally-computed provenance
+// of the accounting).
+func (c *Cache) LoadDisk(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("eval: cache load: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	if !sc.Scan() {
+		return 0, nil // empty or truncated-to-nothing: cold
+	}
+	var hdr diskHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil ||
+		hdr.Kind != diskKind || hdr.Version != diskVersion {
+		return 0, nil // foreign or future file: cold, never an error
+	}
+
+	loaded := 0
+	for sc.Scan() {
+		var de diskEntry
+		if err := json.Unmarshal(sc.Bytes(), &de); err != nil {
+			continue // damaged line: skip just this entry
+		}
+		var k CacheKey
+		if !parseHexFP(de.Arch, &k.Arch) || !parseHexFP(de.Graph, &k.Graph) || !parseHexFP(de.FP, &k.FP) {
+			continue
+		}
+		if c.insertFromDisk(k, de.Result) {
+			loaded++
+		}
+	}
+	// A scanner error (oversized or unterminated line) means a damaged
+	// tail; everything before it already merged, so degrade, don't fail.
+	c.diskLoaded.Add(int64(loaded))
+	return loaded, nil
+}
+
+// insertFromDisk adds a disk entry unless the key is already present,
+// respecting the shard size bound.
+func (c *Cache) insertFromDisk(k CacheKey, r GroupResult) bool {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[k]; ok {
+		return false
+	}
+	if len(s.m) >= cacheShardLimit {
+		clear(s.m)
+		c.flushes.Add(1)
+	}
+	s.m[k] = cacheEntry{r: r, disk: true}
+	return true
+}
+
+// parseHexFP decodes a 64-bit hex fingerprint.
+func parseHexFP(s string, out *uint64) bool {
+	if len(s) == 0 || len(s) > 16 {
+		return false
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return false
+		}
+		v = v<<4 | d
+	}
+	*out = v
+	return true
+}

@@ -1,0 +1,222 @@
+package eval
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"gemini/internal/arch"
+	"gemini/internal/core"
+	"gemini/internal/dnn"
+)
+
+func populatedCache(t *testing.T) (*Cache, int) {
+	t.Helper()
+	cfg := arch.GArch72()
+	g := dnn.TinyCNN()
+	// One group per layer, so the cache holds several distinct entries.
+	groups := make([][]int, len(g.Layers))
+	bus := make([]int, len(g.Layers))
+	for i := range g.Layers {
+		groups[i] = []int{i}
+		bus[i] = 1
+	}
+	s, err := core.StripeScheme(g, &cfg, groups, bus, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache()
+	NewWithCache(&cfg, cache).Evaluate(s)
+	n := cache.Stats().Entries
+	if n < 3 {
+		t.Fatalf("populated cache has only %d entries; corruption cases need more", n)
+	}
+	return cache, n
+}
+
+// TestDiskRoundTripBitIdentical: a cache loaded from disk must serve every
+// entry the original held, bit-identically, and must account the hits as
+// disk-served.
+func TestDiskRoundTripBitIdentical(t *testing.T) {
+	cfg := arch.GArch72()
+	s := cacheTestScheme(t, &cfg)
+	cache := NewCache()
+	want := NewWithCache(&cfg, cache).Evaluate(s)
+
+	path := filepath.Join(t.TempDir(), "sub", "cache.ndjson")
+	if err := cache.SaveDisk(path); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.DiskSaves != 1 {
+		t.Errorf("DiskSaves = %d, want 1", st.DiskSaves)
+	}
+
+	warm := NewCache()
+	n, err := warm.LoadDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != cache.Stats().Entries {
+		t.Fatalf("loaded %d entries, want %d", n, cache.Stats().Entries)
+	}
+	got := NewWithCache(&cfg, warm).Evaluate(s)
+	if got.Feasible != want.Feasible || got.Delay != want.Delay ||
+		got.Energy != want.Energy || got.DRAMBytes != want.DRAMBytes {
+		t.Fatalf("disk-warmed result diverged: %+v vs %+v", got, want)
+	}
+	st := warm.Stats()
+	if st.Misses != 0 {
+		t.Errorf("disk-warmed evaluation recomputed %d groups", st.Misses)
+	}
+	if st.DiskHits == 0 || st.DiskLoaded != int64(n) {
+		t.Errorf("disk accounting wrong: %+v", st)
+	}
+}
+
+// TestDiskSaveDeterministic: identical caches write identical bytes (sorted
+// key order), so spill files are diffable and content-addressable.
+func TestDiskSaveDeterministic(t *testing.T) {
+	cache, _ := populatedCache(t)
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	if err := cache.SaveDisk(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.SaveDisk(b); err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := os.ReadFile(a)
+	bb, _ := os.ReadFile(b)
+	if !bytes.Equal(ab, bb) {
+		t.Error("two saves of one cache differ")
+	}
+}
+
+// TestDiskLoadMissingIsCold: no file means a cold start, not an error.
+func TestDiskLoadMissingIsCold(t *testing.T) {
+	c := NewCache()
+	n, err := c.LoadDisk(filepath.Join(t.TempDir(), "absent.ndjson"))
+	if err != nil || n != 0 {
+		t.Fatalf("missing file: n=%d err=%v, want 0, nil", n, err)
+	}
+}
+
+// TestDiskLoadCorruptionTolerance: truncated tails and damaged lines cost
+// only the entries they carried; garbage files degrade to cold. Nothing
+// here may return an error.
+func TestDiskLoadCorruptionTolerance(t *testing.T) {
+	cache, total := populatedCache(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.ndjson")
+	if err := cache.SaveDisk(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+
+	damaged := append([]string{}, lines...)
+	damaged[1+total/2] = "{garbage\n" // overwrite one entry line
+	cases := map[string]string{
+		// Mid-entry truncation: the complete prefix lines must survive.
+		"truncated": string(raw[:len(raw)-len(lines[len(lines)-2])/2-1]),
+		// One damaged line in the middle: every other entry must survive.
+		"damaged-line": strings.Join(damaged, ""),
+		// Not a cache file at all.
+		"garbage": "hello world\nnot json\n",
+		// Wrong version header.
+		"future-version": `{"kind":"gemini-eval-cache","version":999}` + "\n" + strings.Join(lines[1:], ""),
+		// Empty file.
+		"empty": "",
+	}
+	minLoaded := map[string]int{
+		"truncated":      total - 2,
+		"damaged-line":   total - 1,
+		"garbage":        0,
+		"future-version": 0,
+		"empty":          0,
+	}
+	maxLoaded := map[string]int{
+		"truncated":      total - 1,
+		"damaged-line":   total - 1,
+		"garbage":        0,
+		"future-version": 0,
+		"empty":          0,
+	}
+	for name, content := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c := NewCache()
+		n, err := c.LoadDisk(p)
+		if err != nil {
+			t.Errorf("%s: LoadDisk errored (%v); corruption must degrade to cold", name, err)
+		}
+		if n < minLoaded[name] || n > maxLoaded[name] {
+			t.Errorf("%s: loaded %d entries, want in [%d, %d] of %d",
+				name, n, minLoaded[name], maxLoaded[name], total)
+		}
+	}
+}
+
+// TestDiskConcurrentSaveLoad exercises save/load racing against live use of
+// the cache (run under -race in CI): the coalesced background saver snapshots
+// while evaluations insert and a second cache loads the latest spill.
+func TestDiskConcurrentSaveLoad(t *testing.T) {
+	cfg := arch.GArch72()
+	s := cacheTestScheme(t, &cfg)
+	cache := NewCache()
+	path := filepath.Join(t.TempDir(), "cache.ndjson")
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := NewWithCache(&cfg, cache)
+			for i := 0; i < 20; i++ {
+				ev.Evaluate(s)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := cache.SaveDisk(path); err != nil {
+				t.Errorf("save: %v", err)
+				return
+			}
+			other := NewCache()
+			if _, err := other.LoadDisk(path); err != nil {
+				t.Errorf("load: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestGraphFingerprintStructural: names do not matter, structure does, and
+// the fingerprint is stable per pointer.
+func TestGraphFingerprintStructural(t *testing.T) {
+	a := dnn.TinyCNN()
+	b := dnn.TinyCNN()
+	b.Name = "renamed"
+	if GraphFingerprint(a) != GraphFingerprint(b) {
+		t.Error("fingerprint depends on graph name")
+	}
+	if GraphFingerprint(a) != GraphFingerprint(a) {
+		t.Error("fingerprint not stable")
+	}
+	c := dnn.TinyTransformer()
+	if GraphFingerprint(a) == GraphFingerprint(c) {
+		t.Error("structurally different graphs collide")
+	}
+}

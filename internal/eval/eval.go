@@ -171,7 +171,7 @@ func (e *Evaluator) coreParams() intracore.Core {
 func (e *Evaluator) EvaluateGroup(s *core.Scheme, gi int) GroupResult {
 	fp := e.groupFingerprint(s, gi)
 	if e.shared != nil {
-		key := CacheKey{Arch: e.archFP, Graph: s.Graph, FP: fp}
+		key := CacheKey{Arch: e.archFP, Graph: GraphFingerprint(s.Graph), FP: fp}
 		if r, ok := e.shared.get(key); ok {
 			return r
 		}

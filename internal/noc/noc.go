@@ -74,6 +74,48 @@ func New(cfg *arch.Config) *Network {
 	return n
 }
 
+// LinkBWSum returns the aggregate bandwidth (GB/s) of every directed link of
+// the configuration's interconnect — NoC links at NoCBW plus chiplet-crossing
+// links at D2DBW. It enumerates the same link set New builds, without paying
+// for route tables, so the DSE bound engine can charge an aggregate
+// interconnect capacity per candidate: no schedule can move bytes across the
+// chip faster than the sum of all link bandwidths drains them.
+func LinkBWSum(cfg *arch.Config) float64 {
+	var noc, d2d int
+	count := func(a, b arch.CoreID) {
+		if cfg.SameChiplet(a, b) {
+			noc += 2 // both directions
+		} else {
+			d2d += 2
+		}
+	}
+	w, h := cfg.CoresX, cfg.CoresY
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := cfg.CoreAt(x, y)
+			if x+1 < w {
+				count(c, cfg.CoreAt(x+1, y))
+			}
+			if y+1 < h {
+				count(c, cfg.CoreAt(x, y+1))
+			}
+		}
+	}
+	if cfg.Topology == arch.FoldedTorus {
+		if w > 2 {
+			for y := 0; y < h; y++ {
+				count(cfg.CoreAt(w-1, y), cfg.CoreAt(0, y))
+			}
+		}
+		if h > 2 {
+			for x := 0; x < w; x++ {
+				count(cfg.CoreAt(x, h-1), cfg.CoreAt(x, 0))
+			}
+		}
+	}
+	return float64(noc)*cfg.NoCBW + float64(d2d)*cfg.D2DBW
+}
+
 // buildRoutes precomputes the XY path between every ordered core pair into a
 // single flat table, so Route is a lock-free slice lookup on the hot path.
 func (n *Network) buildRoutes() {

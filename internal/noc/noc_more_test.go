@@ -93,3 +93,30 @@ func TestBottleneckInfiniteOnZeroBW(t *testing.T) {
 		t.Errorf("zero-bandwidth link should give effectively infinite time, got %v", got)
 	}
 }
+
+// TestLinkBWSumMatchesLinkGraph pins the arithmetic link-bandwidth
+// aggregate (used by the DSE bound engine) to the actual link set New
+// builds, across topologies and cut layouts.
+func TestLinkBWSumMatchesLinkGraph(t *testing.T) {
+	cfgs := []arch.Config{arch.GArch72(), arch.Grayskull()}
+	mono := arch.GArch72()
+	mono.XCut, mono.YCut = 1, 1
+	cfgs = append(cfgs, mono)
+	cuts := arch.GArch72()
+	cuts.XCut, cuts.YCut = 3, 3
+	cfgs = append(cfgs, cuts)
+	torus := cuts
+	torus.Topology = arch.FoldedTorus
+	cfgs = append(cfgs, torus)
+	for _, cfg := range cfgs {
+		n := New(&cfg)
+		want := 0.0
+		for i := range n.Links {
+			want += n.LinkBW(i)
+		}
+		if got := LinkBWSum(&cfg); got != want {
+			t.Errorf("%s %s: LinkBWSum = %v, want %v (from %d links)",
+				cfg.Topology, cfg.Name, got, want, len(n.Links))
+		}
+	}
+}

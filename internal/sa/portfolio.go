@@ -20,13 +20,21 @@ type Portfolio struct {
 	Costs []float64
 	// Planned is the requested portfolio width.
 	Planned int
-	// Abandoned reports that the Stop callback interrupted the portfolio.
-	// Best holds the best result of the restarts that did run, but callers
-	// that abandon because the whole cell is dominated typically discard it.
+	// Abandoned reports that the Stop callback interrupted the portfolio
+	// between restarts, or the per-restart Dominated hook interrupted one
+	// mid-anneal. Best holds the best result of the restarts that did run,
+	// but callers that abandon because the whole cell is dominated typically
+	// discard it.
 	Abandoned bool
+	// Iterations is the total SA iterations attempted across every restart,
+	// including the partial iterations of a mid-anneal abandoned restart.
+	// The DSE scheduler aggregates it to account for the work in-loop
+	// abandonment saves.
+	Iterations int
 }
 
-// Skipped returns how many planned restarts never ran.
+// Skipped returns how many planned restarts never ran (a restart abandoned
+// mid-anneal counts: it never completed).
 func (p Portfolio) Skipped() int { return p.Planned - len(p.Costs) }
 
 // RestartSeed derives the seed of restart i from the base seed. Restart 0
@@ -85,6 +93,14 @@ func MultiStartAdaptive(input *core.Scheme, ev *eval.Evaluator, opt Options, res
 		o := opt
 		o.Seed = RestartSeed(opt.Seed, i)
 		r := Optimize(input, ev, o)
+		p.Iterations += r.Attempted
+		if r.Abandoned {
+			// The Dominated hook cut this restart off mid-anneal: its partial
+			// cost is not a completed restart outcome, so it joins neither
+			// Costs nor the fold.
+			p.Abandoned = true
+			break
+		}
 		p.Costs = append(p.Costs, r.Cost)
 		if i == 0 || betterCost(r.Cost, p.Best.Cost) {
 			p.Best = r

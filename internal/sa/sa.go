@@ -32,7 +32,25 @@ type Options struct {
 	// Ops restricts the search to a subset of the five operators
 	// (nil/empty = all). Used by the operator ablation.
 	Ops []core.Op
+
+	// Dominated, when non-nil, is the in-loop abandonment hook: it is polled
+	// every CheckEvery iterations with the best cost found so far, and a
+	// true return stops the search immediately (Result.Abandoned is set).
+	// The DSE scheduler uses it to walk a dominated candidate out of the
+	// annealing hot loop instead of letting it finish the restart. The check
+	// consumes no randomness and allocates nothing, so a hook that never
+	// fires leaves the search bit-identical to an unhooked run.
+	Dominated func(bestSoFar float64) bool
+	// CheckEvery is the Dominated polling stride in iterations
+	// (<= 0: every 32).
+	CheckEvery int
 }
+
+// defaultCheckEvery is the Dominated polling stride when CheckEvery is not
+// set: frequent enough that a dominated cell wastes at most a few dozen
+// group evaluations, rare enough to keep the atomic incumbent read off the
+// per-iteration path.
+const defaultCheckEvery = 32
 
 // DefaultOptions returns the settings used by the experiments.
 func DefaultOptions() Options {
@@ -55,6 +73,12 @@ type Result struct {
 
 	Attempted, Applied, Accepted int
 	OpAccepted                   [5]int
+
+	// Abandoned reports that the Dominated hook stopped the search before
+	// Iterations completed; Scheme/Cost hold the best state found up to that
+	// point (callers that abandon because the cell is dominated typically
+	// discard them).
+	Abandoned bool
 }
 
 // Improvement returns InitCost / Cost (>= 1 when the search helped).
@@ -164,7 +188,19 @@ func Optimize(input *core.Scheme, ev *eval.Evaluator, opt Options) Result {
 	// dirty marks groups where s has drifted from the best snapshot.
 	dirty := make([]bool, n)
 
+	checkEvery := opt.CheckEvery
+	if checkEvery <= 0 {
+		checkEvery = defaultCheckEvery
+	}
+
 	for it := 0; it < opt.Iterations; it++ {
+		// In-loop abandonment: poll the Dominated hook on a fixed stride.
+		// The check reads no randomness and touches no search state, so runs
+		// where the hook never fires stay bit-identical to unhooked runs.
+		if opt.Dominated != nil && it != 0 && it%checkEvery == 0 && opt.Dominated(bestCost) {
+			res.Abandoned = true
+			break
+		}
 		gi := pick()
 		res.Attempted++
 		old := s.Groups[gi]

@@ -51,6 +51,14 @@ type Config struct {
 	// DataDir is where per-sweep checkpoints live; empty disables
 	// persistence (sweeps then only share state within the process).
 	DataDir string
+	// CacheDir, when set, spills every pool session's shared evaluation
+	// cache to disk (dse.Options.CacheDir semantics): sweeps warm from the
+	// previous process's group evaluations — not just from their own
+	// checkpoint cells — and re-save the cache as candidates complete. All
+	// sessions share the one directory; every save merges the file's
+	// entries before snapshotting, so sessions with distinct caches
+	// converge on the union of their work rather than overwriting it.
+	CacheDir string
 	// Logf, when set, receives server lifecycle and scheduling lines.
 	Logf func(format string, args ...any)
 }
@@ -110,6 +118,9 @@ func New(cfg Config) *Server {
 		s.pool[i] = dse.NewSession()
 		s.pool[i].Logf = s.logf
 	}
+	// Restore the finished-sweep history before serving: GET /sweeps then
+	// reports the predecessor process's sweeps alongside new ones.
+	s.loadStatuses()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sweep", s.handleSweep)
 	mux.HandleFunc("GET /sweeps", s.handleList)
@@ -177,6 +188,7 @@ func (s *Server) register(sw *sweep) (int, error) {
 			if s.sweeps[id].stateNow() != StateRunning {
 				delete(s.sweeps, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
+				s.removeStatus(id)
 				evicted = true
 				break
 			}
@@ -276,6 +288,14 @@ type SessionHealth struct {
 	CacheEntries int   `json:"cache_entries"`
 	// CacheHitRate is hits / (hits + misses), 0 when idle.
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// CacheDiskHits counts cache hits served by entries loaded from the
+	// disk spill — group evaluations a predecessor process paid for.
+	CacheDiskHits int64 `json:"cache_disk_hits,omitempty"`
+	// CacheDiskLoaded counts entries the session merged from the disk spill.
+	CacheDiskLoaded int64 `json:"cache_disk_loaded,omitempty"`
+	// CacheDiskSaves counts completed background spills of this session's
+	// cache.
+	CacheDiskSaves int64 `json:"cache_disk_saves,omitempty"`
 	// CheckpointCells counts the settled cells the session holds.
 	CheckpointCells int `json:"checkpoint_cells"`
 	// ResumedCells counts cells served from checkpoints over the session's
@@ -333,6 +353,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			CacheMisses:     cs.Misses,
 			CacheEntries:    cs.Entries,
 			CacheHitRate:    cs.HitRate(),
+			CacheDiskHits:   cs.DiskHits,
+			CacheDiskLoaded: cs.DiskLoaded,
+			CacheDiskSaves:  cs.DiskSaves,
 			CheckpointCells: ses.CheckpointCells(),
 			ResumedCells:    ses.ResumedCells(),
 		})

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -586,5 +588,77 @@ func TestShutdownCancelsSweeps(t *testing.T) {
 	}
 	if s.base.Err() == nil {
 		t.Error("base context not canceled")
+	}
+}
+
+// TestSweepHistorySurvivesRestart pins the status-persistence satellite:
+// GET /sweeps on a restarted server must list the predecessor's finished
+// sweeps with their final state, best candidate and stats.
+func TestSweepHistorySurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, hsA := newTestServer(t, Config{DataDir: dir})
+	runSweep(t, hsA.URL, tinySpec("history-1", 32, 64))
+	runSweep(t, hsA.URL, tinySpec("history-2", 32, 64))
+	wantSt, code := getStatus(t, hsA.URL, "history-1")
+	if code != http.StatusOK || wantSt.State != StateDone {
+		t.Fatalf("first server status: %d %+v", code, wantSt)
+	}
+	hsA.Close()
+
+	_, hsB := newTestServer(t, Config{DataDir: dir})
+	st, code := getStatus(t, hsB.URL, "history-1")
+	if code != http.StatusOK {
+		t.Fatalf("restarted server lost sweep history-1 (status %d)", code)
+	}
+	if st.State != StateDone || st.Best == nil || st.Stats == nil {
+		t.Fatalf("restored record incomplete: %+v", st)
+	}
+	if st.Best.Arch != wantSt.Best.Arch || st.Best.Objective != wantSt.Best.Objective {
+		t.Errorf("restored best %+v != original %+v", st.Best, wantSt.Best)
+	}
+	if !st.Checkpoint {
+		t.Error("restored record lost its checkpoint flag")
+	}
+
+	// The list endpoint sees both, in start order.
+	resp, err := http.Get(hsB.URL + "/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Sweeps []SweepStatus `json:"sweeps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sweeps) != 2 || list.Sweeps[0].ID != "history-1" || list.Sweeps[1].ID != "history-2" {
+		t.Fatalf("restored history wrong: %+v", list.Sweeps)
+	}
+
+	// Re-POSTing a restored id supersedes the record (resume), as before.
+	ev := runSweep(t, hsB.URL, tinySpec("history-1", 32, 64))
+	if done := ev[len(ev)-1]; done.Type != "done" || done.Stats.ResumedCells != done.Stats.Cells {
+		t.Errorf("resume over restored history record failed: %+v", ev[len(ev)-1])
+	}
+}
+
+// TestDamagedStatusRecordSkipped: a corrupt status file must not break
+// startup or hide the healthy records.
+func TestDamagedStatusRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	_, hsA := newTestServer(t, Config{DataDir: dir})
+	runSweep(t, hsA.URL, tinySpec("ok-sweep", 32, 64))
+	hsA.Close()
+	if err := os.WriteFile(filepath.Join(dir, "broken.status.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, hsB := newTestServer(t, Config{DataDir: dir})
+	if _, code := getStatus(t, hsB.URL, "ok-sweep"); code != http.StatusOK {
+		t.Errorf("healthy record lost next to a damaged one (status %d)", code)
+	}
+	if _, code := getStatus(t, hsB.URL, "broken"); code != http.StatusNotFound {
+		t.Errorf("damaged record should be absent, got status %d", code)
 	}
 }

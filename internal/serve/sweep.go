@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -335,6 +336,179 @@ func (sw *streamWriter) send(ev Event) {
 	sw.flush()
 }
 
+// --- status persistence --------------------------------------------------
+
+// statusPath maps a sweep id to its on-disk status record, or "" when
+// persistence is disabled. Status records live next to the checkpoints so
+// GET /sweeps survives a server restart with the same history a live server
+// would report.
+func (s *Server) statusPath(id string) string {
+	if s.cfg.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.DataDir, id+".status.json")
+}
+
+// saveStatus persists a finished sweep's status record (atomic rename) and
+// prunes the on-disk history to the same bound the in-memory map keeps. A
+// failed save only costs history-after-restart, so it is logged, not fatal.
+func (s *Server) saveStatus(sw *sweep) {
+	path := s.statusPath(sw.id)
+	if path == "" {
+		return
+	}
+	write := func() error {
+		if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+			return err
+		}
+		tmp, err := os.CreateTemp(s.cfg.DataDir, sw.id+".status.tmp-*")
+		if err != nil {
+			return err
+		}
+		defer os.Remove(tmp.Name())
+		enc := json.NewEncoder(tmp)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sw.status()); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp.Name(), path)
+	}
+	if err := write(); err != nil {
+		s.logf("serve: sweep %s: status save failed: %v", sw.id, err)
+		return
+	}
+	s.pruneStatusFiles()
+}
+
+// removeStatus deletes a sweep's persisted status record (used when the
+// in-memory history evicts it, so disk and memory stay in step).
+func (s *Server) removeStatus(id string) {
+	if path := s.statusPath(id); path != "" {
+		_ = os.Remove(path)
+	}
+}
+
+// pruneStatusFiles bounds the on-disk status history like the in-memory
+// retiredSweeps cap: oldest finished records (by recorded finish time) go
+// first.
+func (s *Server) pruneStatusFiles() {
+	entries, err := filepath.Glob(filepath.Join(s.cfg.DataDir, "*.status.json"))
+	if err != nil || len(entries) <= retiredSweeps {
+		return
+	}
+	type rec struct {
+		path string
+		at   time.Time
+	}
+	recs := make([]rec, 0, len(entries))
+	for _, p := range entries {
+		st, err := readStatusFile(p)
+		if err != nil {
+			// Unreadable records would otherwise pin the history forever;
+			// they are the first to go.
+			recs = append(recs, rec{path: p})
+			continue
+		}
+		at := st.StartedAt
+		if st.FinishedAt != nil {
+			at = *st.FinishedAt
+		}
+		recs = append(recs, rec{path: p, at: at})
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].at.Before(recs[b].at) })
+	for _, r := range recs[:len(recs)-retiredSweeps] {
+		_ = os.Remove(r.path)
+	}
+}
+
+// readStatusFile decodes one persisted status record.
+func readStatusFile(path string) (SweepStatus, error) {
+	var st SweepStatus
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return st, err
+	}
+	if st.ID == "" {
+		return st, fmt.Errorf("serve: status file %s has no sweep id", path)
+	}
+	return st, nil
+}
+
+// loadStatuses restores the finished-sweep history from DataDir at startup.
+// A sweep recorded as running died with its server: it is restored as
+// canceled (its checkpoint survives, so re-POSTing the spec resumes it).
+// Damaged records are skipped — history is a convenience, never worth
+// failing startup over.
+func (s *Server) loadStatuses() {
+	if s.cfg.DataDir == "" {
+		return
+	}
+	entries, err := filepath.Glob(filepath.Join(s.cfg.DataDir, "*.status.json"))
+	if err != nil {
+		return
+	}
+	var sts []SweepStatus
+	for _, p := range entries {
+		st, err := readStatusFile(p)
+		if err != nil {
+			s.logf("serve: skipping damaged status record %s: %v", p, err)
+			continue
+		}
+		if st.State == StateRunning {
+			st.State = StateCanceled
+			st.Error = "server restarted while the sweep was running"
+		}
+		sts = append(sts, st)
+	}
+	sort.Slice(sts, func(a, b int) bool {
+		if !sts[a].StartedAt.Equal(sts[b].StartedAt) {
+			return sts[a].StartedAt.Before(sts[b].StartedAt)
+		}
+		return sts[a].ID < sts[b].ID
+	})
+	if len(sts) > retiredSweeps {
+		sts = sts[len(sts)-retiredSweeps:]
+	}
+	for _, st := range sts {
+		sw := restoredSweep(s, st)
+		s.sweeps[sw.id] = sw
+		s.order = append(s.order, sw.id)
+	}
+	if len(sts) > 0 {
+		s.logf("serve: restored %d sweep status records from %s", len(sts), s.cfg.DataDir)
+	}
+}
+
+// restoredSweep rebuilds a sweep record from its persisted status. The
+// cancel hook is a no-op: nothing is running.
+func restoredSweep(s *Server, st SweepStatus) *sweep {
+	sw := &sweep{
+		id:      st.ID,
+		server:  s,
+		cancel:  func() {},
+		state:   st.State,
+		cands:   st.Candidates,
+		cells:   st.Cells,
+		done:    st.DoneCandidates,
+		best:    st.Best,
+		stats:   st.Stats,
+		err:     st.Error,
+		started: st.StartedAt,
+	}
+	if st.FinishedAt != nil {
+		sw.finished = *st.FinishedAt
+	}
+	sw.ckpt.Store(s.hasCheckpoint(st.ID))
+	return sw
+}
+
 // --- checkpoint persistence ----------------------------------------------
 
 // checkpointPath maps a sweep id to its on-disk checkpoint, or "" when
@@ -466,6 +640,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.logf("serve: sweep %s: checkpoint load failed, recomputing: %v", spec.ID, err)
 	}
 	opt := spec.Options()
+	// The disk cache location is server policy, not part of the sweep spec:
+	// every sweep on this server spills through the one operator-chosen
+	// directory.
+	opt.CacheDir = s.cfg.CacheDir
 	// A client-supplied worker count is a resource request against a
 	// shared server: clamp it to the machine so one spec cannot spawn an
 	// unbounded goroutine fleet (0 already means GOMAXPROCS).
@@ -547,4 +725,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		sw.finish(StateDone, summarizeStats(stats), best, "")
 		stream.send(Event{Type: "done", SweepID: spec.ID, Best: best, Stats: summarizeStats(stats), ElapsedMS: elapsed})
 	}
+	// Persist the final status next to the checkpoint, so GET /sweeps
+	// survives a server restart.
+	s.saveStatus(sw)
 }

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Runs the PR-5 pruning-engine benchmark set — the compulsory-traffic bound
+# vs the PR-3 compute+DRAM bound on the weak-first workload, deterministic
+# in-loop abandonment, and the disk-warmed sweep — plus the PR-1/2/3
+# hot-loop, session and scheduler benchmarks, and emits a BENCH_5-style
+# JSON report on stdout: ns/op, B/op, allocs/op and the scheduler's
+# work-saved accounting (pruned candidates, abandoned/skipped restarts, SA
+# iterations, disk hits) per benchmark. CI uploads the result as an
+# artifact and gates on cmd/bench-compare: >10% allocs regression vs the
+# committed baselines fails, the warm sweep must stay faster than cold, the
+# bound-ordered sweep must not regress vs grid order, the tight-bound sweep
+# must stay >= 1.3x faster than the PR-3 bound, and the disk-warmed sweep
+# must stay within 1.5x of the in-process warm sweep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-10x}"
+PATTERN='BenchmarkSAOptimize$|BenchmarkEvaluateGroup$|BenchmarkDSESessionSweepCold$|BenchmarkDSESessionSweepWarm$|BenchmarkDSESweepRestarts1$|BenchmarkDSESweepRestarts4$|BenchmarkDSESweepGridFixed$|BenchmarkDSESweepOrdered$|BenchmarkDSESweepAdaptive$|BenchmarkDSESweepPR3Bound$|BenchmarkDSESweepTightBound$|BenchmarkDSESweepInLoopAbandon$|BenchmarkDSESweepDiskWarm$'
+OUT="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime="$BENCHTIME" .)"
+
+echo "$OUT" >&2
+
+echo "$OUT" | awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; bytes = ""; allocs = ""
+	pruned = ""; abandoned = ""; skipped = ""
+	saiters = ""; boundary = ""; diskhits = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "B/op") bytes = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+		if ($(i+1) == "pruned_candidates") pruned = $i
+		if ($(i+1) == "abandoned_restarts") abandoned = $i
+		if ($(i+1) == "skipped_restarts") skipped = $i
+		if ($(i+1) == "sa_iterations") saiters = $i
+		if ($(i+1) == "boundary_sa_iterations") boundary = $i
+		if ($(i+1) == "disk_hits") diskhits = $i
+	}
+	if (ns == "") next
+	if (!first) printf ",\n"
+	first = 0
+	printf "  \"%s\": { \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, bytes, allocs
+	if (pruned != "") printf ", \"pruned_candidates\": %s", pruned
+	if (abandoned != "") printf ", \"abandoned_restarts\": %s", abandoned
+	if (skipped != "") printf ", \"skipped_restarts\": %s", skipped
+	if (saiters != "") printf ", \"sa_iterations\": %s", saiters
+	if (boundary != "") printf ", \"boundary_sa_iterations\": %s", boundary
+	if (diskhits != "") printf ", \"disk_hits\": %s", diskhits
+	printf " }"
+}
+END { print "\n}" }
+'
