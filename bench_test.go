@@ -8,6 +8,7 @@ package gemini
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"gemini/internal/arch"
 	"gemini/internal/core"
@@ -652,6 +653,45 @@ func BenchmarkDSESweepTightBound(b *testing.B) {
 		b.Fatalf("tight-bound sweep best %s (%g) differs from PR 3 bound %s (%g): the new bound is unsound",
 			got.Cfg.Name, got.Obj, want.Cfg.Name, want.Obj)
 	}
+}
+
+// BenchmarkDSESweepHardened re-runs the tight-bound weak-first sweep with
+// the fault-tolerance machinery fully armed — a retry policy, a per-cell
+// deadline (which moves every attempt onto the watchdog goroutine path),
+// and no faults firing — so it measures exactly what hardening costs a
+// healthy sweep vs BenchmarkDSESweepTightBound, its fault-free twin in the
+// same run. The bench-compare -hardened-factor gate holds the pair within a
+// few percent: arming the machinery must cost ~nothing when nothing fails.
+func BenchmarkDSESweepHardened(b *testing.B) {
+	cands, models, opt := weakDRAMBench()
+	opt.Bound = dse.BoundCompulsory
+	opt.Retry = dse.RetryPolicy{Max: 2, BaseDelay: time.Millisecond}
+	opt.CellTimeout = time.Minute
+	var best *dse.CandidateResult
+	var stats dse.SweepStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ses := dse.NewSession()
+		best = dse.Best(ses.Run(cands, models, opt))
+		if best == nil {
+			b.Fatal("no feasible candidate")
+		}
+		stats = ses.LastSweepStats()
+	}
+	b.StopTimer()
+	if stats.Retries != 0 || stats.Panics != 0 || stats.DeadlineExceeded != 0 {
+		b.Fatalf("fault-free hardened sweep recorded faults: %+v", stats)
+	}
+	// Soundness: the hardened sweep finds the same best as the bare one.
+	cands, models, opt = weakDRAMBench()
+	opt.Bound = dse.BoundCompulsory
+	want := dse.Best(dse.Run(cands, models, opt))
+	if want == nil || best.Obj != want.Obj || best.Cfg.Name != want.Cfg.Name {
+		b.Fatalf("hardened sweep best %s (%g) differs from bare %s (%g)",
+			best.Cfg.Name, best.Obj, want.Cfg.Name, want.Obj)
+	}
+	b.ReportMetric(float64(stats.PrunedCandidates), "pruned_candidates")
+	b.ReportMetric(float64(stats.SAIterations), "sa_iterations")
 }
 
 // BenchmarkDSESweepInLoopAbandon measures the in-loop abandonment mechanism

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"regexp"
 	"sort"
 )
 
@@ -86,6 +87,8 @@ func main() {
 	orderedFactor := flag.Float64("ordered-factor", 0, "required grid/ordered speedup of the pruning-enabled scheduler sweep in the new report (0 disables); both come from the same run, so this check is machine-relative")
 	tightBoundFactor := flag.Float64("tightbound-factor", 0, "required PR3-bound/tight-bound speedup of the weak-first sweep in the new report (0 disables); both come from the same run, so this check is machine-relative")
 	diskWarmFactor := flag.Float64("diskwarm-factor", 0, "max allowed disk-warm/in-process-warm slowdown of the session sweep in the new report (0 disables); both come from the same run, so this check is machine-relative")
+	hardenedFactor := flag.Float64("hardened-factor", 0, "max allowed hardened/tight-bound slowdown of the weak-first sweep in the new report (0 disables); both come from the same run, so this check is machine-relative")
+	only := flag.String("only", "", "regex restricting the per-benchmark regression checks (empty = all overlapping benchmarks); use for tight -max-regress gates that must skip benchmarks whose allocs depend on scheduling races")
 	flag.Parse()
 	if *newPath == "" {
 		log.Fatal("-new is required")
@@ -100,15 +103,25 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var keep *regexp.Regexp
+	if *only != "" {
+		if keep, err = regexp.Compile(*only); err != nil {
+			log.Fatalf("-only: %v", err)
+		}
+	}
 	var names []string
 	for name := range oldB {
-		if _, ok := newB[name]; ok {
-			names = append(names, name)
+		if _, ok := newB[name]; !ok {
+			continue
 		}
+		if keep != nil && !keep.MatchString(name) {
+			continue
+		}
+		names = append(names, name)
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		log.Fatalf("no overlapping benchmarks between %s and %s", *oldPath, *newPath)
+		log.Fatalf("no overlapping benchmarks between %s and %s (filter %q)", *oldPath, *newPath, *only)
 	}
 
 	failed := false
@@ -200,6 +213,22 @@ func main() {
 			failed = true
 		default:
 			fmt.Printf("ok   disk-warm sweep within %.2fx of in-process warm (limit %.2fx)\n", disk.NsPerOp/warm.NsPerOp, *diskWarmFactor)
+		}
+	}
+
+	if *hardenedFactor > 0 {
+		tight, okT := newB["BenchmarkDSESweepTightBound"]
+		hard, okH := newB["BenchmarkDSESweepHardened"]
+		switch {
+		case !okT || !okH:
+			fmt.Printf("FAIL hardened check: tight-bound/hardened sweep benchmarks missing from %s\n", *newPath)
+			failed = true
+		case hard.NsPerOp > *hardenedFactor*tight.NsPerOp:
+			fmt.Printf("FAIL hardened sweep %.2fx slower than its fault-free twin, limit %.2fx (hardened %.6g ns, tight %.6g ns)\n",
+				hard.NsPerOp/tight.NsPerOp, *hardenedFactor, hard.NsPerOp, tight.NsPerOp)
+			failed = true
+		default:
+			fmt.Printf("ok   hardened sweep within %.2fx of its fault-free twin (limit %.2fx)\n", hard.NsPerOp/tight.NsPerOp, *hardenedFactor)
 		}
 	}
 

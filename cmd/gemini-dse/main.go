@@ -47,7 +47,11 @@ func main() {
 	bound := flag.String("bound", "compulsory", "lower-bound formulation for pruning/ordering: compulsory (compute + DRAM + compulsory activation/interconnect traffic) or compute-dram (the legacy compute+weight bound)")
 	abandonEvery := flag.Int("abandon-every", 0, "in-loop abandonment stride: dominated cells stop mid-anneal after this many SA iterations (0 = engine default of 32, negative = between-restart checks only)")
 	cacheDir := flag.String("cache-dir", "", "evaluation-cache spill directory: warm group evaluations from a previous process and re-save as the sweep runs")
-	resume := flag.String("resume", "", "checkpoint file: load completed cells from it if present, save on completion")
+	retry := flag.Int("retry", 0, "retry a (candidate, model) cell up to N times after a transient failure (panic, timeout, transient I/O); 0 disables retry")
+	retryBase := flag.Duration("retry-base-delay", 0, "first retry backoff (0 = engine default of 10ms); doubles per retry with jitter")
+	retryMax := flag.Duration("retry-max-delay", 0, "retry backoff cap (0 = engine default of 1s)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell mapping deadline; a cell exceeding it fails with a retryable timeout error instead of stalling the sweep (0 = no deadline)")
+	resume := flag.String("resume", "", "checkpoint file: load completed cells from it if present, save on completion; a corrupt file is quarantined to <file>.corrupt and the sweep resumes cold")
 	stream := flag.Bool("stream", false, "print each candidate result as it completes")
 	out := flag.String("out", "", "write full result table CSV to this path")
 	top := flag.Int("top", 10, "print the best N candidates")
@@ -87,6 +91,8 @@ func main() {
 	opt.Prune = *prune
 	opt.AbandonEvery = *abandonEvery
 	opt.CacheDir = *cacheDir
+	opt.Retry = dse.RetryPolicy{Max: *retry, BaseDelay: *retryBase, MaxDelay: *retryMax}
+	opt.CellTimeout = *cellTimeout
 	switch *bound {
 	case "compulsory":
 		opt.Bound = dse.BoundCompulsory
@@ -111,9 +117,18 @@ func main() {
 			err := ses.LoadCheckpoint(f)
 			f.Close()
 			if err != nil {
-				log.Fatal(err)
+				// A corrupt checkpoint must not kill the sweep: quarantine it
+				// (keeping the bytes for diagnosis), resume cold, and let the
+				// completion save write a fresh file.
+				quarantine := *resume + ".corrupt"
+				if rerr := os.Rename(*resume, quarantine); rerr != nil {
+					log.Printf("corrupt checkpoint %s could not be quarantined (%v); resuming cold: %v", *resume, rerr, err)
+				} else {
+					log.Printf("corrupt checkpoint quarantined to %s; resuming cold: %v", quarantine, err)
+				}
+			} else {
+				fmt.Printf("resumed %d checkpointed cells from %s\n", ses.CheckpointCells(), *resume)
 			}
-			fmt.Printf("resumed %d checkpointed cells from %s\n", ses.CheckpointCells(), *resume)
 		} else if !os.IsNotExist(err) {
 			log.Fatal(err)
 		}
@@ -152,6 +167,13 @@ func main() {
 	ss := ses.LastSweepStats()
 	fmt.Printf("scheduler: order=%s (bound=%s), %d/%d candidates pruned, %d cells resumed, %d restarts abandoned by the incumbent, %d skipped by patience, %d SA iterations\n",
 		ss.Order, *bound, ss.PrunedCandidates, ss.Candidates, ss.ResumedCells, ss.AbandonedRestarts, ss.SkippedRestarts, ss.SAIterations)
+	if ss.Retries+ss.Panics+ss.DeadlineExceeded+ss.PersistenceErrors > 0 {
+		fmt.Printf("faults: %d retries, %d recovered panics, %d deadline expiries, %d persistence errors (degraded=%t)\n",
+			ss.Retries, ss.Panics, ss.DeadlineExceeded, ss.PersistenceErrors, ss.PersistenceDegraded)
+		if ss.LastPersistenceError != "" {
+			fmt.Printf("  last persistence error: %s\n", ss.LastPersistenceError)
+		}
+	}
 	if len(ss.Trajectory) > 0 {
 		fmt.Print("incumbent trajectory:")
 		for _, step := range ss.Trajectory {

@@ -41,12 +41,21 @@ func HasModel(name string) bool {
 	return ok
 }
 
-// Model builds a zoo model by name.
-func Model(name string) (*Graph, error) {
+// Model builds a zoo model by name. Constructor panics — zoo constructors
+// use Builder.MustBuild, so a topology bug or a bad future registration
+// panics at build time — are recovered into errors here: model loading is
+// request-path code in gemini-serve, and a bad model name or broken
+// constructor must fail that one request, never the process.
+func Model(name string) (g *Graph, err error) {
 	f, ok := modelZoo[strings.ToLower(name)]
 	if !ok {
 		return nil, fmt.Errorf("dnn: unknown model %q (have %v)", name, ModelNames())
 	}
+	defer func() {
+		if v := recover(); v != nil {
+			g, err = nil, fmt.Errorf("dnn: building model %q panicked: %v", name, v)
+		}
+	}()
 	return f(), nil
 }
 

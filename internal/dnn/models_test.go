@@ -1,6 +1,9 @@
 package dnn
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestModelZooValidates(t *testing.T) {
 	for _, name := range ModelNames() {
@@ -205,5 +208,21 @@ func TestGraphValidateCatchesCorruption(t *testing.T) {
 	g.Layers[2].Inputs[0].Src = 5 // forward edge
 	if err := g.Validate(); err == nil {
 		t.Error("expected topological-order error")
+	}
+}
+
+// TestModelRecoversConstructorPanic: a zoo constructor that panics (topology
+// bug, bad registration) must fail the one Model call, not the process.
+func TestModelRecoversConstructorPanic(t *testing.T) {
+	modelZoo["__broken__"] = func() *Graph { panic("topology bug") }
+	defer delete(modelZoo, "__broken__")
+	g, err := Model("__broken__")
+	if g != nil || err == nil {
+		t.Fatalf("Model = (%v, %v), want (nil, error)", g, err)
+	}
+	for _, want := range []string{"__broken__", "panicked", "topology bug"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
 	}
 }

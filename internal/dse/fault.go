@@ -1,0 +1,237 @@
+// Failure model of the sweep engine: the typed cell-error taxonomy, the
+// transient-vs-permanent classifier retry decisions are made with, the
+// per-cell retry policy, and the persistence degradation tracker shared by
+// the background savers. See docs/architecture.md "Failure model".
+package dse
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// CellErrorKind classifies a cell-level infrastructure failure.
+type CellErrorKind string
+
+const (
+	// CellPanic marks a mapping attempt that panicked; the panic was
+	// recovered, its stack captured, and the cell failed instead of the
+	// process.
+	CellPanic CellErrorKind = "panic"
+	// CellTimeout marks an attempt cut off by Options.CellTimeout.
+	CellTimeout CellErrorKind = "timeout"
+	// CellTransient marks an I/O-shaped failure worth retrying (including
+	// injected faults in chaos tests).
+	CellTransient CellErrorKind = "transient"
+)
+
+// CellError is the typed failure of one (candidate, model) mapping attempt.
+// Every kind is transient under the Transient classifier: a panic may be a
+// one-off allocation failure, a timeout a scheduling hiccup — the retry
+// policy decides how often to find out. Cells that fail with a CellError are
+// never checkpointed, so resumed sweeps retry them too.
+type CellError struct {
+	Kind      CellErrorKind
+	Candidate string
+	Model     string
+	// Attempt is the 0-based attempt index that failed.
+	Attempt int
+	// Stack is the recovered goroutine stack for CellPanic, empty otherwise.
+	Stack string
+	// Err is the underlying failure (the panic value's rendering, the
+	// deadline error, or the injected/transport error).
+	Err error
+}
+
+// Error renders the failure with its cell coordinates.
+func (e *CellError) Error() string {
+	msg := fmt.Sprintf("dse: cell %s/%s attempt %d: %s", e.Candidate, e.Model, e.Attempt, e.Kind)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Transient reports whether an error is worth retrying. The classification
+// is deliberately explicit: infeasibility is a settled outcome, context
+// cancellation means the sweep is over, and an unrecognized error is assumed
+// to be a bug or a bad configuration that a retry would only repeat. Only
+// typed cell errors (panic, timeout, transient I/O), errors carrying their
+// own Transient() bool (e.g. injected faults), and deadline expiries retry.
+func Transient(err error) bool {
+	if err == nil || errors.Is(err, ErrInfeasible) || errors.Is(err, context.Canceled) {
+		return false
+	}
+	var ce *CellError
+	if errors.As(err, &ce) {
+		return true
+	}
+	var tr interface{ Transient() bool }
+	if errors.As(err, &tr) {
+		return tr.Transient()
+	}
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// RetryPolicy bounds transient-failure retries of one (candidate, model)
+// cell. The zero value disables retry (one attempt, exactly the
+// pre-hardening engine). Retry state never enters the checkpoint cell
+// fingerprint: a cell that succeeds on attempt 3 is bit-identical to one
+// that succeeds on attempt 0, because every attempt runs the same seeded
+// pipeline from scratch.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt (so Max 2 means
+	// up to 3 attempts). <= 0 disables retry.
+	Max int
+	// BaseDelay is the backoff before the first retry (default 10ms when
+	// Max > 0); each further retry doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 1s when Max > 0).
+	MaxDelay time.Duration
+}
+
+// withDefaults normalizes the policy: a disabled policy stays zero, an
+// enabled one gets the default delays.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Max <= 0 {
+		return RetryPolicy{}
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = p.BaseDelay
+	}
+	return p
+}
+
+// backoff returns the sleep before retry attempt (1-based): exponential in
+// the attempt, capped at MaxDelay, with a deterministic jitter in [50%,
+// 100%] derived from (key, attempt) so concurrent cells retrying the same
+// incident spread out without consuming any randomness source.
+func (p RetryPolicy) backoff(attempt int, key string) time.Duration {
+	d := p.MaxDelay
+	if shift := uint(attempt - 1); shift < 32 {
+		if e := p.BaseDelay << shift; e > 0 && e < d {
+			d = e
+		}
+	}
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	h = fnvWord(h, uint64(attempt))
+	frac := 0.5 + 0.5*float64(h>>11)/float64(uint64(1)<<53)
+	return time.Duration(float64(d) * frac)
+}
+
+// persistDegradeAfter is how many consecutive persistence failures flip a
+// tracker into degraded mode (a single hiccup on a healthy disk is not a
+// degradation).
+const persistDegradeAfter = 3
+
+// persistSaveAttempts bounds the in-save retry loop of one persistence
+// write; persistRetryDelay is the pause before the first in-save retry
+// (doubling after).
+const (
+	persistSaveAttempts = 3
+	persistRetryDelay   = 5 * time.Millisecond
+)
+
+// PersistenceState is a point-in-time snapshot of a persistence path's
+// health, reported by SweepStats and the sweep service's /healthz.
+type PersistenceState struct {
+	// Errors counts failed save operations (after their bounded in-save
+	// retries) since the tracker was created.
+	Errors int64 `json:"errors"`
+	// Degraded reports persistDegradeAfter or more consecutive failures:
+	// the sweep keeps running with in-memory state only, and the next
+	// successful save clears the flag.
+	Degraded bool `json:"degraded"`
+	// LastError is the most recent failure's message, empty when none has
+	// occurred yet.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// PersistenceTracker accounts for background persistence failures
+// (checkpoint, status and disk-cache saves) without ever failing the sweep
+// they serve: persistence is an optimization, losing it degrades restart
+// cost, not correctness. The zero value is ready to use; all methods are
+// safe for concurrent use.
+type PersistenceTracker struct {
+	mu          sync.Mutex
+	errors      int64
+	consecutive int
+	degraded    bool
+	lastErr     string
+}
+
+// Fail records a failed save and reports whether the tracker just entered
+// degraded mode (so the caller can log the transition once).
+func (t *PersistenceTracker) Fail(err error) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.errors++
+	t.consecutive++
+	t.lastErr = err.Error()
+	if !t.degraded && t.consecutive >= persistDegradeAfter {
+		t.degraded = true
+		return true
+	}
+	return false
+}
+
+// OK records a successful save, clearing the consecutive-failure streak and
+// the degraded flag.
+func (t *PersistenceTracker) OK() {
+	t.mu.Lock()
+	t.consecutive = 0
+	t.degraded = false
+	t.mu.Unlock()
+}
+
+// State snapshots the tracker.
+func (t *PersistenceTracker) State() PersistenceState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return PersistenceState{Errors: t.errors, Degraded: t.degraded, LastError: t.lastErr}
+}
+
+// Do runs one persistence save under the tracker's bounded-retry
+// discipline: up to persistSaveAttempts attempts with a short doubling
+// pause, then the failure is recorded (possibly entering degraded mode) and
+// returned for logging. A success clears the streak. The sweep the save
+// serves never sees the error. A panicking save is recovered into a failed
+// attempt: savers run on background goroutines where an escaped panic would
+// kill the process, and persistence is never worth that.
+func (t *PersistenceTracker) Do(save func() error) error {
+	guarded := func() (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = fmt.Errorf("save panicked: %v", v)
+			}
+		}()
+		return save()
+	}
+	var err error
+	for a := 0; a < persistSaveAttempts; a++ {
+		if a > 0 {
+			time.Sleep(persistRetryDelay << uint(a-1))
+		}
+		if err = guarded(); err == nil {
+			t.OK()
+			return nil
+		}
+	}
+	t.Fail(err)
+	return err
+}

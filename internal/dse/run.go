@@ -6,11 +6,13 @@ import (
 	"io"
 	"math"
 	"sort"
+	"time"
 
 	"gemini/internal/arch"
 	"gemini/internal/cost"
 	"gemini/internal/dnn"
 	"gemini/internal/eval"
+	"gemini/internal/faultinject"
 	"gemini/internal/graphpart"
 	"gemini/internal/sa"
 )
@@ -117,6 +119,26 @@ type Options struct {
 	// labels/schedules — it never changes a mapping — so it is excluded
 	// from the checkpoint fingerprint.
 	SweepID string `json:"sweep_id,omitempty"`
+	// Retry bounds transient-failure retries per (candidate, model) cell:
+	// panics, per-cell deadline expiries and transient I/O errors re-run the
+	// cell with jittered exponential backoff; infeasibility and unrecognized
+	// errors never retry (see Transient). The zero value disables retry.
+	// Every attempt runs the same seeded pipeline, so a cell that succeeds
+	// after retries is bit-identical to one that succeeded first try — which
+	// is why Retry is excluded from the checkpoint cell fingerprint.
+	Retry RetryPolicy `json:"retry,omitempty"`
+	// CellTimeout, when positive, bounds one mapping attempt's wall time: a
+	// cell exceeding it fails with CellError{Kind: CellTimeout} (retryable
+	// under Retry) instead of stalling the sweep's worker pool. Like Retry
+	// it cannot change a successful cell's bits and is excluded from the
+	// checkpoint fingerprint. Zero means no deadline, the pre-hardening
+	// behavior.
+	CellTimeout time.Duration `json:"cell_timeout,omitempty"`
+	// FaultInjector, when non-nil, arms the deterministic fault-injection
+	// harness for chaos tests (see internal/faultinject). nil — the
+	// production state — is a pointer comparison on the hot path and
+	// changes nothing.
+	FaultInjector *faultinject.Injector `json:"-"`
 }
 
 // DefaultOptions returns throughput-scenario settings (batch 64, Sec. VI-A1).
@@ -213,6 +235,17 @@ func mapModelEval(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, opt Option
 	}
 	pf := sa.MultiStartAdaptive(part.Scheme, ev, so, opt.Restarts,
 		sa.AdaptiveOptions{Patience: activePatience(opt), Stop: stop})
+	if pf.Panic != nil {
+		// A panicked restart poisons the whole portfolio: folding only the
+		// restarts that preceded the fault would tie the result to where the
+		// fault landed. The typed error is transient, so a retry re-runs the
+		// full portfolio with identical seeds — bit-identical on success.
+		return nil, &CellError{
+			Kind: CellPanic, Candidate: cfg.Name, Model: g.Name,
+			Stack: pf.Panic.Stack,
+			Err:   fmt.Errorf("sa restart %d panicked: %v", pf.Panic.Restart, pf.Panic.Value),
+		}
+	}
 	if pf.Abandoned {
 		return nil, &abandonedError{done: len(pf.Costs), planned: pf.Planned, iters: pf.Iterations}
 	}
@@ -250,6 +283,14 @@ type pairOutcome struct {
 	abandoned         bool
 	abandonedRestarts int
 	saIterations      int
+
+	// Fault accounting across the cell's attempts: retries after transient
+	// failures, recovered panics, deadline expiries, and the most recent
+	// panic's rendered stack (for SweepStats.LastPanic).
+	retries          int
+	panics           int
+	deadlineExceeded int
+	panicStack       string
 }
 
 // infeasible reports whether the cell ran correctly but found no mapping.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -78,6 +79,29 @@ type SweepStats struct {
 	// abandonment active a dominated-cell workload spends strictly fewer
 	// iterations than with between-restart checks alone.
 	SAIterations int
+
+	// Retries counts cell attempts re-run after a transient failure
+	// (Options.Retry); 0 whenever retry is disabled or nothing failed.
+	Retries int
+	// Panics counts recovered panics — each one became a typed
+	// CellError{Kind: CellPanic} on its cell instead of killing the sweep.
+	Panics int
+	// DeadlineExceeded counts cell attempts cut off by Options.CellTimeout.
+	DeadlineExceeded int
+	// LastPanic is the most recent recovered panic's message and stack
+	// (empty when Panics == 0), so a one-off crash is diagnosable from the
+	// sweep record alone.
+	LastPanic string
+	// PersistenceErrors counts background persistence failures (disk-cache
+	// spill saves) during this sweep. The sweep itself keeps running on
+	// in-memory state; persistence failures degrade restart cost, never
+	// correctness.
+	PersistenceErrors int
+	// PersistenceDegraded reports that the persistence layer ended the
+	// sweep in degraded mode (several consecutive failed saves);
+	// LastPersistenceError is the most recent failure.
+	PersistenceDegraded  bool
+	LastPersistenceError string
 
 	// SeededIncumbent is the incumbent value restored from checkpointed
 	// cells before the first task ran (+Inf when nothing seeded).
@@ -162,6 +186,22 @@ type scheduler struct {
 	abandoned atomic.Int64
 	skipped   atomic.Int64
 	saIters   atomic.Int64
+
+	retries  atomic.Int64
+	panics   atomic.Int64
+	deadline atomic.Int64
+
+	panicMu   sync.Mutex
+	lastPanic string
+}
+
+// notePanic records the most recent recovered panic for SweepStats and logs
+// it — a recovered panic must never be silent.
+func (sc *scheduler) notePanic(where, stack string) {
+	sc.panicMu.Lock()
+	sc.lastPanic = stack
+	sc.panicMu.Unlock()
+	sc.ses.logf("dse: recovered panic in %s: %s", where, stack)
 }
 
 // newScheduler computes per-candidate bounds, fixes the dispatch order and
@@ -344,6 +384,17 @@ func (sc *scheduler) run() []CandidateResult {
 
 	var onMu sync.Mutex
 	finish := func(ci int) {
+		// Backstop recover: reduceCandidate and the OnResult callback run
+		// user-adjacent code (custom callbacks, exotic objectives); a panic
+		// here must cost one candidate's result row, not the worker pool or
+		// — through the sweep service — the server process.
+		defer func() {
+			if v := recover(); v != nil {
+				sc.panics.Add(1)
+				sc.notePanic(fmt.Sprintf("finishing candidate %s", sc.cands[ci].Name),
+					fmt.Sprintf("%v\n%s", v, debug.Stack()))
+			}
+		}()
 		st := sc.states[ci]
 		var cr CandidateResult
 		if st.pruned.Load() {
@@ -359,9 +410,12 @@ func (sc *scheduler) run() []CandidateResult {
 		}
 		results[ci] = cr
 		if sc.opt.OnResult != nil {
+			// Deferred unlock: the recover above fields OnResult panics, and a
+			// plain Unlock after the call would be skipped during the unwind —
+			// deadlocking every later candidate on a mutex nobody holds usefully.
 			onMu.Lock()
+			defer onMu.Unlock()
 			sc.opt.OnResult(cr)
-			onMu.Unlock()
 		}
 	}
 
@@ -388,7 +442,7 @@ func (sc *scheduler) run() []CandidateResult {
 		go func() {
 			defer wg.Done()
 			for k := range tasks {
-				sc.runTask(k, nm, per)
+				sc.runTaskGuarded(k, nm, per)
 				if sc.states[k/nm].remaining.Add(-1) == 0 {
 					finish(k / nm)
 				}
@@ -407,6 +461,27 @@ func (sc *scheduler) run() []CandidateResult {
 	wg.Wait()
 	sc.publishStats()
 	return results
+}
+
+// runTaskGuarded is the worker-level panic backstop. The mapping pipeline
+// itself is already recovered inside the cell attempt, but the scheduler's
+// own cell bookkeeping (bound math, checkpoint peeks) runs outside it; a
+// panic there records a typed CellError on the cell and keeps the worker —
+// and with it the sweep and the serving process — alive.
+func (sc *scheduler) runTaskGuarded(k, nm int, per [][]pairOutcome) {
+	defer func() {
+		if v := recover(); v != nil {
+			ci, mi := k/nm, k%nm
+			ce := &CellError{
+				Kind: CellPanic, Candidate: sc.cands[ci].Name, Model: sc.models[mi].Name,
+				Stack: string(debug.Stack()), Err: fmt.Errorf("%v", v),
+			}
+			per[ci][mi] = pairOutcome{err: ce}
+			sc.panics.Add(1)
+			sc.notePanic("scheduler task", fmt.Sprintf("%v\n%s", ce.Err, ce.Stack))
+		}
+	}()
+	sc.runTask(k, nm, per)
 }
 
 // runTask executes one (candidate, model) cell under the live bound gate
@@ -449,6 +524,12 @@ func (sc *scheduler) runTask(k, nm int, per [][]pairOutcome) {
 	}
 	out := sc.ses.runCell(&sc.cands[ci], sc.models[mi], sc.opt, key, stop)
 	sc.saIters.Add(int64(out.saIterations))
+	sc.retries.Add(int64(out.retries))
+	sc.panics.Add(int64(out.panics))
+	sc.deadline.Add(int64(out.deadlineExceeded))
+	if out.panicStack != "" {
+		sc.notePanic(fmt.Sprintf("cell %s/%s", sc.cands[ci].Name, sc.models[mi].Name), out.panicStack)
+	}
 	if out.abandoned {
 		if err := sc.ctx.Err(); err != nil {
 			// Abandoned because the sweep was canceled, not because the
@@ -489,9 +570,15 @@ func (sc *scheduler) publishStats() {
 		AbandonedRestarts: int(sc.abandoned.Load()),
 		SkippedRestarts:   int(sc.skipped.Load()),
 		SAIterations:      int(sc.saIters.Load()),
+		Retries:           int(sc.retries.Load()),
+		Panics:            int(sc.panics.Load()),
+		DeadlineExceeded:  int(sc.deadline.Load()),
 		SeededIncumbent:   sc.seeded,
 		Trajectory:        sc.inc.trajectory(),
 	}
+	sc.panicMu.Lock()
+	stats.LastPanic = sc.lastPanic
+	sc.panicMu.Unlock()
 	sc.stats = stats
 	sc.ses.setLastSweep(stats)
 	state := "done"
@@ -501,4 +588,8 @@ func (sc *scheduler) publishStats() {
 	sc.ses.logf("dse: sweep %s %s (order %s): %d candidates (%d pruned), %d cells (%d resumed), %d restarts abandoned, %d skipped by patience, incumbent %.6g",
 		sweepName(sc.opt.SweepID), state, order, stats.Candidates, stats.PrunedCandidates, stats.Cells, stats.ResumedCells,
 		stats.AbandonedRestarts, stats.SkippedRestarts, sc.inc.get())
+	if stats.Retries+stats.Panics+stats.DeadlineExceeded > 0 {
+		sc.ses.logf("dse: sweep %s faults: %d retries, %d recovered panics, %d deadline expiries",
+			sweepName(sc.opt.SweepID), stats.Retries, stats.Panics, stats.DeadlineExceeded)
+	}
 }

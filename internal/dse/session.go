@@ -14,13 +14,16 @@ import (
 	"io"
 	"math"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gemini/internal/arch"
 	"gemini/internal/dnn"
 	"gemini/internal/eval"
+	"gemini/internal/faultinject"
 )
 
 // mapModelFn indirects the per-cell mapping pipeline so tests can inject
@@ -55,6 +58,11 @@ type Session struct {
 
 	diskMu     sync.Mutex
 	diskWarmed map[string]bool // cache dirs already loaded into this session
+
+	// persist tracks disk-cache spill health across the session's sweeps:
+	// failed saves degrade persistence (the sweep keeps running in memory),
+	// they never fail a sweep.
+	persist PersistenceTracker
 }
 
 // NewSession returns an empty session with a fresh shared cache.
@@ -106,16 +114,25 @@ func (s *Session) WarmDiskCache(dir string) (int, error) {
 // with *different* caches sharing one directory (a multi-session server
 // pool, or two processes) converge on the union instead of last-writer-
 // wins discarding each other's work; SaveDisk renames atomically, so any
-// complete snapshot is valid.
-func (s *Session) startCacheSaver(dir string) (poke, stop func()) {
+// complete snapshot is valid. Saves run under the session's persistence
+// tracker: bounded in-save retry, then the failure is counted and the sweep
+// keeps running on its in-memory cache (degraded, never dead).
+func (s *Session) startCacheSaver(dir string, inj *faultinject.Injector) (poke, stop func()) {
 	req := make(chan struct{}, 1)
 	done := make(chan struct{})
 	save := func(label string) {
-		if _, err := s.cache.LoadDisk(CachePath(dir)); err != nil {
-			s.logf("dse: %s cache merge failed: %v", label, err)
-		}
-		if err := s.cache.SaveDisk(CachePath(dir)); err != nil {
-			s.logf("dse: %s cache save failed: %v", label, err)
+		err := s.persist.Do(func() error {
+			if ierr := inj.Check(faultinject.PointCacheSave, dir); ierr != nil {
+				return ierr
+			}
+			if _, err := s.cache.LoadDisk(CachePath(dir)); err != nil {
+				return fmt.Errorf("merge: %w", err)
+			}
+			return s.cache.SaveDisk(CachePath(dir))
+		})
+		if err != nil {
+			st := s.persist.State()
+			s.logf("dse: %s cache save failed (errors %d, degraded %t): %v", label, st.Errors, st.Degraded, err)
 		}
 	}
 	go func() {
@@ -137,6 +154,11 @@ func (s *Session) startCacheSaver(dir string) (poke, stop func()) {
 	}
 	return poke, stop
 }
+
+// PersistenceState reports the session's disk-cache spill health: error
+// count, degraded flag, last failure. Sweep-scoped deltas land in
+// SweepStats; this is the session-lifetime view /healthz serves.
+func (s *Session) PersistenceState() PersistenceState { return s.persist.State() }
 
 // ResumedCells reports how many cells were served from the checkpoint
 // instead of being mapped, across the session's lifetime.
@@ -223,16 +245,14 @@ func (s *Session) evaluator(cfg *arch.Config) *eval.Evaluator {
 }
 
 // MapModel maps one model on one architecture through the session's warm
-// evaluator and checkpoint cells.
+// evaluator and checkpoint cells. It runs under the full cell hardening
+// path — panic isolation, Options.Retry, Options.CellTimeout — so a
+// panicking pipeline surfaces as a CellError instead of unwinding the
+// caller.
 func (s *Session) MapModel(cfg *arch.Config, g *dnn.Graph, opt Options) (*MapResult, error) {
 	key := cellKey(eval.ConfigFingerprint(cfg), g.Name, optsFingerprint(opt))
-	if rec, ok := s.lookupCell(key); ok {
-		p := rec.outcome()
-		return p.mr, p.err
-	}
-	mr, err := mapModelFn(s.evaluator(cfg), cfg, g, opt, nil)
-	s.storeCell(key, g.Name, mr, err)
-	return mr, err
+	out := s.runCell(cfg, g, opt, key, nil)
+	return out.mr, out.err
 }
 
 // Run explores every candidate over the session's shared cache and returns
@@ -258,12 +278,23 @@ func (s *Session) RunContext(ctx context.Context, cands []arch.Config, models []
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var stopSaver func()
+	var persistBase int64
 	if dir := opt.CacheDir; dir != "" {
+		persistBase = s.persist.State().Errors
 		if _, err := s.WarmDiskCache(dir); err != nil {
+			s.persist.Fail(err)
 			s.logf("dse: disk cache warm failed, running cold: %v", err)
 		}
-		poke, stop := s.startCacheSaver(dir)
-		defer stop()
+		poke, stop := s.startCacheSaver(dir, opt.FaultInjector)
+		stopped := false
+		stopSaver = func() {
+			if !stopped {
+				stopped = true
+				stop()
+			}
+		}
+		defer stopSaver()
 		prev := opt.OnResult
 		opt.OnResult = func(cr CandidateResult) {
 			if prev != nil {
@@ -275,6 +306,20 @@ func (s *Session) RunContext(ctx context.Context, cands []arch.Config, models []
 	sc := s.newScheduler(ctx, cands, models, opt)
 	results := sc.run()
 	sortResults(results)
+	if stopSaver != nil {
+		// Drain the saver before folding persistence health into the sweep's
+		// stats, so the final snapshot's outcome is counted too. The delta is
+		// best-effort under concurrent sweeps sharing the session (the
+		// tracker is session-wide); the degraded flag and last error are the
+		// current truth either way.
+		stopSaver()
+		if st := s.persist.State(); st.Errors > persistBase {
+			sc.stats.PersistenceErrors = int(st.Errors - persistBase)
+			sc.stats.PersistenceDegraded = st.Degraded
+			sc.stats.LastPersistenceError = st.LastError
+			s.setLastSweep(sc.stats)
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return results, sc.stats, fmt.Errorf("dse: sweep %s canceled: %w", sweepName(opt.SweepID), err)
 	}
@@ -300,24 +345,147 @@ func (s *Session) sweep(cands []arch.Config, models []*dnn.Graph, opt Options) [
 // checkpoint peek). stop, when non-nil, is the scheduler's live-incumbent
 // gate polled between SA restarts; an abandoned portfolio is not a settled
 // outcome, so it is returned flagged and never stored.
+//
+// runCell is the retry boundary of the failure model: transient failures
+// (recovered panics, per-cell deadline expiries, transient I/O) re-run the
+// attempt up to Options.Retry.Max times with jittered exponential backoff,
+// while infeasibility and unrecognized errors settle immediately. Every
+// attempt runs the same seeded pipeline, so a success after retries is
+// bit-identical to a first-try success, and only settled outcomes reach the
+// checkpoint — retry state never enters the cell fingerprint.
 func (s *Session) runCell(cfg *arch.Config, g *dnn.Graph, opt Options, key string, stop func() bool) pairOutcome {
 	if rec, ok := s.lookupCell(key); ok {
 		p := rec.outcome()
 		p.restored = true
 		return p
 	}
-	mr, err := mapModelFn(s.evaluator(cfg), cfg, g, opt, stop)
-	var ab *abandonedError
-	if errors.As(err, &ab) {
-		return pairOutcome{abandoned: true, abandonedRestarts: ab.planned - ab.done, saIterations: ab.iters}
+	policy := opt.Retry.withDefaults()
+	var out pairOutcome
+	for attempt := 0; ; attempt++ {
+		mr, err := s.attemptCell(cfg, g, opt, stop, attempt)
+		var ab *abandonedError
+		if errors.As(err, &ab) {
+			out.abandoned = true
+			out.abandonedRestarts += ab.planned - ab.done
+			out.saIterations += ab.iters
+			return out
+		}
+		var ce *CellError
+		if errors.As(err, &ce) {
+			switch ce.Kind {
+			case CellPanic:
+				out.panics++
+				out.panicStack = fmt.Sprintf("%v\n%s", ce.Err, ce.Stack)
+			case CellTimeout:
+				out.deadlineExceeded++
+			}
+		}
+		if err != nil && Transient(err) && attempt < policy.Max {
+			out.retries++
+			backoff := policy.backoff(attempt+1, key)
+			s.logf("dse: cell %s/%s attempt %d failed, retrying in %v: %v",
+				cfg.Name, g.Name, attempt, backoff, err)
+			if !sleepUnlessStopped(backoff, stop) {
+				// The sweep was canceled (or the incumbent dominated this
+				// candidate) while backing off: settle on the error without
+				// burning another attempt. Errored cells are never
+				// checkpointed, so a resumed sweep retries from scratch.
+				out.err = err
+				return out
+			}
+			continue
+		}
+		s.storeCell(key, g.Name, mr, err)
+		out.mr, out.err = mr, err
+		if mr != nil {
+			out.skippedRestarts += mr.SkippedRestarts
+			out.saIterations += mr.SAIterations
+		}
+		return out
 	}
-	s.storeCell(key, g.Name, mr, err)
-	out := pairOutcome{mr: mr, err: err}
-	if mr != nil {
-		out.skippedRestarts = mr.SkippedRestarts
-		out.saIterations = mr.SAIterations
+}
+
+// attemptResult carries one attempt's outcome across the deadline goroutine
+// boundary.
+type attemptResult struct {
+	mr  *MapResult
+	err error
+}
+
+// attemptCell runs one mapping attempt under the failure model: fault
+// injection (nil injector: one pointer compare), panic isolation (a panic
+// anywhere in the pipeline becomes CellError{Kind: CellPanic} with its
+// stack), and the per-cell deadline. With no deadline the attempt runs
+// inline — the hot path allocates nothing new. With a deadline the attempt
+// runs in a goroutine and the deadline expiry returns CellError{Kind:
+// CellTimeout} immediately; the late goroutine's stop gate trips at the
+// next in-loop abandonment poll, its result is discarded, and a portfolio
+// abandoned *because of* the expiry can never be mistaken for an
+// incumbent-dominated cell (the select already settled on timeout).
+func (s *Session) attemptCell(cfg *arch.Config, g *dnn.Graph, opt Options, stop func() bool, attempt int) (*MapResult, error) {
+	body := func(innerStop func() bool) (mr *MapResult, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				mr, err = nil, &CellError{
+					Kind: CellPanic, Candidate: cfg.Name, Model: g.Name, Attempt: attempt,
+					Stack: string(debug.Stack()), Err: fmt.Errorf("%v", v),
+				}
+			}
+		}()
+		if ierr := opt.FaultInjector.Check(faultinject.PointCell, cfg.Name+"/"+g.Name); ierr != nil {
+			return nil, &CellError{
+				Kind: CellTransient, Candidate: cfg.Name, Model: g.Name, Attempt: attempt, Err: ierr,
+			}
+		}
+		return mapModelFn(s.evaluator(cfg), cfg, g, opt, innerStop)
 	}
-	return out
+	if opt.CellTimeout <= 0 {
+		return body(stop)
+	}
+	var timedOut atomic.Bool
+	innerStop := func() bool {
+		if timedOut.Load() {
+			return true
+		}
+		return stop != nil && stop()
+	}
+	done := make(chan attemptResult, 1)
+	go func() {
+		var r attemptResult
+		r.mr, r.err = body(innerStop)
+		done <- r
+	}()
+	timer := time.NewTimer(opt.CellTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r.mr, r.err
+	case <-timer.C:
+		timedOut.Store(true)
+		return nil, &CellError{
+			Kind: CellTimeout, Candidate: cfg.Name, Model: g.Name, Attempt: attempt,
+			Err: fmt.Errorf("attempt exceeded %v: %w", opt.CellTimeout, context.DeadlineExceeded),
+		}
+	}
+}
+
+// sleepUnlessStopped sleeps d in small steps, polling the stop gate, and
+// reports false when the gate fired — a canceled sweep must not sit out a
+// backoff before noticing.
+func sleepUnlessStopped(d time.Duration, stop func() bool) bool {
+	const step = 5 * time.Millisecond
+	for d > 0 {
+		if stop != nil && stop() {
+			return false
+		}
+		chunk := d
+		if chunk > step {
+			chunk = step
+		}
+		time.Sleep(chunk)
+		d -= chunk
+	}
+	return stop == nil || !stop()
 }
 
 // JointRun explores chiplet reuse over the session (see the package-level

@@ -2,10 +2,19 @@ package sa
 
 import (
 	"math"
+	"runtime/debug"
 
 	"gemini/internal/core"
 	"gemini/internal/eval"
 )
+
+// PanicInfo records a restart that panicked mid-anneal: which restart, the
+// recovered value, and the goroutine stack at the panic site.
+type PanicInfo struct {
+	Restart int
+	Value   any
+	Stack   string
+}
 
 // Portfolio is the outcome of a multi-start annealing run.
 type Portfolio struct {
@@ -31,6 +40,14 @@ type Portfolio struct {
 	// The DSE scheduler aggregates it to account for the work in-loop
 	// abandonment saves.
 	Iterations int
+	// Panic, when non-nil, records that a restart panicked. The portfolio
+	// stops at the panicked restart and is NOT a settled outcome: folding
+	// only the restarts that happened to precede the panic would make the
+	// result depend on where the fault landed. Callers treat it as a
+	// transient cell failure; a retry re-runs the whole portfolio with the
+	// same derived seeds, so a successful retry is bit-identical to a
+	// fault-free run.
+	Panic *PanicInfo
 }
 
 // Skipped returns how many planned restarts never ran (a restart abandoned
@@ -92,7 +109,11 @@ func MultiStartAdaptive(input *core.Scheme, ev *eval.Evaluator, opt Options, res
 		}
 		o := opt
 		o.Seed = RestartSeed(opt.Seed, i)
-		r := Optimize(input, ev, o)
+		r, pi := optimizeGuarded(input, ev, o, i)
+		if pi != nil {
+			p.Panic = pi
+			break
+		}
 		p.Iterations += r.Attempted
 		if r.Abandoned {
 			// The Dominated hook cut this restart off mid-anneal: its partial
@@ -114,6 +135,18 @@ func MultiStartAdaptive(input *core.Scheme, ev *eval.Evaluator, opt Options, res
 		}
 	}
 	return p
+}
+
+// optimizeGuarded runs one restart under a panic guard, so a fault in one
+// anneal (a pathological scheme, an injected chaos panic) surfaces as data
+// on the portfolio instead of unwinding the scheduler worker.
+func optimizeGuarded(input *core.Scheme, ev *eval.Evaluator, o Options, restart int) (r Result, pi *PanicInfo) {
+	defer func() {
+		if v := recover(); v != nil {
+			pi = &PanicInfo{Restart: restart, Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	return Optimize(input, ev, o), nil
 }
 
 // betterCost reports whether a strictly improves on b under a total order

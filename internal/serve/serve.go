@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"gemini/internal/dse"
+	"gemini/internal/faultinject"
 )
 
 // Config sizes and locates a Server. The zero value is usable: it serves
@@ -61,6 +62,10 @@ type Config struct {
 	CacheDir string
 	// Logf, when set, receives server lifecycle and scheduling lines.
 	Logf func(format string, args ...any)
+	// FaultInjector, when non-nil, arms the deterministic fault-injection
+	// harness across the server's sweeps and persistence paths (chaos tests
+	// only; nil in production).
+	FaultInjector *faultinject.Injector
 }
 
 func (c Config) sessions() int {
@@ -101,6 +106,25 @@ type Server struct {
 	sweeps  map[string]*sweep
 	order   []string // sweep ids in registration order (for listing/eviction)
 	running int
+
+	// persist tracks checkpoint/status save health server-wide; a failing
+	// DataDir degrades persistence (sweeps keep running and streaming), it
+	// never fails a sweep. /healthz surfaces the state.
+	persist dse.PersistenceTracker
+
+	// Lifetime fault counters aggregated from every finished sweep's stats,
+	// served by /healthz.
+	faultRetries   atomic.Int64
+	faultPanics    atomic.Int64
+	faultDeadlines atomic.Int64
+}
+
+// noteFaults folds a finished sweep's fault counters into the server-wide
+// aggregates.
+func (s *Server) noteFaults(st dse.SweepStats) {
+	s.faultRetries.Add(int64(st.Retries))
+	s.faultPanics.Add(int64(st.Panics))
+	s.faultDeadlines.Add(int64(st.DeadlineExceeded))
 }
 
 // New builds a Server from cfg.
@@ -301,6 +325,19 @@ type SessionHealth struct {
 	// ResumedCells counts cells served from checkpoints over the session's
 	// lifetime.
 	ResumedCells int64 `json:"resumed_cells"`
+	// Persistence is the session's disk-cache spill health: failed spills
+	// degrade restart cost, never the sweeps themselves.
+	Persistence dse.PersistenceState `json:"persistence"`
+}
+
+// FaultCounts aggregates the fault-handling counters of every sweep the
+// server has finished: transient retries, recovered panics and per-cell
+// deadline expiries. Steadily growing counts under a steady workload are
+// the signal to look at LastError fields and logs.
+type FaultCounts struct {
+	Retries          int64 `json:"retries"`
+	Panics           int64 `json:"panics"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
 }
 
 // SweepCounts aggregates sweep states for the health endpoint.
@@ -338,6 +375,15 @@ type Health struct {
 	Sweeps SweepCounts `json:"sweeps"`
 	// Running lists every running sweep with its live incumbent.
 	Running []RunningSweep `json:"running,omitempty"`
+	// Faults aggregates fault-handling counters across finished sweeps.
+	Faults FaultCounts `json:"faults"`
+	// Persistence is the server-side checkpoint/status save health.
+	Persistence dse.PersistenceState `json:"persistence"`
+	// PersistenceDegraded reports that any persistence path — the server's
+	// checkpoint/status saves or a session's disk-cache spill — is currently
+	// degraded (several consecutive failed saves). Work continues in memory;
+	// restart cost is what degrades.
+	PersistenceDegraded bool `json:"persistence_degraded"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -345,8 +391,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if s.base.Err() != nil {
 		h.Status = "closing"
 	}
+	h.Faults = FaultCounts{
+		Retries:          s.faultRetries.Load(),
+		Panics:           s.faultPanics.Load(),
+		DeadlineExceeded: s.faultDeadlines.Load(),
+	}
+	h.Persistence = s.persist.State()
+	h.PersistenceDegraded = h.Persistence.Degraded
 	for i, ses := range s.pool {
 		cs := ses.CacheStats()
+		ps := ses.PersistenceState()
+		h.PersistenceDegraded = h.PersistenceDegraded || ps.Degraded
 		h.Sessions = append(h.Sessions, SessionHealth{
 			Index:           i,
 			CacheHits:       cs.Hits,
@@ -358,6 +413,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			CacheDiskSaves:  cs.DiskSaves,
 			CheckpointCells: ses.CheckpointCells(),
 			ResumedCells:    ses.ResumedCells(),
+			Persistence:     ps,
 		})
 	}
 	for _, st := range s.statuses() {

@@ -18,12 +18,14 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gemini/internal/dse"
+	"gemini/internal/faultinject"
 )
 
 // SweepState is the lifecycle state of a sweep.
@@ -127,6 +129,21 @@ type StatsSummary struct {
 	SeededIncumbent float64 `json:"seeded_incumbent,omitempty"`
 	// Trajectory records every incumbent improvement in order.
 	Trajectory []TrajectoryStep `json:"trajectory,omitempty"`
+	// Retries counts cell attempts re-run after transient failures.
+	Retries int `json:"retries,omitempty"`
+	// Panics counts recovered panics (each failed its cell, not the server).
+	Panics int `json:"panics,omitempty"`
+	// DeadlineExceeded counts cell attempts cut off by the per-cell timeout.
+	DeadlineExceeded int `json:"deadline_exceeded,omitempty"`
+	// LastPanic is the most recent recovered panic's message and stack.
+	LastPanic string `json:"last_panic,omitempty"`
+	// PersistenceErrors counts failed background saves (checkpoint and
+	// disk-cache) during the sweep; the sweep itself kept running.
+	PersistenceErrors int `json:"persistence_errors,omitempty"`
+	// PersistenceDegraded reports the persistence layer ended the sweep
+	// degraded; LastPersistenceError is the most recent failure.
+	PersistenceDegraded  bool   `json:"persistence_degraded,omitempty"`
+	LastPersistenceError string `json:"last_persistence_error,omitempty"`
 }
 
 // TrajectoryStep is one incumbent improvement in a StatsSummary.
@@ -150,6 +167,14 @@ func summarizeStats(st dse.SweepStats) *StatsSummary {
 		AbandonedRestarts: st.AbandonedRestarts,
 		SkippedRestarts:   st.SkippedRestarts,
 		SeededIncumbent:   finite(st.SeededIncumbent),
+
+		Retries:              st.Retries,
+		Panics:               st.Panics,
+		DeadlineExceeded:     st.DeadlineExceeded,
+		LastPanic:            st.LastPanic,
+		PersistenceErrors:    st.PersistenceErrors,
+		PersistenceDegraded:  st.PersistenceDegraded,
+		LastPersistenceError: st.LastPersistenceError,
 	}
 	for _, step := range st.Trajectory {
 		out.Trajectory = append(out.Trajectory, TrajectoryStep{Candidate: step.Candidate, Objective: finite(step.Obj)})
@@ -351,13 +376,18 @@ func (s *Server) statusPath(id string) string {
 
 // saveStatus persists a finished sweep's status record (atomic rename) and
 // prunes the on-disk history to the same bound the in-memory map keeps. A
-// failed save only costs history-after-restart, so it is logged, not fatal.
+// failed save only costs history-after-restart, so it runs under the
+// server's persistence tracker — bounded retry, degradation accounting —
+// and is never fatal.
 func (s *Server) saveStatus(sw *sweep) {
 	path := s.statusPath(sw.id)
 	if path == "" {
 		return
 	}
 	write := func() error {
+		if ierr := s.cfg.FaultInjector.Check(faultinject.PointStatusSave, sw.id); ierr != nil {
+			return ierr
+		}
 		if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
 			return err
 		}
@@ -377,7 +407,7 @@ func (s *Server) saveStatus(sw *sweep) {
 		}
 		return os.Rename(tmp.Name(), path)
 	}
-	if err := write(); err != nil {
+	if err := s.persist.Do(write); err != nil {
 		s.logf("serve: sweep %s: status save failed: %v", sw.id, err)
 		return
 	}
@@ -530,12 +560,17 @@ func (s *Server) hasCheckpoint(id string) bool {
 }
 
 // loadCheckpoint merges a sweep's persisted cells into the session, if a
-// checkpoint exists. A corrupt checkpoint is reported, not fatal: the sweep
-// then recomputes.
+// checkpoint exists. Failures are never fatal — the sweep resumes cold and
+// recomputes. A checkpoint that opens but does not decode is corrupt; it is
+// quarantined to "<path>.corrupt" so the next save starts a fresh file and
+// the damaged bytes stay on disk for diagnosis.
 func (s *Server) loadCheckpoint(ses *dse.Session, id string) error {
 	path := s.checkpointPath(id)
 	if path == "" {
 		return nil
+	}
+	if ierr := s.cfg.FaultInjector.Check(faultinject.PointCheckpointLoad, id); ierr != nil {
+		return ierr
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -544,8 +579,18 @@ func (s *Server) loadCheckpoint(ses *dse.Session, id string) error {
 		}
 		return err
 	}
-	defer f.Close()
-	return ses.LoadCheckpoint(f)
+	lerr := ses.LoadCheckpoint(f)
+	f.Close()
+	if lerr == nil {
+		return nil
+	}
+	quarantine := path + ".corrupt"
+	if rerr := os.Rename(path, quarantine); rerr != nil {
+		s.logf("serve: sweep %s: corrupt checkpoint could not be quarantined: %v", id, rerr)
+	} else {
+		s.logf("serve: sweep %s: corrupt checkpoint quarantined to %s", id, quarantine)
+	}
+	return fmt.Errorf("corrupt checkpoint quarantined: %w", lerr)
 }
 
 // saveCheckpoint atomically persists the session's settled cells under the
@@ -635,11 +680,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer stopWatch()
 
 	ses := s.session()
-	sw.ckpt.Store(s.hasCheckpoint(spec.ID))
 	if err := s.loadCheckpoint(ses, spec.ID); err != nil {
 		s.logf("serve: sweep %s: checkpoint load failed, recomputing: %v", spec.ID, err)
 	}
+	// Record checkpoint existence after the load, so a just-quarantined
+	// corrupt file is not reported as a usable checkpoint.
+	sw.ckpt.Store(s.hasCheckpoint(spec.ID))
 	opt := spec.Options()
+	opt.FaultInjector = s.cfg.FaultInjector
 	// The disk cache location is server policy, not part of the sweep spec:
 	// every sweep on this server spills through the one operator-chosen
 	// directory.
@@ -655,6 +703,26 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Sweep-Id", spec.ID)
 	w.WriteHeader(http.StatusOK)
 	stream := newStreamWriter(w)
+	// Terminal backstop: the engine recovers panics at the cell and worker
+	// level, but if anything above those nets still panics, the stream must
+	// end with a typed error event — carrying whatever fault counters the
+	// sweep accumulated — not a dropped connection, and the server must keep
+	// serving its other sweeps.
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		stack := debug.Stack()
+		s.logf("serve: sweep %s: handler panicked (recovered): %v\n%s", spec.ID, v, stack)
+		msg := fmt.Sprintf("internal error: sweep handler panicked: %v", v)
+		st := sw.status()
+		if st.State == StateRunning {
+			sw.finish(StateFailed, st.Stats, nil, msg)
+		}
+		stream.send(Event{Type: "error", SweepID: spec.ID, Error: msg, Stats: sw.status().Stats})
+		s.saveStatus(sw)
+	}()
 	stream.send(Event{
 		Type:            "start",
 		SweepID:         spec.ID,
@@ -672,12 +740,28 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// below covers the tail.
 	saveReq := make(chan struct{}, 1)
 	saverDone := make(chan struct{})
+	// sweepPersistErrs counts this sweep's own failed checkpoint saves; it is
+	// folded into the sweep's stats after the run (the server-wide tracker
+	// also counts them, but it is shared across sweeps).
+	var sweepPersistErrs atomic.Int64
 	save := func(label string) {
-		if err := s.saveCheckpoint(ses, spec.ID); err != nil {
-			s.logf("serve: sweep %s: %s checkpoint save failed: %v", spec.ID, label, err)
-		} else if s.checkpointPath(spec.ID) != "" {
-			sw.ckpt.Store(true)
+		if s.checkpointPath(spec.ID) == "" {
+			return
 		}
+		err := s.persist.Do(func() error {
+			if ierr := s.cfg.FaultInjector.Check(faultinject.PointCheckpointSave, spec.ID); ierr != nil {
+				return ierr
+			}
+			return s.saveCheckpoint(ses, spec.ID)
+		})
+		if err != nil {
+			sweepPersistErrs.Add(1)
+			st := s.persist.State()
+			s.logf("serve: sweep %s: %s checkpoint save failed (errors %d, degraded %t): %v",
+				spec.ID, label, st.Errors, st.Degraded, err)
+			return
+		}
+		sw.ckpt.Store(true)
 	}
 	go func() {
 		defer close(saverDone)
@@ -685,6 +769,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			save("incremental")
 		}
 	}()
+	// Drain the saver exactly once, whether the run returns or the backstop
+	// above is unwinding a panic (a leaked saver goroutine would pin the
+	// session forever).
+	saverStopped := false
+	stopSaver := func() {
+		if !saverStopped {
+			saverStopped = true
+			close(saveReq)
+			<-saverDone
+		}
+	}
+	defer stopSaver()
 
 	var seqMu sync.Mutex
 	seq := 0
@@ -705,9 +801,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.logf("serve: sweep %s: %d candidates x %d models (%d cells)", spec.ID, len(cands), len(graphs), cells)
 	begin := time.Now()
 	results, stats, runErr := ses.RunContext(ctx, cands, graphs, opt)
-	close(saveReq)
-	<-saverDone
+	stopSaver()
 	save("final")
+
+	// Fold this sweep's own checkpoint-save failures into its stats: the
+	// session already contributed disk-cache saver failures, these are the
+	// serve-side checkpoint path's.
+	if n := int(sweepPersistErrs.Load()); n > 0 {
+		stats.PersistenceErrors += n
+		pst := s.persist.State()
+		stats.PersistenceDegraded = stats.PersistenceDegraded || pst.Degraded
+		if stats.LastPersistenceError == "" {
+			stats.LastPersistenceError = pst.LastError
+		}
+	}
+	s.noteFaults(stats)
 
 	elapsed := time.Since(begin).Milliseconds()
 	switch {

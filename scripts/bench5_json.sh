@@ -9,13 +9,15 @@
 # artifact and gates on cmd/bench-compare: >10% allocs regression vs the
 # committed baselines fails, the warm sweep must stay faster than cold, the
 # bound-ordered sweep must not regress vs grid order, the tight-bound sweep
-# must stay >= 1.3x faster than the PR-3 bound, and the disk-warmed sweep
-# must stay within 1.5x of the in-process warm sweep.
+# must stay >= 1.3x faster than the PR-3 bound, the disk-warmed sweep
+# must stay within 1.5x of the in-process warm sweep, and the hardened
+# (retry + cell-deadline armed, no faults) sweep must stay within a few
+# percent of its fault-free twin.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-10x}"
-PATTERN='BenchmarkSAOptimize$|BenchmarkEvaluateGroup$|BenchmarkDSESessionSweepCold$|BenchmarkDSESessionSweepWarm$|BenchmarkDSESweepRestarts1$|BenchmarkDSESweepRestarts4$|BenchmarkDSESweepGridFixed$|BenchmarkDSESweepOrdered$|BenchmarkDSESweepAdaptive$|BenchmarkDSESweepPR3Bound$|BenchmarkDSESweepTightBound$|BenchmarkDSESweepInLoopAbandon$|BenchmarkDSESweepDiskWarm$'
+PATTERN='BenchmarkSAOptimize$|BenchmarkEvaluateGroup$|BenchmarkDSESessionSweepCold$|BenchmarkDSESessionSweepWarm$|BenchmarkDSESweepRestarts1$|BenchmarkDSESweepRestarts4$|BenchmarkDSESweepGridFixed$|BenchmarkDSESweepOrdered$|BenchmarkDSESweepAdaptive$|BenchmarkDSESweepPR3Bound$|BenchmarkDSESweepTightBound$|BenchmarkDSESweepHardened$|BenchmarkDSESweepInLoopAbandon$|BenchmarkDSESweepDiskWarm$'
 OUT="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime="$BENCHTIME" .)"
 
 echo "$OUT" >&2
