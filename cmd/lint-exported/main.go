@@ -1,207 +1,51 @@
-// Command lint-exported enforces the repo's godoc contract: every package
-// named on the command line must have a package doc comment, and every
-// exported top-level symbol — types, functions, methods on exported types,
-// and the names inside exported const/var groups — must carry a doc
-// comment. It is the CI "exported-comment" lint step, built on the standard
-// go/ast so it needs no external linter binary.
+// Command lint-exported is a deprecation shim: the exported-doc contract it
+// used to enforce with its own go/ast walk now lives in the internal/lint
+// suite as the exporteddoc analyzer, driven by cmd/geminilint. This shim
+// keeps the old CLI contract working (explicit package directories, exit 1
+// on findings, 2 on errors) by running just that analyzer, and prints a
+// pointer to the replacement on stderr. Prefer:
 //
-// Usage:
-//
-//	lint-exported [-tests] ./internal/dse ./internal/serve ...
-//
-// Exit status is 1 when any finding is reported, with one
-// file:line: message per missing comment, revive/golint style.
+//	go run ./cmd/geminilint ./...
 package main
 
 import (
 	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"os"
-	"sort"
-	"strings"
+
+	"gemini/internal/lint"
 )
 
 func main() {
-	tests := flag.Bool("tests", false, "also lint _test.go files")
+	flag.Bool("tests", false, "ignored (kept for CLI compatibility; the lint suite checks non-test files)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lint-exported [-tests] dir [dir...]")
+		fmt.Fprintln(os.Stderr, "usage: lint-exported dir [dir...]")
 		os.Exit(2)
 	}
-	var findings []string
-	for _, dir := range flag.Args() {
-		fs, err := lintDir(dir, *tests)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lint-exported: %v\n", err)
-			os.Exit(2)
-		}
-		findings = append(findings, fs...)
+	fmt.Fprintln(os.Stderr, "lint-exported: deprecated, use `go run ./cmd/geminilint` (exporteddoc analyzer)")
+
+	l, err := lint.NewLoader(".")
+	if err != nil {
+		fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	pkgs, err := l.Load(flag.Args()...)
+	if err != nil {
+		fatal(err)
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "lint-exported: %d missing doc comment(s)\n", len(findings))
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{lint.ExportedDocAnalyzer})
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
 		os.Exit(1)
 	}
 }
 
-// finding is one missing doc comment, locatable for sorting.
-type finding struct {
-	file string
-	line int
-	msg  string
-}
-
-func (f finding) String() string {
-	if f.line == 0 {
-		return fmt.Sprintf("%s: %s", f.file, f.msg)
-	}
-	return fmt.Sprintf("%s:%d: %s", f.file, f.line, f.msg)
-}
-
-// lintDir parses one directory (non-recursively, like a Go package) and
-// reports every missing doc comment.
-func lintDir(dir string, tests bool) ([]string, error) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
-		return tests || !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
-	if err != nil {
-		return nil, err
-	}
-	var findings []finding
-	for _, pkg := range pkgs {
-		if strings.HasSuffix(pkg.Name, "_test") {
-			continue
-		}
-		findings = append(findings, lintPackage(fset, dir, pkg)...)
-	}
-	sort.Slice(findings, func(a, b int) bool {
-		if findings[a].file != findings[b].file {
-			return findings[a].file < findings[b].file
-		}
-		return findings[a].line < findings[b].line
-	})
-	out := make([]string, len(findings))
-	for i, f := range findings {
-		out[i] = f.String()
-	}
-	return out, nil
-}
-
-func lintPackage(fset *token.FileSet, dir string, pkg *ast.Package) []finding {
-	var findings []finding
-	report := func(pos token.Pos, format string, args ...any) {
-		p := fset.Position(pos)
-		findings = append(findings, finding{file: p.Filename, line: p.Line, msg: fmt.Sprintf(format, args...)})
-	}
-
-	hasPkgDoc := false
-	// Exported type names, so methods on unexported types (invisible in
-	// godoc) are not flagged.
-	exportedTypes := map[string]bool{}
-	for _, f := range pkg.Files {
-		if f.Doc != nil {
-			hasPkgDoc = true
-		}
-		for _, decl := range f.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.TYPE {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.IsExported() {
-					exportedTypes[ts.Name.Name] = true
-				}
-			}
-		}
-	}
-	if !hasPkgDoc {
-		findings = append(findings, finding{file: dir, msg: fmt.Sprintf("package %s has no package doc comment", pkg.Name)})
-	}
-
-	for _, f := range pkg.Files {
-		for _, decl := range f.Decls {
-			switch d := decl.(type) {
-			case *ast.FuncDecl:
-				if !d.Name.IsExported() {
-					continue
-				}
-				if recv := receiverType(d); recv != "" && !exportedTypes[recv] {
-					continue // method on an unexported type
-				}
-				if d.Doc == nil {
-					report(d.Pos(), "exported %s %s has no doc comment", funcKind(d), funcName(d))
-				}
-			case *ast.GenDecl:
-				lintGenDecl(report, d)
-			}
-		}
-	}
-	return findings
-}
-
-// lintGenDecl checks one const/var/type block. A doc comment on the block
-// covers its specs (grouped constants are conventionally documented once);
-// without one, every exported spec needs its own comment.
-func lintGenDecl(report func(token.Pos, string, ...any), d *ast.GenDecl) {
-	kind := map[token.Token]string{token.TYPE: "type", token.CONST: "const", token.VAR: "var"}[d.Tok]
-	if kind == "" { // import blocks
-		return
-	}
-	blockDoc := d.Doc != nil
-	for _, spec := range d.Specs {
-		switch sp := spec.(type) {
-		case *ast.TypeSpec:
-			if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil {
-				report(sp.Pos(), "exported type %s has no doc comment", sp.Name.Name)
-			}
-		case *ast.ValueSpec:
-			if blockDoc || sp.Doc != nil || sp.Comment != nil {
-				continue
-			}
-			for _, n := range sp.Names {
-				if n.IsExported() {
-					report(n.Pos(), "exported %s %s has no doc comment (or block comment)", kind, n.Name)
-				}
-			}
-		}
-	}
-}
-
-func receiverType(d *ast.FuncDecl) string {
-	if d.Recv == nil || len(d.Recv.List) == 0 {
-		return ""
-	}
-	t := d.Recv.List[0].Type
-	for {
-		switch x := t.(type) {
-		case *ast.StarExpr:
-			t = x.X
-		case *ast.IndexExpr: // generic receiver
-			t = x.X
-		case *ast.Ident:
-			return x.Name
-		default:
-			return ""
-		}
-	}
-}
-
-func funcKind(d *ast.FuncDecl) string {
-	if d.Recv != nil {
-		return "method"
-	}
-	return "function"
-}
-
-func funcName(d *ast.FuncDecl) string {
-	if recv := receiverType(d); recv != "" {
-		return recv + "." + d.Name.Name
-	}
-	return d.Name.Name
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lint-exported: %v\n", err)
+	os.Exit(2)
 }

@@ -158,6 +158,8 @@ func (an *Analysis) reset(lms *LMS, gi, cores int) {
 // AnalyzeInto parses group gi of the scheme into an, reusing an's buffers.
 // It is the allocation-free core of the Evaluator's hot loop: after warm-up
 // a parse touches no heap. The scheme must have passed Validate.
+//
+//gemini:noalloc
 func AnalyzeInto(an *Analysis, s *Scheme, gi int, cfg *arch.Config) error {
 	lms := s.Groups[gi]
 	g := s.Graph
@@ -282,6 +284,7 @@ func AnalyzeInto(an *Analysis, s *Scheme, gi int, cfg *arch.Config) error {
 				OutBytes: vol * dnn.ElemBytes,
 			}
 			if prev, dup := an.Works[pw.Core]; dup {
+				//gemini:alloc-ok cold path: duplicate assignment means the scheme is invalid and the parse aborts
 				return fmt.Errorf("core: core %d assigned twice (%v and layer %d)", pw.Core, prev.Kind, pw.Layer)
 			}
 			an.Works[pw.Core] = work

@@ -52,7 +52,7 @@ func Parse(r io.Reader) (*Graph, error) {
 		op := fields[0]
 		args := fields[1:]
 		fail := func(format string, a ...any) error {
-			return fmt.Errorf("dnn: line %d: %s", lineNo, fmt.Sprintf(format, a...))
+			return fmt.Errorf("dnn: line %d: %w", lineNo, fmt.Errorf(format, a...))
 		}
 
 		switch op {
@@ -80,11 +80,11 @@ func Parse(r io.Reader) (*Graph, error) {
 			}
 			in, err := get(args[1])
 			if err != nil {
-				return nil, fail("%v", err)
+				return nil, fail("%w", err)
 			}
 			kv, err := parseKV(args[2:], map[string]int{"stride": 1, "pad": 0, "groups": 1})
 			if err != nil {
-				return nil, fail("%v", err)
+				return nil, fail("%w", err)
 			}
 			if kv["k"] == 0 || kv["r"] == 0 {
 				return nil, fail("conv needs k= and r= (s defaults to r)")
@@ -97,7 +97,7 @@ func Parse(r io.Reader) (*Graph, error) {
 		case "pool":
 			in, kv, err := oneInputKV(args, get, map[string]int{"stride": 1, "pad": 0})
 			if err != nil {
-				return nil, fail("%v", err)
+				return nil, fail("%w", err)
 			}
 			if kv["r"] == 0 {
 				return nil, fail("pool needs r=")
@@ -106,13 +106,13 @@ func Parse(r io.Reader) (*Graph, error) {
 		case "gap":
 			in, _, err := oneInputKV(args, get, nil)
 			if err != nil {
-				return nil, fail("%v", err)
+				return nil, fail("%w", err)
 			}
 			refs[args[0]] = b.GlobalPool(args[0], in)
 		case "fc", "proj":
 			in, kv, err := oneInputKV(args, get, nil)
 			if err != nil {
-				return nil, fail("%v", err)
+				return nil, fail("%w", err)
 			}
 			if kv["k"] == 0 {
 				return nil, fail("%s needs k=", op)
@@ -128,11 +128,11 @@ func Parse(r io.Reader) (*Graph, error) {
 			}
 			a, err := get(args[1])
 			if err != nil {
-				return nil, fail("%v", err)
+				return nil, fail("%w", err)
 			}
 			bb, err := get(args[2])
 			if err != nil {
-				return nil, fail("%v", err)
+				return nil, fail("%w", err)
 			}
 			if op == "matmulT" {
 				refs[args[0]] = b.MatMulT(args[0], a, bb)
@@ -142,7 +142,7 @@ func Parse(r io.Reader) (*Graph, error) {
 		case "softmax":
 			in, _, err := oneInputKV(args, get, nil)
 			if err != nil {
-				return nil, fail("%v", err)
+				return nil, fail("%w", err)
 			}
 			refs[args[0]] = b.Softmax(args[0], in)
 		case "add", "concat":
@@ -153,7 +153,7 @@ func Parse(r io.Reader) (*Graph, error) {
 			for _, n := range args[1:] {
 				in, err := get(n)
 				if err != nil {
-					return nil, fail("%v", err)
+					return nil, fail("%w", err)
 				}
 				ins = append(ins, in)
 			}
@@ -204,7 +204,7 @@ func parseKV(args []string, defaults map[string]int) (map[string]int, error) {
 		}
 		n, err := strconv.Atoi(val)
 		if err != nil {
-			return nil, fmt.Errorf("option %q: %v", a, err)
+			return nil, fmt.Errorf("option %q: %w", a, err)
 		}
 		kv[key] = n
 	}

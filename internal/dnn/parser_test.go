@@ -1,6 +1,8 @@
 package dnn
 
 import (
+	"errors"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -130,5 +132,19 @@ func TestParseRoundTripMapsEndToEnd(t *testing.T) {
 	// Parsed graphs flow through the same machinery as zoo models.
 	if g.Layers[len(g.Layers)-1].Kind != FC {
 		t.Error("output layer should be the FC head")
+	}
+}
+
+// TestParseNumericOptionErrorWrapped pins the %w wrap on numeric option
+// errors (found by the errclass analyzer): callers can classify the failure
+// with errors.As against *strconv.NumError instead of matching error text.
+func TestParseNumericOptionErrorWrapped(t *testing.T) {
+	_, err := ParseString("model m\ninput x 8 8 3\nconv c1 x k=abc\n")
+	if err == nil {
+		t.Fatal("want error for non-numeric option value")
+	}
+	var ne *strconv.NumError
+	if !errors.As(err, &ne) {
+		t.Fatalf("parse error %v does not wrap *strconv.NumError", err)
 	}
 }

@@ -705,6 +705,28 @@ func fnvWord(h, v uint64) uint64 {
 	return h
 }
 
+// optsFingerprintExclusions records, per excluded Options field, why its
+// value can never change a (candidate, model) cell's computed result — the
+// checkpoint-compatibility decision the fingerprintcomplete analyzer forces
+// whenever a field is added. A field missing from both optsFingerprint and
+// this list fails `geminilint`.
+//
+//gemini:fingerprint-exclude Options
+var optsFingerprintExclusions = map[string]string{
+	"Workers":       "parallelism only; any worker count computes identical cells",
+	"Prune":         "pruning skips whole cells, it never changes a computed cell",
+	"Order":         "dispatch order only; checkpoints must survive reordering",
+	"AbandonEvery":  "abandonment stride only gates early exits against the live incumbent; completed cells are unchanged",
+	"Bound":         "bound formulation feeds pruning/abandonment thresholds, not the mapping itself",
+	"BoundParams":   "evaluator params for bound computation; never touch a cell's SA search",
+	"CacheDir":      "storage location, not content; moving the cache must not invalidate it",
+	"OnResult":      "observer callback; notification cannot alter results",
+	"SweepID":       "labels the sweep — a renamed sweep must keep hitting its old cells",
+	"Retry":         "failure-handling policy; a cell that succeeds is attempt-count-independent",
+	"CellTimeout":   "wall-clock guard producing typed failures, never different values",
+	"FaultInjector": "test-only chaos hook; production sweeps run with none installed",
+}
+
 // optsFingerprint hashes every Options field the mapping result depends on.
 // Alpha is deliberately excluded: it only ranks candidates, it never changes
 // a (candidate, model) mapping, so checkpoints survive re-ranking sweeps.
@@ -712,7 +734,11 @@ func fnvWord(h, v uint64) uint64 {
 // only labels — a renamed sweep must keep hitting its old cells), and
 // Patience is folded in only when it can actually change a portfolio
 // (0 < Patience < restarts), so pre-adaptive checkpoints keep matching
-// non-adaptive sweeps.
+// non-adaptive sweeps. The full field-by-field accounting lives in
+// optsFingerprintExclusions and is enforced by the fingerprintcomplete
+// analyzer.
+//
+//gemini:fingerprint-of Options
 func optsFingerprint(opt Options) uint64 {
 	restarts := opt.Restarts
 	if restarts < 1 {

@@ -228,8 +228,23 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
+// specResolveExclusions records the Spec fields Options deliberately does
+// not resolve: both are expanded by their own methods and keyed into cells
+// separately, so forgetting a *new* transport field here would silently drop
+// it — which is exactly what the fingerprintcomplete analyzer flags.
+//
+//gemini:fingerprint-exclude Spec
+var specResolveExclusions = map[string]string{
+	"Space":  "resolved by Candidates(); the architecture fingerprint keys each cell",
+	"Models": "resolved by Graphs(); the model name keys each cell",
+}
+
 // Options resolves the spec's mapping options, applying the DefaultOptions
 // defaults to zero-valued fields. The spec's ID becomes Options.SweepID.
+// Every Spec field must be consumed here or accounted for in
+// specResolveExclusions (enforced by the fingerprintcomplete analyzer).
+//
+//gemini:fingerprint-of Spec
 func (s *Spec) Options() Options {
 	opt := DefaultOptions()
 	opt.SweepID = s.ID

@@ -4,6 +4,9 @@
 // time, the most loaded NoC/D2D link, and the most loaded DRAM controller;
 // a layer group's delay accounts for pipeline fill/drain via its dependency
 // depth; energy sums per-component operation counts times unit energies.
+//
+//gemini:deterministic
+//gemini:documented
 package eval
 
 import (
@@ -168,6 +171,8 @@ func (e *Evaluator) coreParams() intracore.Core {
 // the group-result memo first: a group configuration seen before (same
 // encoding, batch, cross-group data placement and energy parameters) is
 // returned without re-analysis.
+//
+//gemini:noalloc
 func (e *Evaluator) EvaluateGroup(s *core.Scheme, gi int) GroupResult {
 	fp := e.groupFingerprint(s, gi)
 	if e.shared != nil {
@@ -200,6 +205,8 @@ func (e *Evaluator) EvaluateGroup(s *core.Scheme, gi int) GroupResult {
 }
 
 // computeGroup runs the Analyze/explore/traffic pipeline for one group.
+//
+//gemini:noalloc
 func (e *Evaluator) computeGroup(s *core.Scheme, gi int) GroupResult {
 	sc := e.scratch.Get().(*evalScratch)
 	var r GroupResult
@@ -210,6 +217,10 @@ func (e *Evaluator) computeGroup(s *core.Scheme, gi int) GroupResult {
 	return r
 }
 
+// evaluateAnalysis turns one parsed group analysis into a GroupResult using
+// the scratch buffers only.
+//
+//gemini:noalloc
 func (e *Evaluator) evaluateAnalysis(sc *evalScratch, batch int) GroupResult {
 	an := sc.an
 	cp := e.coreParams()

@@ -1,0 +1,121 @@
+// A miniature analysistest: testdata packages carry // want "regex"
+// comments on the lines where an analyzer must report, and AnalyzerTest
+// fails on any mismatch in either direction. Suppressed cases are simply
+// lines with a suppression comment and no want — the harness verifies the
+// absence of a diagnostic for free.
+
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// wantRx extracts the quoted regexes of one // want comment: backtick-quoted
+// (taken literally) or double-quoted (unescaped like a Go string).
+var wantRx = regexp.MustCompile("`([^`]+)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// expectation is one // want entry: a regex a diagnostic on that line must
+// match.
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// The shared test loader: one srcimporter and package cache across every
+// AnalyzerTest call, so the standard library is type-checked once per test
+// binary instead of once per testdata package.
+var (
+	testLoaderOnce sync.Once
+	testLoader     *Loader
+	testLoaderErr  error
+)
+
+func sharedLoader() (*Loader, error) {
+	testLoaderOnce.Do(func() { testLoader, testLoaderErr = NewLoader(".") })
+	return testLoader, testLoaderErr
+}
+
+// AnalyzerTest runs one analyzer over the package in dir and checks its
+// diagnostics against the package's // want comments: every want must be
+// matched by a diagnostic on its line, and every diagnostic must be covered
+// by a want.
+func AnalyzerTest(t testing.TB, dir string, a *Analyzer) {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		exps := wants[key]
+		matched := false
+		for _, e := range exps {
+			if !e.matched && e.rx.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, e.rx)
+			}
+		}
+	}
+}
+
+// collectWants indexes every // want comment by file:line.
+func collectWants(t testing.TB, pkg *Package) map[string][]*expectation {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRx.FindAllStringSubmatch(rest, -1) {
+					pat := m[1]
+					if pat == "" {
+						unq, err := strconv.Unquote(`"` + m[2] + `"`)
+						if err != nil {
+							t.Fatalf("%s: bad want string %q: %v", key, m[2], err)
+						}
+						pat = unq
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}

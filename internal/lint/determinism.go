@@ -1,0 +1,278 @@
+// The determinism analyzer: no wall clocks, no ambient randomness, and no
+// map-iteration order leaking into order-sensitive sinks inside packages
+// that promise deterministic results. The engine's golden bit-identity
+// (PR 1), fingerprint-keyed checkpoint resume (PR 2/5) and chaos-equal
+// fault tolerance (PR 6) all die quietly the first time a map range decides
+// the order of a serialized stream or a float accumulation.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismAnalyzer flags wall-clock reads, global math/rand use and
+// order-sensitive map iteration in packages annotated //gemini:deterministic
+// (full engine determinism) or //gemini:deterministic-output (serialized
+// output order only: the map-range check without the clock/randomness
+// check, for service packages that legitimately read the clock).
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now, global math/rand and order-sensitive map ranges " +
+		"in //gemini:deterministic packages (map ranges only in " +
+		"//gemini:deterministic-output packages); fix with sorted-key " +
+		"iteration or //gemini:nondeterministic-ok <reason>",
+	Run: runDeterminism,
+}
+
+// seededRandConstructors are the sanctioned math/rand entry points: seeded
+// sources and generators are the engine's reproducibility mechanism, only
+// the ambient global generator is banned.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	full := pass.Pkg.PackageDirective("deterministic")
+	outputOnly := pass.Pkg.PackageDirective("deterministic-output")
+	if !full && !outputOnly {
+		return nil
+	}
+	for _, fd := range funcDecls(pass.Pkg) {
+		if full {
+			checkClockAndRand(pass, fd)
+		}
+		checkMapRanges(pass, fd)
+	}
+	return nil
+}
+
+// checkClockAndRand flags time.Now and global math/rand calls.
+func checkClockAndRand(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name := calleePath(info, call)
+		switch {
+		case pkg == "time" && name == "Now":
+			pass.Reportf(call.Pos(), "time.Now in deterministic package %s: results must not depend on the wall clock (inject the value or suppress with //gemini:nondeterministic-ok <reason>)", pass.Pkg.Types.Name())
+		case (pkg == "math/rand" || pkg == "math/rand/v2") && !seededRandConstructors[name]:
+			if f := calleeFunc(info, call); f != nil && f.Signature().Recv() == nil {
+				pass.Reportf(call.Pos(), "global %s.%s in deterministic package %s: use a seeded *rand.Rand so runs are reproducible", pkg, name, pass.Pkg.Types.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRanges flags `range` over a map whose body feeds an
+// order-sensitive sink: an append to a slice that is not subsequently
+// sorted in the same function, a channel send, a write/print/encode call,
+// or a floating-point accumulation. Map-to-map copies, counters and other
+// commutative folds are fine and stay unflagged.
+func checkMapRanges(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := info.Types[rng.X].Type; t == nil || !isMapType(t) {
+			return true
+		}
+		for _, sink := range mapRangeSinks(pass, fd, rng) {
+			pass.Reportf(sink.pos, "map iteration order reaches %s: iterate sorted keys or suppress with //gemini:nondeterministic-ok <reason>", sink.what)
+		}
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// sink is one order-sensitive use of a map range's iteration order.
+type sink struct {
+	pos  token.Pos
+	what string
+}
+
+// writerMethods are methods whose call order determines serialized output.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Print": true, "Printf": true, "Println": true,
+}
+
+// mapRangeSinks scans one map-range body for order-sensitive sinks.
+func mapRangeSinks(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) []sink {
+	info := pass.Pkg.TypesInfo
+	var sinks []sink
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.SendStmt:
+			sinks = append(sinks, sink{st.Pos(), "a channel send (receiver observes iteration order)"})
+		case *ast.AssignStmt:
+			sinks = append(sinks, assignSinks(pass, fd, rng, st)...)
+		case *ast.CallExpr:
+			if s, ok := callSink(info, st); ok {
+				sinks = append(sinks, s)
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// assignSinks classifies one assignment inside a map range: growing a slice
+// with append (unless sorted afterwards) and accumulating floats or strings
+// with op= are order-sensitive.
+func assignSinks(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, st *ast.AssignStmt) []sink {
+	info := pass.Pkg.TypesInfo
+	var sinks []sink
+	switch st.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range st.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call, "append") || i >= len(st.Lhs) {
+				continue
+			}
+			target := st.Lhs[i]
+			if declaredWithin(info, target, rng) {
+				continue // scoped to one iteration, order cannot escape
+			}
+			if sortedAfter(pass, fd, rng, target) {
+				continue // collect-then-sort idiom: order is re-established
+			}
+			sinks = append(sinks, sink{call.Pos(), "an appended slice never re-sorted in this function"})
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(st.Lhs) != 1 {
+			return sinks
+		}
+		t := info.Types[st.Lhs[0]].Type
+		if t == nil || declaredWithin(info, st.Lhs[0], rng) {
+			return sinks
+		}
+		switch b := t.Underlying().(type) {
+		case *types.Basic:
+			switch {
+			case b.Info()&types.IsFloat != 0:
+				// Float addition is not associative: the accumulated value
+				// depends on iteration order in the low bits — exactly the
+				// class of divergence that breaks bit-identical goldens.
+				sinks = append(sinks, sink{st.Pos(), "a floating-point accumulation (rounding depends on iteration order)"})
+			case b.Info()&types.IsString != 0 && st.Tok == token.ADD_ASSIGN:
+				sinks = append(sinks, sink{st.Pos(), "a string concatenation (output depends on iteration order)"})
+			}
+		}
+	}
+	return sinks
+}
+
+// callSink classifies one call inside a map range: fmt printing and
+// writer/encoder methods serialize in call order.
+func callSink(info *types.Info, call *ast.CallExpr) (sink, bool) {
+	pkg, name := calleePath(info, call)
+	if pkg == "fmt" {
+		return sink{call.Pos(), "fmt output (serialized in iteration order)"}, true
+	}
+	if f := calleeFunc(info, call); f != nil && f.Signature().Recv() != nil && writerMethods[name] {
+		return sink{call.Pos(), "a " + name + " call (serialized in iteration order)"}, true
+	}
+	return sink{}, false
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isb := info.Uses[id].(*types.Builtin)
+	return isb
+}
+
+// declaredWithin reports whether the expression resolves to a variable
+// declared inside the range statement (per-iteration locals cannot leak
+// iteration order out of the loop).
+func declaredWithin(info *types.Info, e ast.Expr, rng *ast.RangeStmt) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()
+}
+
+// sortFuncs are the sort entry points that re-establish a deterministic
+// order over a collected slice.
+var sortFuncs = map[string]bool{
+	"sort.Sort": true, "sort.Stable": true, "sort.Slice": true, "sort.SliceStable": true,
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// sortedAfter reports whether target is passed to a sort function after the
+// range statement, anywhere in the enclosing function — the collect-then-
+// sort idiom that makes map collection deterministic.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, target ast.Expr) bool {
+	info := pass.Pkg.TypesInfo
+	obj := exprObject(info, target)
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		pkg, name := calleePath(info, call)
+		if !sortFuncs[shortPath(pkg)+"."+name] {
+			return true
+		}
+		arg := call.Args[0]
+		if obj != nil && exprObject(info, arg) == obj {
+			sorted = true
+		} else if sameSelector(target, arg) {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}
+
+// shortPath reduces an import path to its last element ("sort", "slices").
+func shortPath(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+// sameSelector reports whether two expressions are the same simple selector
+// chain (x.y.z), the buffer-field case the object comparison cannot cover.
+func sameSelector(a, b ast.Expr) bool {
+	sa, oka := ast.Unparen(a).(*ast.SelectorExpr)
+	sb, okb := ast.Unparen(b).(*ast.SelectorExpr)
+	if !oka || !okb || sa.Sel.Name != sb.Sel.Name {
+		return false
+	}
+	ia, oka := ast.Unparen(sa.X).(*ast.Ident)
+	ib, okb := ast.Unparen(sb.X).(*ast.Ident)
+	if oka && okb {
+		return ia.Name == ib.Name
+	}
+	return sameSelector(sa.X, sb.X)
+}

@@ -1,0 +1,152 @@
+// The exporteddoc analyzer: the godoc contract formerly enforced by the
+// standalone cmd/lint-exported walk, as an analyzer so one binary owns all
+// custom static analysis. Packages opt in with //gemini:documented; every
+// exported top-level symbol (and the package itself) must carry a doc
+// comment.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ExportedDocAnalyzer enforces doc comments on the package clause and every
+// exported type, function, method-on-exported-type, and const/var name in
+// packages annotated //gemini:documented.
+var ExportedDocAnalyzer = &Analyzer{
+	Name: "exporteddoc",
+	Doc: "in //gemini:documented packages, the package and every exported " +
+		"symbol must have a doc comment (the cmd/lint-exported contract)",
+	Run: runExportedDoc,
+}
+
+func runExportedDoc(pass *Pass) error {
+	if !pass.Pkg.PackageDirective("documented") {
+		return nil
+	}
+	hasPkgDoc := false
+	exportedTypes := map[string]bool{}
+	for _, f := range pass.Pkg.Files {
+		if realComment(f.Doc) {
+			hasPkgDoc = true
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.IsExported() {
+					exportedTypes[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	if !hasPkgDoc {
+		pass.Reportf(pass.Pkg.Files[0].Package, "package %s has no package doc comment", pass.Pkg.Types.Name())
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if recv := docRecvType(d); recv != "" && !exportedTypes[recv] {
+					continue // method on an unexported type, invisible in godoc
+				}
+				if !realComment(d.Doc) {
+					pass.Reportf(d.Pos(), "exported %s %s has no doc comment", docFuncKind(d), docFuncName(d))
+				}
+			case *ast.GenDecl:
+				checkGenDeclDocs(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkGenDeclDocs checks one const/var/type block. A doc comment on the
+// block covers its specs (grouped constants are conventionally documented
+// once); without one, every exported spec needs its own comment.
+func checkGenDeclDocs(pass *Pass, d *ast.GenDecl) {
+	kind := map[token.Token]string{token.TYPE: "type", token.CONST: "const", token.VAR: "var"}[d.Tok]
+	if kind == "" { // import blocks
+		return
+	}
+	blockDoc := realComment(d.Doc)
+	for _, spec := range d.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			if sp.Name.IsExported() && !blockDoc && !realComment(sp.Doc) {
+				pass.Reportf(sp.Pos(), "exported type %s has no doc comment", sp.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if blockDoc || realComment(sp.Doc) || realComment(sp.Comment) {
+				continue
+			}
+			for _, n := range sp.Names {
+				if n.IsExported() {
+					pass.Reportf(n.Pos(), "exported %s %s has no doc comment (or block comment)", kind, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// realComment reports whether the comment group contains actual prose:
+// machine directives (//gemini:...) and analyzer-test // want markers do not
+// document anything, so a symbol whose only comment is an annotation still
+// needs a doc sentence.
+func realComment(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, "gemini:") ||
+			strings.HasPrefix(text, "want `") || strings.HasPrefix(text, `want "`) {
+			continue
+		}
+		if text != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// docRecvType resolves a method's receiver base type name.
+func docRecvType(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func docFuncKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func docFuncName(d *ast.FuncDecl) string {
+	if recv := docRecvType(d); recv != "" {
+		return recv + "." + d.Name.Name
+	}
+	return d.Name.Name
+}

@@ -1,0 +1,307 @@
+// The hotpathalloc analyzer: functions annotated //gemini:noalloc are the
+// PR 1 zero-allocation hot loop (AnalyzeInto, the EvaluateGroup pipeline,
+// the SA move measurement). Their 0 allocs/op is pinned by benchmarks, but
+// benchmarks only run in CI's bench job; this check catches the common
+// allocation regressions at vet speed, on every build, in the diff that
+// introduces them.
+//
+// Flagged constructs: fmt calls, closures capturing locals, make/new,
+// appends to fresh (per-call) slices, address-taken composite literals,
+// string concatenation, and implicit boxing of non-pointer values into
+// interface arguments. The sanctioned warm-buffer idioms stay unflagged:
+// appending to a reused buffer (a struct field, or a local re-sliced from
+// one, like `buf := sc.buf[:0]`), writing to a reused map, and passing
+// pointers through interfaces (pointers box without allocating).
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAllocAnalyzer flags allocating constructs in //gemini:noalloc
+// functions. Cold paths inside a hot function (error returns) are
+// suppressed per line with //gemini:alloc-ok <reason>.
+var HotPathAllocAnalyzer = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "no allocating constructs (fmt, capturing closures, make/new, " +
+		"fresh-slice append, string concat, value-into-interface boxing) in " +
+		"//gemini:noalloc functions; suppress cold paths with " +
+		"//gemini:alloc-ok <reason>",
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Pkg) {
+		if _, ok := hasDirective(fd.Doc, "noalloc"); !ok {
+			continue
+		}
+		checkNoAlloc(pass, fd)
+	}
+	return nil
+}
+
+// NoallocFuncs returns the names of the package's //gemini:noalloc
+// functions ("Recv.Name" for methods), for the annotation-coverage test
+// that ties annotations to the 0 allocs/op benchmarks.
+func NoallocFuncs(pkg *Package) []string {
+	var out []string
+	for _, fd := range funcDecls(pkg) {
+		if _, ok := hasDirective(fd.Doc, "noalloc"); !ok {
+			continue
+		}
+		name := fd.Name.Name
+		if fd.Recv != nil && len(fd.Recv.List) > 0 {
+			name = recvTypeName(fd.Recv.List[0].Type) + "." + name
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// recvTypeName renders a receiver type expression's base identifier.
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return types.ExprString(e)
+		}
+	}
+}
+
+func checkNoAlloc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			if name, ok := captures(pass, fd, e); ok {
+				pass.Reportf(e.Pos(), "closure capturing %s allocates in //gemini:noalloc %s: hoist the closure or pass state explicitly", name, fd.Name.Name)
+			}
+			return false // do not descend: the literal body runs elsewhere
+		case *ast.CallExpr:
+			checkAllocCall(pass, fd, e)
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					pass.Reportf(e.Pos(), "address-taken composite literal escapes to the heap in //gemini:noalloc %s", fd.Name.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && isStringExpr(info, e) && !isConstExpr(info, e) {
+				pass.Reportf(e.Pos(), "string concatenation allocates in //gemini:noalloc %s", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkAllocCall flags allocating calls: fmt, make/new, fresh-slice append,
+// and concrete-value-into-interface boxing at call boundaries.
+func checkAllocCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.Pkg.TypesInfo
+	if pkg, name := calleePath(info, call); pkg == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s allocates (format state + boxed arguments) in //gemini:noalloc %s", name, fd.Name.Name)
+		return
+	}
+	switch {
+	case isBuiltin(info, call, "make"):
+		pass.Reportf(call.Pos(), "make allocates in //gemini:noalloc %s: hoist the buffer into reusable state", fd.Name.Name)
+		return
+	case isBuiltin(info, call, "new"):
+		pass.Reportf(call.Pos(), "new allocates in //gemini:noalloc %s", fd.Name.Name)
+		return
+	case isBuiltin(info, call, "append"):
+		if len(call.Args) > 0 && freshLocalSlice(pass, fd, call.Args[0]) {
+			pass.Reportf(call.Pos(), "append to a fresh per-call slice allocates in //gemini:noalloc %s: reuse a buffer (b = b[:0]) instead", fd.Name.Name)
+		}
+		return
+	}
+	checkBoxing(pass, fd, call)
+}
+
+// checkBoxing flags non-pointer concrete values passed where the callee
+// expects an interface — each such argument is boxed onto the heap (pointer
+// and interface arguments are exempt: they fit the interface word without
+// allocating in practice for reused values).
+func checkBoxing(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.Pkg.TypesInfo
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			continue // xs... forwards an existing slice, no per-value boxing
+		}
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if sl, ok := sig.Params().At(np - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isTP := pt.(*types.TypeParam); isTP {
+			// A generic parameter's underlying constraint is an interface,
+			// but instantiation substitutes the concrete type: no boxing
+			// happens (slices.Sort(xs) does not box xs).
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || isBoxFree(at) {
+			continue
+		}
+		if tv := info.Types[arg]; tv.Value != nil {
+			continue // constants may be boxed statically
+		}
+		pass.Reportf(arg.Pos(), "boxing %s into interface parameter allocates in //gemini:noalloc %s: pass a pointer or avoid the interface", at, fd.Name.Name)
+	}
+}
+
+// isBoxFree reports types whose conversion to interface does not allocate
+// per value: pointers, interfaces themselves, and untyped nil.
+func isBoxFree(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Signature, *types.Map, *types.Chan:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+// freshLocalSlice reports whether the append target is a local slice whose
+// declaration makes it a per-call allocation: `var x []T`, `x := []T{...}`
+// or `x := make(...)`. Locals initialized from a field or parameter (the
+// reuse idiom `x := sc.buf[:0]`) and non-identifier targets are exempt.
+func freshLocalSlice(pass *Pass, fd *ast.FuncDecl, target ast.Expr) bool {
+	info := pass.Pkg.TypesInfo
+	id, ok := ast.Unparen(target).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	if obj.Pos() < fd.Pos() || obj.Pos() > fd.End() {
+		return false // package-level or outer-scope variable
+	}
+	fresh := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := d.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for vi, name := range vs.Names {
+					if info.Defs[name] != obj {
+						continue
+					}
+					if len(vs.Values) == 0 {
+						fresh = true // var x []T; x = append(x, ...) allocates
+					} else if vi < len(vs.Values) {
+						fresh = freshInit(info, vs.Values[vi])
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if d.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range d.Lhs {
+				name, ok := lhs.(*ast.Ident)
+				if !ok || info.Defs[name] != obj || i >= len(d.Rhs) {
+					continue
+				}
+				fresh = freshInit(info, d.Rhs[i])
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// freshInit reports whether an initializer expression denotes a fresh
+// allocation (nil, empty literal, make) rather than a view of existing
+// storage.
+func freshInit(info *types.Info, e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		return isBuiltin(info, v, "make")
+	case *ast.Ident:
+		return v.Name == "nil"
+	}
+	return false
+}
+
+// captures reports whether the function literal references a variable
+// declared in the enclosing function outside the literal itself — the
+// closure-capture case that forces a heap allocation for the closure (and
+// often the captured variable).
+func captures(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) (string, bool) {
+	info := pass.Pkg.TypesInfo
+	var captured string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		pos := v.Pos()
+		if pos >= fd.Pos() && pos <= fd.End() && (pos < lit.Pos() || pos > lit.End()) {
+			captured = id.Name
+		}
+		return true
+	})
+	return captured, captured != ""
+}
+
+// isStringExpr reports whether the expression has string type.
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstExpr reports whether the expression folds to a constant.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	return info.Types[e].Value != nil
+}

@@ -1,0 +1,348 @@
+// Package loading for the lint suite: a standard-library-only substitute
+// for go/packages. Module packages are parsed from source and type-checked
+// recursively; standard-library imports are satisfied by the compiler's
+// source importer, so the loader needs neither export data nor any external
+// dependency.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: syntax, type information and
+// the pre-indexed //gemini: suppression comments.
+type Package struct {
+	// Path is the package's import path (module packages) or its directory
+	// (packages loaded by directory, e.g. analyzer testdata).
+	Path string
+	// Dir is the directory the package was parsed from.
+	Dir string
+	// Fset positions every file in the package (shared across one Loader).
+	Fset *token.FileSet
+	// Files holds the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// TypesInfo records expression types, uses, defs and selections.
+	TypesInfo *types.Info
+
+	// suppressions indexes //gemini:<key> comments carrying a reason:
+	// key -> filename -> line.
+	suppressions map[string]map[string]map[int]bool
+}
+
+// Loader loads and type-checks module packages for analysis. One Loader
+// shares a FileSet, a module root and an import cache across all loads.
+type Loader struct {
+	fset *token.FileSet
+	// root is the module root directory, modPath the module's import path.
+	root    string
+	modPath string
+	// std satisfies standard-library imports from $GOROOT source.
+	std types.Importer
+	// cache memoizes loaded module packages by directory.
+	cache map[string]*Package
+	// loading guards against import cycles.
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module containing dir (the
+// nearest enclosing go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the module
+// root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; d = filepath.Dir(d) {
+		raw, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(raw), "\n") {
+				line = strings.TrimSpace(line)
+				if name, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(name), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+	}
+}
+
+// Load resolves the patterns (import paths, directories, or the ./...
+// wildcard) and returns the matching packages, type-checked, sorted by
+// path. Directories without buildable Go files are skipped.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			walked, err := l.walk(l.root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				dirs[d] = true
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base, err := l.resolveDir(strings.TrimSuffix(pat, "/..."))
+			if err != nil {
+				return nil, err
+			}
+			walked, err := l.walk(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				dirs[d] = true
+			}
+		default:
+			d, err := l.resolveDir(pat)
+			if err != nil {
+				return nil, err
+			}
+			dirs[d] = true
+		}
+	}
+	var out []*Package
+	for dir := range dirs {
+		if !hasGoFiles(dir) {
+			continue
+		}
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Path < out[b].Path })
+	return out, nil
+}
+
+// resolveDir maps one pattern to a directory: module import paths resolve
+// under the module root, everything else is a file-system path.
+func (l *Loader) resolveDir(pat string) (string, error) {
+	if pat == l.modPath {
+		return l.root, nil
+	}
+	if rest, ok := strings.CutPrefix(pat, l.modPath+"/"); ok {
+		return filepath.Join(l.root, filepath.FromSlash(rest)), nil
+	}
+	abs, err := filepath.Abs(pat)
+	if err != nil {
+		return "", err
+	}
+	if _, err := os.Stat(abs); err != nil {
+		return "", fmt.Errorf("lint: cannot resolve pattern %q: %w", pat, err)
+	}
+	return abs, nil
+}
+
+// walk collects every package directory under base, skipping testdata,
+// hidden directories and VCS metadata.
+func (l *Loader) walk(base string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// hasGoFiles reports whether dir holds at least one non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the package in dir (non-test files only).
+// Results are memoized, so a package reached both as a pattern and as an
+// import is loaded once.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.cache[abs]; ok {
+		return pkg, nil
+	}
+	if l.loading[abs] {
+		return nil, fmt.Errorf("lint: import cycle through %s", abs)
+	}
+	l.loading[abs] = true
+	defer delete(l.loading, abs)
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", abs)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    l.importerFor(abs),
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	path := l.importPath(abs)
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, typeErrs[0])
+	}
+
+	pkg := &Package{
+		Path:         path,
+		Dir:          abs,
+		Fset:         l.fset,
+		Files:        files,
+		Types:        tpkg,
+		TypesInfo:    info,
+		suppressions: indexSuppressions(l.fset, files),
+	}
+	l.cache[abs] = pkg
+	return pkg, nil
+}
+
+// importPath derives the package's import path from its location: module
+// packages get their real path, out-of-module directories (testdata) are
+// keyed by directory.
+func (l *Loader) importPath(abs string) string {
+	if abs == l.root {
+		return l.modPath
+	}
+	if rel, err := filepath.Rel(l.root, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		return l.modPath + "/" + filepath.ToSlash(rel)
+	}
+	return abs
+}
+
+// moduleImporter satisfies one package's imports: module-internal paths
+// load recursively from source, everything else is treated as standard
+// library and delegated to the $GOROOT source importer.
+type moduleImporter struct {
+	l   *Loader
+	dir string
+}
+
+func (l *Loader) importerFor(dir string) types.Importer {
+	return &moduleImporter{l: l, dir: dir}
+}
+
+// Import loads one dependency package.
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	l := m.l
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		dir, err := l.resolveDir(path)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// indexSuppressions records, per //gemini: directive key, the file:line of
+// every directive comment that carries a non-empty value — the "must state
+// a reason" half of the suppression contract.
+func indexSuppressions(fset *token.FileSet, files []*ast.File) map[string]map[string]map[int]bool {
+	idx := map[string]map[string]map[int]bool{}
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				d, ok := parseDirective(c)
+				if !ok || d.Value == "" {
+					continue
+				}
+				pos := fset.Position(d.Pos)
+				byFile, ok := idx[d.Key]
+				if !ok {
+					byFile = map[string]map[int]bool{}
+					idx[d.Key] = byFile
+				}
+				lines, ok := byFile[pos.Filename]
+				if !ok {
+					lines = map[int]bool{}
+					byFile[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+			}
+		}
+	}
+	return idx
+}

@@ -1,0 +1,171 @@
+// The lockhygiene analyzer: a mutex locked and then unlocked *without
+// defer* must not have a panic-capable user callback between the Lock and
+// the Unlock. This is exactly the PR 6 OnResult deadlock: the scheduler
+// held its serialization mutex across the user's OnResult callback with a
+// plain Unlock after it, so a panicking callback left the lock held forever
+// and every later candidate's finish path deadlocked. The recover fixed the
+// panic; the deferred unlock fixed the hang; this check keeps the pattern
+// out of the tree.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockHygieneAnalyzer flags dynamic (callback) calls and explicit panics
+// between a mu.Lock() and a non-deferred mu.Unlock() on the same statement
+// list. The fix is `defer mu.Unlock()` (or hoisting the callback out of the
+// critical section); //gemini:lock-ok <reason> suppresses a finding.
+var LockHygieneAnalyzer = &Analyzer{
+	Name: "lockhygiene",
+	Doc: "no user callback or panic between mu.Lock() and a non-deferred " +
+		"mu.Unlock(): a panic there leaves the lock held (the PR 6 OnResult " +
+		"deadlock class); use defer mu.Unlock() or //gemini:lock-ok <reason>",
+	Run: runLockHygiene,
+}
+
+func runLockHygiene(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Pkg) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			checkLockBlock(pass, block.List)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLockBlock scans one statement list for Lock .. risky .. Unlock
+// windows.
+func checkLockBlock(pass *Pass, stmts []ast.Stmt) {
+	for i, st := range stmts {
+		recv, kind := lockCall(pass, st)
+		if recv == "" {
+			continue
+		}
+		// Find the matching non-deferred unlock later in the same list. A
+		// deferred unlock anywhere ends the search: the lock is panic-safe.
+		for j := i + 1; j < len(stmts); j++ {
+			if isDeferredUnlock(pass, stmts[j], recv, kind) {
+				break
+			}
+			if isUnlock(pass, stmts[j], recv, kind) {
+				reportRisky(pass, stmts[i+1:j], recv)
+				break
+			}
+		}
+	}
+}
+
+// lockCall matches an expression statement of the form recv.Lock() or
+// recv.RLock() and returns the receiver's printed form and the lock kind
+// ("" when the statement is not a lock).
+func lockCall(pass *Pass, st ast.Stmt) (recv, kind string) {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return "", ""
+	}
+	return lockExpr(pass, es.X, "Lock", "RLock")
+}
+
+// lockExpr matches call as recv.<name>() for one of names.
+func lockExpr(pass *Pass, e ast.Expr, names ...string) (recv, kind string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	for _, name := range names {
+		if sel.Sel.Name == name {
+			return types.ExprString(sel.X), name
+		}
+	}
+	return "", ""
+}
+
+// isUnlock matches the plain unlock statement paired with kind.
+func isUnlock(pass *Pass, st ast.Stmt, recv, kind string) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	r, _ := lockExpr(pass, es.X, unlockName(kind))
+	return r == recv
+}
+
+// isDeferredUnlock matches `defer recv.Unlock()` for the lock kind.
+func isDeferredUnlock(pass *Pass, st ast.Stmt, recv, kind string) bool {
+	ds, ok := st.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	r, _ := lockExpr(pass, ds.Call, unlockName(kind))
+	return r == recv
+}
+
+func unlockName(kind string) string {
+	if kind == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// reportRisky flags panic-capable calls inside the critical section:
+// dynamic calls (function values, callback fields — the OnResult class)
+// and explicit panics.
+func reportRisky(pass *Pass, stmts []ast.Stmt, recv string) {
+	info := pass.Pkg.TypesInfo
+	for _, st := range stmts {
+		ast.Inspect(st, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // not executed here
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isBuiltin(info, call, "panic") {
+				pass.Reportf(call.Pos(), "panic between %s.Lock and non-deferred %s.Unlock leaves the lock held: use defer %s.Unlock()", recv, recv, recv)
+				return true
+			}
+			if name, ok := dynamicCall(info, call); ok {
+				pass.Reportf(call.Pos(), "callback %s called between %s.Lock and non-deferred %s.Unlock: a panicking callback leaves the lock held (the PR 6 OnResult deadlock) — use defer %s.Unlock()", name, recv, recv, recv)
+			}
+			return true
+		})
+	}
+}
+
+// dynamicCall reports whether the call goes through a function value (a
+// variable, parameter or struct field of function type) rather than a
+// statically known function, and names it.
+func dynamicCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fun := ast.Unparen(call.Fun)
+	// Type conversions are not calls.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return "", false
+	}
+	switch e := fun.(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			if _, isSig := v.Type().Underlying().(*types.Signature); isSig {
+				return e.Name, true
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if _, isSig := sel.Type().Underlying().(*types.Signature); isSig {
+				return types.ExprString(e), true
+			}
+		}
+	}
+	return "", false
+}

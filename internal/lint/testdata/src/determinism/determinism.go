@@ -1,0 +1,111 @@
+// Package determinism is analyzer testdata: a fully deterministic engine
+// package (clock, randomness and map-order checks all active).
+//
+//gemini:deterministic
+package determinism
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// clock reads the wall clock, which a deterministic package must not.
+func clock() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package`
+}
+
+// clockSuppressed documents why its wall-clock read is harmless.
+func clockSuppressed() int64 {
+	//gemini:nondeterministic-ok log timestamp only, never reaches results
+	return time.Now().UnixNano()
+}
+
+// globalRand uses the ambient generator; seeded generators are the
+// sanctioned path.
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand.Intn in deterministic package`
+}
+
+// seededRand is the sanctioned reproducible path.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// collectUnsorted leaks map order into the returned slice.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `map iteration order reaches an appended slice`
+	}
+	return keys
+}
+
+// collectSorted is the collect-then-sort idiom: deterministic.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// printUnsorted serializes in iteration order.
+func printUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `map iteration order reaches fmt output`
+	}
+}
+
+// writeUnsorted serializes through a writer method.
+func writeUnsorted(w *interface{ WriteString(string) (int, error) }, m map[string]bool) {
+	for k := range m {
+		(*w).WriteString(k) // want `map iteration order reaches a WriteString call`
+	}
+}
+
+// sendUnsorted leaks order through a channel.
+func sendUnsorted(ch chan string, m map[string]bool) {
+	for k := range m {
+		ch <- k // want `map iteration order reaches a channel send`
+	}
+}
+
+// floatAccum accumulates floats in map order: the rounding differs run to
+// run.
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `map iteration order reaches a floating-point accumulation`
+	}
+	return sum
+}
+
+// intAccum is exactly commutative: fine.
+func intAccum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// mapCopy writes into another map: order-insensitive.
+func mapCopy(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// suppressedRange documents why its ordering is acceptable.
+func suppressedRange(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //gemini:nondeterministic-ok test-only scratch, order never observed
+	}
+	return keys
+}

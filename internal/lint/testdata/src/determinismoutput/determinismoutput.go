@@ -1,0 +1,26 @@
+// Package determinismoutput is analyzer testdata for the
+// //gemini:deterministic-output mode: wall clocks are fine (service
+// timestamps), but serialized output must still not depend on map order.
+//
+//gemini:deterministic-output
+package determinismoutput
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// timestamp is fine here: output-only packages may read the clock.
+func timestamp() time.Time {
+	return time.Now()
+}
+
+// statusJSON streams records in map order: a client diffing two identical
+// states sees different bytes.
+func statusJSON(w io.Writer, m map[string]int) {
+	enc := json.NewEncoder(w)
+	for k, v := range m {
+		_ = enc.Encode(map[string]int{k: v}) // want `map iteration order reaches a Encode call`
+	}
+}

@@ -1,0 +1,65 @@
+// Package errclass is analyzer testdata: error identity comparisons,
+// string matching and classification-dropping wraps, next to the
+// errors.Is/As/%w forms that keep classification intact.
+package errclass
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrInfeasible mirrors the engine's sentinel.
+var ErrInfeasible = errors.New("infeasible")
+
+// CellError mirrors the engine's typed cell failure.
+type CellError struct{ Kind string }
+
+func (e *CellError) Error() string { return e.Kind }
+
+func compareEq(err error) bool {
+	return err == ErrInfeasible // want `error compared with ==`
+}
+
+func compareNeq(err error) bool {
+	return err != ErrInfeasible // want `error compared with !=`
+}
+
+func compareNil(err error) bool {
+	return err == nil // the one sanctioned identity check
+}
+
+func compareIs(err error) bool {
+	return errors.Is(err, ErrInfeasible)
+}
+
+func compareAs(err error) bool {
+	var ce *CellError
+	return errors.As(err, &ce)
+}
+
+func switchIdentity(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case ErrInfeasible: // want `switch compares errors by identity`
+		return 1
+	}
+	return 2
+}
+
+func stringMatch(err error) bool {
+	return strings.Contains(err.Error(), "infeasible") // want `matching err.Error\(\) text with strings.Contains`
+}
+
+func flatten(err error) error {
+	return fmt.Errorf("sweep failed: %v", err) // want `error flattened into fmt.Errorf without %w`
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("sweep failed: %w", err)
+}
+
+func suppressed(err error) bool {
+	return err == ErrInfeasible //gemini:errclass-ok sentinel returned unwrapped by contract, identity is exact here
+}

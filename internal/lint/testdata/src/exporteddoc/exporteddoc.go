@@ -1,0 +1,44 @@
+// Package exporteddoc is analyzer testdata for the documented contract:
+// every exported symbol needs a doc comment.
+//
+//gemini:documented
+package exporteddoc
+
+// Documented is properly documented.
+type Documented struct{}
+
+type Undocumented struct{} // want `exported type Undocumented has no doc comment`
+
+// DoThing is documented.
+func DoThing() {}
+
+func DoOther() {} // want `exported function DoOther has no doc comment`
+
+// Touch is documented.
+func (Documented) Touch() {}
+
+func (Documented) Poke() {} // want `exported method Documented.Poke has no doc comment`
+
+func helper() {}
+
+type hidden struct{}
+
+func (hidden) Exported() {}
+
+const MaxDepth = 3 // want `exported const MaxDepth has no doc comment`
+
+// Batch bounds for the sweep engine.
+const (
+	MinBatch = 1
+	MaxBatch = 64
+)
+
+var Registry = map[string]int{} // want `exported var Registry has no doc comment`
+
+var internalRegistry = map[string]int{}
+
+func init() {
+	helper()
+	hidden{}.Exported()
+	internalRegistry["x"] = 1
+}

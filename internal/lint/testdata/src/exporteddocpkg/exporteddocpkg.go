@@ -1,0 +1,2 @@
+//gemini:documented
+package exporteddocpkg // want `package exporteddocpkg has no package doc comment`

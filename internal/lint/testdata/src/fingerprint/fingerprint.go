@@ -1,0 +1,87 @@
+// Package fingerprint is analyzer testdata: structs whose fingerprint
+// functions cover, miss, stale-exclude and contradict their fields.
+package fingerprint
+
+// BadOpt has a field (B) that is neither read nor excluded.
+type BadOpt struct {
+	A int
+	B int
+	C int
+}
+
+//gemini:fingerprint-exclude BadOpt
+var badOptExclusions = map[string]string{
+	"C": "display-only; never affects results",
+}
+
+//gemini:fingerprint-of BadOpt
+func fingerprintBad(o BadOpt) uint64 { // want `fingerprint of BadOpt does not cover field\(s\) B`
+	return uint64(o.A)
+}
+
+// GoodOpt is fully covered: A directly, B through a forwarded helper, P
+// excluded with a reason.
+type GoodOpt struct {
+	A int
+	B int
+	P int
+}
+
+//gemini:fingerprint-exclude GoodOpt
+var goodOptExclusions = map[string]string{
+	"P": "worker parallelism; identical results at any setting",
+}
+
+//gemini:fingerprint-of GoodOpt
+func fingerprintGood(o GoodOpt) uint64 {
+	return uint64(o.A) + helperB(o)
+}
+
+// helperB reads B on the fingerprint function's behalf; the analyzer
+// follows the forwarded parameter.
+func helperB(o GoodOpt) uint64 {
+	return uint64(o.B)
+}
+
+// PtrOpt is covered through a pointer receiver-style helper chain.
+type PtrOpt struct {
+	A int
+}
+
+//gemini:fingerprint-of PtrOpt
+func fingerprintPtr(o *PtrOpt) uint64 {
+	return uint64(o.A)
+}
+
+// StaleOpt exercises stale and contradictory exclusion entries.
+type StaleOpt struct {
+	A int
+}
+
+//gemini:fingerprint-of StaleOpt
+func fingerprintStale(o StaleOpt) uint64 {
+	return uint64(o.A)
+}
+
+//gemini:fingerprint-exclude StaleOpt
+var staleOptExclusions = map[string]string{ // want `names "Gone", which is not a field of StaleOpt` `field StaleOpt.A is both read by the fingerprint function and excluded`
+	"Gone": "field was removed in a refactor",
+	"A":    "wrong: the function reads this",
+}
+
+// NoReasonOpt's exclusion entry carries no reason, which defeats the
+// list's purpose; the field therefore also counts as uncovered.
+type NoReasonOpt struct {
+	A int
+	B int
+}
+
+//gemini:fingerprint-of NoReasonOpt
+func fingerprintNoReason(o NoReasonOpt) uint64 { // want `fingerprint of NoReasonOpt does not cover field\(s\) B`
+	return uint64(o.A)
+}
+
+//gemini:fingerprint-exclude NoReasonOpt
+var noReasonOptExclusions = map[string]string{
+	"B": "", // want `fingerprint exclusion for NoReasonOpt.B has no reason`
+}

@@ -1,0 +1,141 @@
+// Package hotpathalloc is analyzer testdata: allocating constructs inside
+// //gemini:noalloc functions, next to the sanctioned warm-buffer idioms.
+package hotpathalloc
+
+import (
+	"fmt"
+	"slices"
+)
+
+type scratch struct {
+	buf []int
+}
+
+// fmtCall formats on the hot path.
+//
+//gemini:noalloc
+func fmtCall(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt.Sprintf allocates`
+}
+
+// makeCall allocates a fresh buffer per call.
+//
+//gemini:noalloc
+func makeCall(n int) []int {
+	return make([]int, n) // want `make allocates`
+}
+
+// newCall heap-allocates per call.
+//
+//gemini:noalloc
+func newCall() *scratch {
+	return new(scratch) // want `new allocates`
+}
+
+// freshAppend grows a slice that starts empty every call.
+//
+//gemini:noalloc
+func freshAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append to a fresh per-call slice allocates`
+	}
+	return out
+}
+
+// reusedAppend is the sanctioned idiom: re-slice a persistent buffer to
+// length zero and append into its existing capacity.
+//
+//gemini:noalloc
+func (s *scratch) reusedAppend(xs []int) []int {
+	out := s.buf[:0]
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	s.buf = out
+	return out
+}
+
+// capturing returns a closure over a local, which escapes to the heap.
+//
+//gemini:noalloc
+func capturing(seed int) func() int {
+	total := seed
+	return func() int { // want `closure capturing total allocates`
+		return total
+	}
+}
+
+// escape returns an address-taken composite literal.
+//
+//gemini:noalloc
+func escape() *scratch {
+	return &scratch{} // want `address-taken composite literal escapes`
+}
+
+// concat builds a string at runtime.
+//
+//gemini:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+// boxed passes a concrete value where an interface is expected.
+//
+//gemini:noalloc
+func boxed(x int) {
+	sink(x) // want `boxing int into interface parameter allocates`
+}
+
+// boxFree passes a pointer: fits the interface word without allocating.
+//
+//gemini:noalloc
+func boxFree(p *scratch) {
+	sink(p)
+}
+
+// constArg passes a constant, which the compiler boxes statically.
+//
+//gemini:noalloc
+func constArg() {
+	sink(42)
+}
+
+// genericArg instantiates a type parameter: the constraint is an interface
+// but the argument is passed concretely, so nothing is boxed.
+//
+//gemini:noalloc
+func genericArg(xs []int) {
+	slices.Sort(xs)
+	clamp(xs[0], 0, 9)
+}
+
+func clamp[T int | float64](v, lo, hi T) T {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// coldError allocates only on the cold validation path, with the reason
+// recorded in the suppression.
+//
+//gemini:noalloc
+func coldError(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative: %d", n) //gemini:alloc-ok cold validation path, unreachable from the hot loop
+	}
+	return nil
+}
+
+// unannotated functions may allocate freely.
+func unannotated(n int) []int {
+	return make([]int, n)
+}
+
+func sink(v any) {
+	_ = v
+}

@@ -1,0 +1,72 @@
+// Package lockhygiene is analyzer testdata: callbacks and panics inside
+// non-deferred critical sections, in all the shapes the scheduler uses.
+package lockhygiene
+
+import "sync"
+
+type sched struct {
+	mu       sync.Mutex
+	rw       sync.RWMutex
+	onResult func(int)
+	n        int
+}
+
+// badCallback is the PR 6 OnResult deadlock shape: a user callback between
+// Lock and a plain Unlock, so a panicking callback leaves the lock held.
+func (s *sched) badCallback(v int) {
+	s.mu.Lock()
+	s.onResult(v) // want `callback s.onResult called between s.mu.Lock and non-deferred s.mu.Unlock`
+	s.mu.Unlock()
+}
+
+// goodDefer is the fix: the deferred unlock survives a callback panic.
+func (s *sched) goodDefer(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onResult(v)
+}
+
+// goodPlain holds the lock across plain field updates only: fine.
+func (s *sched) goodPlain() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// goodStatic calls a statically known method, which the analyzer trusts.
+func (s *sched) goodStatic() {
+	s.mu.Lock()
+	s.bump()
+	s.mu.Unlock()
+}
+
+func (s *sched) bump() { s.n++ }
+
+// badPanic panics inside the critical section.
+func (s *sched) badPanic() {
+	s.mu.Lock()
+	panic("boom") // want `panic between s.mu.Lock and non-deferred s.mu.Unlock`
+	s.mu.Unlock()
+}
+
+// badParam takes the callback as a parameter: still dynamic, still flagged.
+func badParam(mu *sync.Mutex, cb func()) {
+	mu.Lock()
+	cb() // want `callback cb called between mu.Lock and non-deferred mu.Unlock`
+	mu.Unlock()
+}
+
+// badRead shows the read-lock variant.
+func (s *sched) badRead(cb func() int) int {
+	s.rw.RLock()
+	v := cb() // want `callback cb called between s.rw.Lock and non-deferred s.rw.Unlock`
+	s.rw.RUnlock()
+	return v
+}
+
+// suppressed documents why holding the lock across the callback is safe.
+func (s *sched) suppressed(v int) {
+	s.mu.Lock()
+	s.onResult(v) //gemini:lock-ok callback contract forbids panics; defer measured too slow here
+	s.mu.Unlock()
+}

@@ -1,0 +1,63 @@
+// Shared AST/type helpers for the analyzers.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves a call's static callee, or nil for dynamic calls
+// (function values, callbacks) and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// calleePath returns the static callee's package path and name, or "", "".
+func calleePath(info *types.Info, call *ast.CallExpr) (pkg, name string) {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return "", ""
+	}
+	return f.Pkg().Path(), f.Name()
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// exprObject resolves an identifier (possibly parenthesized) to its object.
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// funcDecls yields every function declaration in the package.
+func funcDecls(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

@@ -2,6 +2,8 @@
 // topologies with dimension-ordered (XY) routing, D2D link identification at
 // chiplet boundaries, multicast tree accumulation, and per-link traffic
 // loads used by the evaluator and the Fig. 9 heatmaps.
+//
+//gemini:deterministic
 package noc
 
 import (

@@ -4,6 +4,9 @@
 // Layer groups are selected with probability proportional to their
 // optimization-space size, and each accepted move is evaluated through the
 // full Evaluator, so the search inherently minimizes costly D2D traffic.
+//
+//gemini:deterministic
+//gemini:documented
 package sa
 
 import (
@@ -95,6 +98,10 @@ type state struct {
 	feas   []bool
 }
 
+// cost folds the per-group energy/delay into the scalar SA objective. It
+// runs once per move, on the hot path.
+//
+//gemini:noalloc
 func (st *state) cost(beta, gamma float64) float64 {
 	var e, d float64
 	for i := range st.energy {
@@ -110,6 +117,10 @@ func (st *state) cost(beta, gamma float64) float64 {
 	return math.Pow(e, beta) * math.Pow(d, gamma)
 }
 
+// measure re-evaluates one group after a move and records the outcome in
+// the state's reused slices.
+//
+//gemini:noalloc
 func measure(ev *eval.Evaluator, s *core.Scheme, st *state, gi int) {
 	gr := ev.EvaluateGroup(s, gi)
 	st.feas[gi] = gr.Feasible

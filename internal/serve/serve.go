@@ -18,6 +18,9 @@
 // resumes from the checkpoint and recomputes none of the finished cells.
 // Concurrent sweeps are spread round-robin over the session pool and share
 // each session's evaluation cache through the existing sweep scheduler.
+//
+//gemini:deterministic-output
+//gemini:documented
 package serve
 
 import (

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI lint gate: `go vet` must produce no output at all (an output assertion,
+# not just an exit-code check: vet prints some findings without failing), and
+# the geminilint suite (internal/lint, docs/lint.md) must report zero
+# findings. Run from the repo root; exits non-zero on any finding.
+set -u
+
+echo "== go vet ./... =="
+vet_out=$(go vet ./... 2>&1)
+vet_rc=$?
+if [ "$vet_rc" -ne 0 ] || [ -n "$vet_out" ]; then
+    printf '%s\n' "$vet_out"
+    echo "lint.sh: FAIL — go vet produced output (asserted empty)"
+    exit 1
+fi
+
+echo "== geminilint ./... =="
+if ! go run ./cmd/geminilint ./...; then
+    echo "lint.sh: FAIL — geminilint reported findings (see docs/lint.md for suppression syntax)"
+    exit 1
+fi
+
+echo "lint.sh: clean"
