@@ -809,3 +809,158 @@ func BenchmarkDSESweepDiskWarm(b *testing.B) {
 		b.Fatalf("restarted session recomputed %d group evaluations, want 0", rst.Misses)
 	}
 }
+
+// --- Search engine v3 benchmarks (BENCH_8): racing restart allocation and
+// the per-cut bisection delay bound. ---
+
+// racingBench returns the racing workload: eight GArch72 variants spanning a
+// wide quality range (degraded NoC, D2D and DRAM bandwidth, doubled GLB),
+// pruning off so the only work-saver under test is the restart race itself.
+// Workers are pinned so the schedule does not depend on the host's core
+// count.
+func racingBench() ([]arch.Config, []*dnn.Graph, dse.Options) {
+	muts := []func(c *arch.Config){
+		func(c *arch.Config) {},
+		func(c *arch.Config) { c.NoCBW, c.D2DBW = 64, 32 },
+		func(c *arch.Config) { c.GLBPerCore *= 2 },
+		func(c *arch.Config) { c.DRAMBW /= 2 },
+		func(c *arch.Config) { c.DRAMBW /= 4 },
+		func(c *arch.Config) { c.NoCBW, c.D2DBW = 32, 16 },
+		func(c *arch.Config) { c.GLBPerCore *= 2; c.DRAMBW /= 2 },
+		func(c *arch.Config) { c.NoCBW, c.D2DBW = 64, 32; c.DRAMBW /= 2 },
+	}
+	var cands []arch.Config
+	for i, mut := range muts {
+		c := arch.GArch72()
+		mut(&c)
+		c.Name = fmt.Sprintf("%s-v%d", c.String(), i)
+		cands = append(cands, c)
+	}
+	opt := dse.DefaultOptions()
+	opt.Batch = 8
+	opt.SAIterations = 150
+	opt.MaxGroupLayers = 7
+	opt.BatchUnits = []int{1, 2}
+	opt.Restarts = 4
+	opt.Workers = 4
+	opt.Prune = false
+	return cands, []*dnn.Graph{dnn.TinyCNN()}, opt
+}
+
+// BenchmarkDSESweepRacing times the successive-halving sweep over the
+// racing workload and asserts the tentpole claim in-bench: the race spends
+// at least 1.5x fewer total SA iterations than its uniform twin while
+// finding the bit-identical best candidate (finalists run the full
+// portfolio width, so racing may only cheapen the losers). Both iteration
+// counts are reported; the bench-compare -racing-factor gate holds the
+// ratio.
+func BenchmarkDSESweepRacing(b *testing.B) {
+	cands, models, opt := racingBench()
+	opt.Racing = true
+	var best *dse.CandidateResult
+	var stats dse.SweepStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ses := dse.NewSession()
+		best = dse.Best(ses.Run(cands, models, opt))
+		if best == nil {
+			b.Fatal("no feasible candidate")
+		}
+		stats = ses.LastSweepStats()
+	}
+	b.StopTimer()
+	opt.Racing = false
+	ses := dse.NewSession()
+	want := dse.Best(ses.Run(cands, models, opt))
+	ustats := ses.LastSweepStats()
+	if want == nil || best.Obj != want.Obj || best.Cfg.Name != want.Cfg.Name {
+		b.Fatalf("racing best %s (%g) differs from uniform %s (%g): the race changed the winner",
+			best.Cfg.Name, best.Obj, want.Cfg.Name, want.Obj)
+	}
+	if float64(ustats.SAIterations) < 1.5*float64(stats.SAIterations) {
+		b.Fatalf("racing saved too little: %d SA iterations vs uniform %d (want >= 1.5x fewer)",
+			stats.SAIterations, ustats.SAIterations)
+	}
+	b.ReportMetric(float64(stats.SAIterations), "sa_iterations")
+	b.ReportMetric(float64(ustats.SAIterations), "uniform_sa_iterations")
+}
+
+// cutBoundBench returns the cut-bound pruning workload: two healthy
+// candidates plus four whose D2D links starve the chiplet bisection (the
+// aggregate link sum stays huge, so the compulsory bound cannot see the
+// choke point), under a single dominant-FC-weight model whose one explicit
+// weight flow must cross the bisection. Weak candidates come FIRST in grid
+// order; the bound dispatch order and pruning are on.
+func cutBoundBench(b *testing.B) ([]arch.Config, []*dnn.Graph, dse.Options) {
+	var cands []arch.Config
+	for _, bw := range []float64{1, 1.5, 2, 2.5} {
+		w := arch.GArch72()
+		w.D2DBW = bw
+		w.Name = w.String()
+		cands = append(cands, w)
+	}
+	strong := arch.GArch72()
+	glb := arch.GArch72()
+	glb.GLBPerCore *= 2
+	glb.Name = glb.String()
+	cands = append(cands, strong, glb)
+
+	bld := dnn.NewBuilder("bigfc")
+	in := bld.Input(1, 1, 8192)
+	bld.FC("fc", in, 8192)
+	g, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := dse.DefaultOptions()
+	opt.Batch = 8
+	opt.SAIterations = 150
+	opt.Restarts = 2
+	opt.Workers = 4
+	opt.Prune = true
+	opt.Order = dse.OrderBound
+	return cands, []*dnn.Graph{g}, opt
+}
+
+// benchCutBoundLevel runs the cut-bound workload at one bound level.
+func benchCutBoundLevel(b *testing.B, level dse.BoundLevel) (*dse.CandidateResult, dse.SweepStats) {
+	cands, models, opt := cutBoundBench(b)
+	opt.Bound = level
+	var best *dse.CandidateResult
+	var stats dse.SweepStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ses := dse.NewSession()
+		best = dse.Best(ses.Run(cands, models, opt))
+		if best == nil {
+			b.Fatal("no feasible candidate")
+		}
+		stats = ses.LastSweepStats()
+	}
+	b.StopTimer()
+	return best, stats
+}
+
+// BenchmarkDSESweepCutBound runs the D2D-starved sweep under the per-cut
+// bisection bound and asserts the tentpole claim in-bench: the cut bound
+// prunes strictly more multi-chiplet candidates than BoundCompulsory on the
+// identical sweep, and both find the bit-identical best. Both pruned counts
+// are reported; the bench-compare -cutbound-factor gate holds the gap.
+func BenchmarkDSESweepCutBound(b *testing.B) {
+	best, stats := benchCutBoundLevel(b, dse.BoundCut)
+	cands, models, opt := cutBoundBench(b)
+	opt.Bound = dse.BoundCompulsory
+	ses := dse.NewSession()
+	want := dse.Best(ses.Run(cands, models, opt))
+	cstats := ses.LastSweepStats()
+	if want == nil || best.Obj != want.Obj || best.Cfg.Name != want.Cfg.Name {
+		b.Fatalf("cut-bound sweep best %s (%g) differs from compulsory %s (%g): the cut bound is unsound",
+			best.Cfg.Name, best.Obj, want.Cfg.Name, want.Obj)
+	}
+	if stats.PrunedCandidates <= cstats.PrunedCandidates {
+		b.Fatalf("cut bound pruned %d candidates, compulsory pruned %d: the bisection floor bought nothing",
+			stats.PrunedCandidates, cstats.PrunedCandidates)
+	}
+	b.ReportMetric(float64(stats.PrunedCandidates), "pruned_candidates")
+	b.ReportMetric(float64(cstats.PrunedCandidates), "compulsory_pruned_candidates")
+}

@@ -21,11 +21,20 @@ import (
 	"sort"
 )
 
-// metrics is one benchmark's measured numbers.
+// metrics is one benchmark's measured numbers. The work-saved counters are
+// only present on the benchmarks that report them; zero means absent.
 type metrics struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// SAIterations / UniformSAIterations are the racing sweep's annealing
+	// spend and its uniform twin's (BenchmarkDSESweepRacing).
+	SAIterations        float64 `json:"sa_iterations"`
+	UniformSAIterations float64 `json:"uniform_sa_iterations"`
+	// PrunedCandidates / CompulsoryPruned are the cut-bound sweep's prune
+	// count and its compulsory-bound twin's (BenchmarkDSESweepCutBound).
+	PrunedCandidates float64 `json:"pruned_candidates"`
+	CompulsoryPruned float64 `json:"compulsory_pruned_candidates"`
 }
 
 // entry tolerates both the flat shape and the BENCH_N baseline/optimized
@@ -88,6 +97,8 @@ func main() {
 	tightBoundFactor := flag.Float64("tightbound-factor", 0, "required PR3-bound/tight-bound speedup of the weak-first sweep in the new report (0 disables); both come from the same run, so this check is machine-relative")
 	diskWarmFactor := flag.Float64("diskwarm-factor", 0, "max allowed disk-warm/in-process-warm slowdown of the session sweep in the new report (0 disables); both come from the same run, so this check is machine-relative")
 	hardenedFactor := flag.Float64("hardened-factor", 0, "max allowed hardened/tight-bound slowdown of the weak-first sweep in the new report (0 disables); both come from the same run, so this check is machine-relative")
+	racingFactor := flag.Float64("racing-factor", 0, "required uniform/racing SA-iteration ratio of the racing sweep in the new report (0 disables); both counts come from the same run and are deterministic")
+	cutBoundFactor := flag.Float64("cutbound-factor", 0, "required cut/compulsory pruned-candidate ratio of the cut-bound sweep in the new report (0 disables); the cut bound must also prune strictly more in absolute count")
 	only := flag.String("only", "", "regex restricting the per-benchmark regression checks (empty = all overlapping benchmarks); use for tight -max-regress gates that must skip benchmarks whose allocs depend on scheduling races")
 	flag.Parse()
 	if *newPath == "" {
@@ -229,6 +240,39 @@ func main() {
 			failed = true
 		default:
 			fmt.Printf("ok   hardened sweep within %.2fx of its fault-free twin (limit %.2fx)\n", hard.NsPerOp/tight.NsPerOp, *hardenedFactor)
+		}
+	}
+
+	if *racingFactor > 0 {
+		race, ok := newB["BenchmarkDSESweepRacing"]
+		switch {
+		case !ok || race.SAIterations == 0 || race.UniformSAIterations == 0:
+			fmt.Printf("FAIL racing check: BenchmarkDSESweepRacing iteration counters missing from %s\n", *newPath)
+			failed = true
+		case race.UniformSAIterations < *racingFactor*race.SAIterations:
+			fmt.Printf("FAIL racing sweep saved %.2fx SA iterations < required %.2fx (racing %g, uniform %g)\n",
+				race.UniformSAIterations/race.SAIterations, *racingFactor, race.SAIterations, race.UniformSAIterations)
+			failed = true
+		default:
+			fmt.Printf("ok   racing sweep spends %.2fx fewer SA iterations than uniform (>= %.2fx)\n",
+				race.UniformSAIterations/race.SAIterations, *racingFactor)
+		}
+	}
+
+	if *cutBoundFactor > 0 {
+		cut, ok := newB["BenchmarkDSESweepCutBound"]
+		switch {
+		case !ok || cut.PrunedCandidates == 0:
+			fmt.Printf("FAIL cut-bound check: BenchmarkDSESweepCutBound prune counters missing from %s\n", *newPath)
+			failed = true
+		case cut.PrunedCandidates <= cut.CompulsoryPruned ||
+			cut.PrunedCandidates < *cutBoundFactor*cut.CompulsoryPruned:
+			fmt.Printf("FAIL cut bound pruned %g candidates vs compulsory %g (want strictly more and >= %.2fx)\n",
+				cut.PrunedCandidates, cut.CompulsoryPruned, *cutBoundFactor)
+			failed = true
+		default:
+			fmt.Printf("ok   cut bound pruned %g candidates vs compulsory %g (strictly more, >= %.2fx)\n",
+				cut.PrunedCandidates, cut.CompulsoryPruned, *cutBoundFactor)
 		}
 	}
 

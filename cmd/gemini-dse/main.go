@@ -38,13 +38,15 @@ func main() {
 	saIters := flag.Int("sa", 600, "SA iterations per candidate/model mapping")
 	restarts := flag.Int("restarts", 1, "SA portfolio width per (candidate, model) cell")
 	patience := flag.Int("patience", 0, "stop a cell's SA portfolio after N consecutive non-improving restarts (0 = always run all restarts)")
+	racing := flag.Bool("racing", false, "allocate restarts by successive halving: every candidate gets one exploratory restart, then the budget doubles for the best half each rung until only finalists run the full portfolio (forces -patience off; the winner is identical to the uniform sweep's)")
+	racingKeep := flag.Float64("racing-keep", 0, "fraction of candidates promoted per racing rung, inside (0, 1); 0 = the engine default of 1/2")
 	order := flag.String("order", "bound", "candidate dispatch order: bound (ascending objective lower bound, tightens the pruning incumbent early) or grid (enumeration order)")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	alpha := flag.Float64("alpha", 1, "MC exponent of the objective")
 	beta := flag.Float64("beta", 1, "energy exponent of the objective")
 	gamma := flag.Float64("gamma", 1, "delay exponent of the objective")
 	prune := flag.Bool("prune", false, "skip candidates whose objective lower bound exceeds the best seen (decisions are logged)")
-	bound := flag.String("bound", "compulsory", "lower-bound formulation for pruning/ordering: compulsory (compute + DRAM + compulsory activation/interconnect traffic) or compute-dram (the legacy compute+weight bound)")
+	bound := flag.String("bound", "compulsory", "lower-bound formulation for pruning/ordering: compulsory (compute + DRAM + compulsory activation/interconnect traffic), cut (compulsory plus a per-cut bisection-bandwidth delay floor over the NoC/D2D link graph) or compute-dram (the legacy compute+weight bound)")
 	abandonEvery := flag.Int("abandon-every", 0, "in-loop abandonment stride: dominated cells stop mid-anneal after this many SA iterations (0 = engine default of 32, negative = between-restart checks only)")
 	cacheDir := flag.String("cache-dir", "", "evaluation-cache spill directory: warm group evaluations from a previous process and re-save as the sweep runs")
 	retry := flag.Int("retry", 0, "retry a (candidate, model) cell up to N times after a transient failure (panic, timeout, transient I/O); 0 disables retry")
@@ -86,6 +88,11 @@ func main() {
 	opt.SAIterations = *saIters
 	opt.Restarts = *restarts
 	opt.Patience = *patience
+	opt.Racing = *racing
+	opt.RacingKeep = *racingKeep
+	if *racingKeep != 0 && (*racingKeep <= 0 || *racingKeep >= 1) {
+		log.Fatalf("-racing-keep %v outside (0, 1)", *racingKeep)
+	}
 	opt.Workers = *workers
 	opt.Objective = dse.Objective{Alpha: *alpha, Beta: *beta, Gamma: *gamma}
 	opt.Prune = *prune
@@ -96,10 +103,12 @@ func main() {
 	switch *bound {
 	case "compulsory":
 		opt.Bound = dse.BoundCompulsory
+	case "cut":
+		opt.Bound = dse.BoundCut
 	case "compute-dram":
 		opt.Bound = dse.BoundComputeDRAM
 	default:
-		log.Fatalf("unsupported -bound %q (want compulsory or compute-dram)", *bound)
+		log.Fatalf("unsupported -bound %q (want compulsory, cut or compute-dram)", *bound)
 	}
 	switch *order {
 	case "bound":
@@ -173,6 +182,13 @@ func main() {
 		if ss.LastPersistenceError != "" {
 			fmt.Printf("  last persistence error: %s\n", ss.LastPersistenceError)
 		}
+	}
+	if ss.Racing {
+		fmt.Print("racing rungs (budget: candidates -> survivors):")
+		for _, r := range ss.Rungs {
+			fmt.Printf("  %d: %d -> %d", r.Budget, r.Candidates, r.Survivors)
+		}
+		fmt.Println()
 	}
 	if len(ss.Trajectory) > 0 {
 		fmt.Print("incumbent trajectory:")

@@ -37,6 +37,13 @@ const (
 	// benchmark suite can quantify the compulsory-traffic gain and so sweeps
 	// can be replayed against the historical schedule.
 	BoundComputeDRAM BoundLevel = "compute-dram"
+	// BoundCut adds the per-cut bisection delay floor on top of the full
+	// compulsory-traffic bound: for every chiplet-level bisection of the mesh
+	// it charges the narrowest sustained path each explicit DRAM flow can
+	// take — across the cut when interleaved, through a single controller
+	// when pinned — instead of only the aggregate link-bandwidth sum. See
+	// cutFloor for the soundness argument.
+	BoundCut BoundLevel = "cut"
 )
 
 // modelDemand aggregates the per-sample compulsory quantities of one DNN.
@@ -49,6 +56,14 @@ type modelDemand struct {
 
 	weightBytes      float64   // total stationary weight bytes
 	layerWeightBytes []float64 // per-layer weight bytes (capacity streaming)
+
+	// layerExtReadBytes / layerOutWriteBytes split extReadBytes and
+	// outWriteBytes per layer. Each explicit flow-of-data channel (a layer's
+	// IF, WGT or OF entry) is a single FD value, so the per-cut bisection
+	// floor needs per-layer — not aggregate — volumes: the adversary choice
+	// interleave-vs-pin is made once per channel, for all of its bytes.
+	layerExtReadBytes  []float64
+	layerOutWriteBytes []float64
 
 	// ofmapBytes is the total output bytes every layer produces per sample.
 	// The intra-core engine charges at least OutBytes of GLB traffic per
@@ -107,7 +122,11 @@ func demandFor(g *dnn.Graph) *modelDemand {
 }
 
 func computeDemand(g *dnn.Graph) *modelDemand {
-	d := &modelDemand{layerWeightBytes: make([]float64, len(g.Layers))}
+	d := &modelDemand{
+		layerWeightBytes:   make([]float64, len(g.Layers)),
+		layerExtReadBytes:  make([]float64, len(g.Layers)),
+		layerOutWriteBytes: make([]float64, len(g.Layers)),
+	}
 	cons := g.Consumers()
 	for _, l := range g.Layers {
 		d.macs += float64(l.MACs())
@@ -118,11 +137,14 @@ func computeDemand(g *dnn.Graph) *modelDemand {
 		ofb := float64(l.OfmapVol()) * dnn.ElemBytes
 		d.ofmapBytes += ofb
 		if len(cons[l.ID]) == 0 {
+			d.layerOutWriteBytes[l.ID] = ofb
 			d.outWriteBytes += ofb
 		}
 		for _, in := range l.Inputs {
 			if in.Src == dnn.ExternalInput {
-				d.extReadBytes += float64(edgeMinVol(l, in, l.IH(), l.IW(), l.IC)) * dnn.ElemBytes
+				eb := float64(edgeMinVol(l, in, l.IH(), l.IW(), l.IC)) * dnn.ElemBytes
+				d.layerExtReadBytes[l.ID] += eb
+				d.extReadBytes += eb
 			} else {
 				pl := g.Layer(in.Src)
 				d.interBytes += float64(edgeMinVol(l, in, pl.OH, pl.OW, pl.OK)) * dnn.ElemBytes
@@ -270,6 +292,11 @@ func minPasses(opt Options) int {
 //     and a sum of per-pass maxima is at least the total load over the total
 //     bandwidth, so delay >= (dram + inter) / (DRAMBW + LinkBWSum).
 //
+// The BoundCut level keeps every BoundCompulsory term and additionally
+// floors delay by the per-cut bisection rate of the largest explicit DRAM
+// flow (see cutFloor), which tightens the delay bound on multi-chiplet
+// meshes whose narrow cuts — not the aggregate link sum — gate traffic.
+//
 // Every term only charges costs the evaluator actually charges and never
 // more of them than any reachable scheme incurs, so the bound can never
 // exclude the true optimum.
@@ -325,8 +352,123 @@ func lowerBoundED(cfg *arch.Config, g *dnn.Graph, p *eval.Params, opt Options) (
 				dLB = t
 			}
 		}
+		if opt.Bound == BoundCut {
+			if t := cutFloor(cfg, d, batch, minPasses(opt)); t > dLB {
+				dLB = t
+			}
+		}
 	}
 	return eLB, dLB
+}
+
+// cutFloor is the per-cut bisection delay floor of BoundCut: the largest
+// compulsory volume any single explicit flow-of-data channel must move,
+// times the worst per-byte rate the flow cannot escape.
+//
+// Soundness. Every explicit DRAM flow of a reachable scheme — a layer's
+// weight reads (FD.WGT), external-input reads (FD.IF) or graph-output
+// write-backs (FD.OF) — carries one FD value for all of its bytes
+// (core.MS holds a single FD per layer; core/parse.go's fdCtrl maps it to
+// the controller argument of every noc.Traffic call the analyzer emits for
+// that channel). The value leaves exactly two regimes, and the evaluator's
+// BottleneckTime charges a provable floor in each:
+//
+//   - Pinned (FD = specific controller c): every byte of the channel is
+//     read from / written to controller c, whose service bandwidth is
+//     DRAMBW/d (noc.Traffic.BottleneckTime divides DRAMBW evenly over the
+//     d controllers). Summing the per-pass controller maxima over the run,
+//     delay >= vol * d / DRAMBW.
+//
+//   - Interleaved (FD = FDInterleave): the bytes split evenly over all d
+//     controllers (noc's ctrl < 0 path), so for any chiplet bisection the
+//     controllers attached wholly on the far side of a byte's endpoint core
+//     carry their 1/d shares across the cut — the mesh is connected only
+//     through the cut's link set, so every port-to-core route of those
+//     shares loads at least one crossing link (multicast trees load each
+//     crossing link once with the full share, which is >= the one-crossing
+//     charge). With nA/nB controllers wholly on either side, at least
+//     min(nA, nB)/d of the channel's volume loads the cut every pass
+//     (whichever side the endpoint cores are on, the opposite side holds
+//     >= min(nA, nB) whole controllers; straddling controllers are counted
+//     on neither side and charge nothing). The per-pass delay is at least
+//     the cut's total load over its total bandwidth (a weighted mean never
+//     exceeds the per-link maximum BottleneckTime takes), and the per-pass
+//     inequality sums over passes, so delay >= vol * min(nA,nB)/d / cutBW.
+//     Interleaved bytes cross every bisection simultaneously, so the max
+//     over cuts applies.
+//
+// The mapping chooses the regime, so only min(pinned rate, interleaved
+// rate) is compulsory — and per-channel volumes cannot be summed, because
+// distinct channels can pin to distinct controllers and overlap in time, so
+// the floor takes the max over channels. Channel volumes are themselves
+// compulsory: weights are read at least once plus the GLB-capacity
+// streaming excess on every extra pass (same invariants as the aggregate
+// DRAM floor above), and external reads / output write-backs are emitted
+// every pass with pass-count times batch-unit covering the batch. A
+// monolithic chip has no bisection and the floor is zero; so is a cut whose
+// controllers all straddle it (min(nA, nB) = 0).
+func cutFloor(cfg *arch.Config, d *modelDemand, batch float64, pm int) float64 {
+	cuts := noc.ChipletCuts(cfg)
+	if len(cuts) == 0 {
+		return 0
+	}
+	ports := cfg.DRAMPorts()
+	dn := len(ports)
+	intRate := 0.0 // s per byte (x 1e9), best over cuts
+	for _, c := range cuts {
+		if c.BW <= 0 {
+			continue
+		}
+		var whole [2]int
+		for _, p := range ports {
+			side := c.SideOf(cfg, p.Cores[0])
+			wholeSide := true
+			for _, pc := range p.Cores[1:] {
+				if c.SideOf(cfg, pc) != side {
+					wholeSide = false
+					break
+				}
+			}
+			if wholeSide {
+				whole[side]++
+			}
+		}
+		m := whole[0]
+		if whole[1] < m {
+			m = whole[1]
+		}
+		if m == 0 {
+			continue
+		}
+		if r := float64(m) / float64(dn) / c.BW; r > intRate {
+			intRate = r
+		}
+	}
+	if intRate == 0 {
+		return 0
+	}
+	rate := intRate
+	if pin := float64(dn) / cfg.DRAMBW; pin < rate {
+		rate = pin
+	}
+	agg := float64(cfg.Cores()) * float64(cfg.GLBPerCore)
+	maxVol := 0.0
+	for id, wb := range d.layerWeightBytes {
+		v := wb
+		if pm > 1 && wb > agg {
+			v += float64(pm-1) * (wb - agg)
+		}
+		if e := d.layerExtReadBytes[id] * batch; e > v {
+			v = e
+		}
+		if o := d.layerOutWriteBytes[id] * batch; o > v {
+			v = o
+		}
+		if v > maxVol {
+			maxVol = v
+		}
+	}
+	return maxVol * rate / 1e9
 }
 
 // boundParams resolves the technology constants the lower bounds use:

@@ -90,6 +90,21 @@ func TestBoundSoundnessRandomized(t *testing.T) {
 			t.Errorf("%s/%s: compulsory bound (%v, %v) below compute-dram bound (%v, %v)",
 				cfg.Name, g.Name, eLB, dLB, e1, d1)
 		}
+		// The v3 per-cut bisection bound must also stay below the achieved
+		// outcome, and dominate the compulsory bound it extends.
+		v3 := opt
+		v3.Bound = BoundCut
+		e3, d3 := lowerBoundED(&cfg, g, &p, v3)
+		if e3 > mr.Energy {
+			t.Errorf("%s/%s: cut energy bound %v exceeds achieved %v", cfg.Name, g.Name, e3, mr.Energy)
+		}
+		if d3 > mr.Delay {
+			t.Errorf("%s/%s: cut delay bound %v exceeds achieved %v", cfg.Name, g.Name, d3, mr.Delay)
+		}
+		if e3 < eLB || d3 < dLB {
+			t.Errorf("%s/%s: cut bound (%v, %v) below compulsory bound (%v, %v)",
+				cfg.Name, g.Name, e3, d3, eLB, dLB)
+		}
 	}
 	if checked == 0 {
 		t.Fatal("no feasible pair was checked; the property test is vacuous")
@@ -167,6 +182,44 @@ func TestCoveredDim(t *testing.T) {
 		if got != want {
 			t.Errorf("coveredDim%v = %d, want %d", c, got, want)
 		}
+	}
+}
+
+// TestBoundCutTightensOnStarvedD2D: on a multi-chiplet candidate whose
+// bisection bandwidth is far below the aggregate link sum, a model with one
+// dominant weight channel must get a strictly tighter delay floor from the
+// per-cut bound than from the compulsory aggregate — that gap is what the
+// BenchmarkDSESweepCutBound pruning gate measures — while still bounding
+// the real mapped outcome from below.
+func TestBoundCutTightensOnStarvedD2D(t *testing.T) {
+	cfg := arch.GArch72()
+	cfg.D2DBW = 1 // 12 GB/s bisection vs 144 GB/s DRAM + ~3.8 TB/s link sum
+	cfg.Name = cfg.String()
+	b := dnn.NewBuilder("bigfc")
+	in := b.Input(1, 1, 8192)
+	b.FC("fc", in, 8192) // 64 MB: one dominant explicit weight flow
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := eval.DefaultParams()
+	opt := testOptions()
+	v3 := opt
+	v3.Bound = BoundCut
+	e2, d2 := lowerBoundED(&cfg, g, &p, opt)
+	e3, d3 := lowerBoundED(&cfg, g, &p, v3)
+	if d3 <= d2 {
+		t.Errorf("cut delay bound did not tighten: v3 %v <= v2 %v", d3, d2)
+	}
+	if e3 != e2 {
+		t.Errorf("cut bound changed the energy floor: v3 %v vs v2 %v", e3, e2)
+	}
+	mr, err := MapModel(&cfg, g, opt)
+	if err != nil {
+		t.Fatalf("dominant-FC model unexpectedly unmappable: %v", err)
+	}
+	if d3 > mr.Delay {
+		t.Fatalf("cut bound %v exceeds achieved delay %v", d3, mr.Delay)
 	}
 }
 

@@ -118,11 +118,11 @@ func TestOptsFingerprintExcludesFaultFields(t *testing.T) {
 // stats — and is never checkpointed.
 func TestPanicSurfacesAsTypedCellError(t *testing.T) {
 	orig := mapModelFn
-	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool) (*MapResult, error) {
+	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool, from, to int) (*MapResult, error) {
 		if cfg.Name == "panicky-arch" {
 			panic("mapper bug")
 		}
-		return orig(ev, cfg, g, o, stop)
+		return orig(ev, cfg, g, o, stop, from, to)
 	}
 	defer func() { mapModelFn = orig }()
 

@@ -72,6 +72,32 @@ type Options struct {
 	// value >= Restarts) runs the full fixed schedule, bit-identical to the
 	// pre-adaptive engine.
 	Patience int
+	// Racing switches restart allocation from uniform (every cell runs the
+	// full Restarts-wide portfolio) to successive halving across candidates:
+	// the scheduler dispatches one cheap exploratory restart per surviving
+	// candidate, ranks candidates by their best-so-far objective against the
+	// live incumbent, promotes only the top RacingKeep fraction to the next
+	// rung with a doubled restart budget, and repeats until the budget
+	// concentrates on the finalists at the full Restarts width. Every cell a
+	// rung settles is a prefix of the same derived-seed portfolio a uniform
+	// sweep would run, so racing only re-allocates restart budget across
+	// candidates — it never changes which seeds a given restart index uses.
+	// That is why Racing is excluded from the checkpoint cell fingerprint:
+	// checkpointed cells re-enter at the rung their settled restart count
+	// implies, and a finalist's cell is bit-identical to the uniform sweep's.
+	// Racing forces Patience off (rung widths are the adaptive schedule) and
+	// is off by default, leaving sweeps bit-identical to the uniform engine.
+	Racing bool `json:"racing,omitempty"`
+	// RacingKeep is the fraction of surviving candidates promoted at each
+	// racing rung, in (0, 1); a rung always promotes at least one candidate.
+	// 0 (the zero value) uses the default 1/2. Like Racing it only
+	// re-allocates restart budget, so it is excluded from the checkpoint
+	// fingerprint.
+	RacingKeep float64 `json:"racing_keep,omitempty"`
+	// OnRung, when set, streams one RungStats record as each racing rung
+	// completes (no calls unless Racing is on). Calls are serialized in rung
+	// order. Purely observational — excluded from the checkpoint fingerprint.
+	OnRung func(RungStats) `json:"-"`
 	// AbandonEvery controls in-loop abandonment: with pruning active, every
 	// cell's SA search polls the scheduler's live incumbent on this
 	// iteration stride and walks away mid-anneal once its candidate is
@@ -165,9 +191,11 @@ type MapResult struct {
 	AvgLayersPerGroup float64
 
 	// Restarts and BestRestart describe the SA portfolio that produced this
-	// result (1/0 for a single-seed run). Restarts counts the restarts that
-	// actually ran; SkippedRestarts counts planned restarts that portfolio
-	// patience stopped early (0 for fixed schedules and restored cells).
+	// result (1/0 for a single-seed run). Restarts counts the cumulative
+	// portfolio width settled so far — restarts that actually ran, plus the
+	// checkpointed prefix when a cell was widened incrementally;
+	// SkippedRestarts counts planned restarts that portfolio patience
+	// stopped early (0 for fixed schedules and restored cells).
 	Restarts        int
 	BestRestart     int
 	SkippedRestarts int
@@ -202,11 +230,32 @@ func MapModel(cfg *arch.Config, g *dnn.Graph, opt Options) (*MapResult, error) {
 	return mapModelEval(eval.New(cfg), cfg, g, opt, nil)
 }
 
+// effectiveRestarts is the settled portfolio width opt implies (Restarts
+// clamped to >= 1, exactly as the portfolio layer clamps it).
+func effectiveRestarts(opt Options) int {
+	if opt.Restarts < 1 {
+		return 1
+	}
+	return opt.Restarts
+}
+
 // mapModelEval is MapModel on a caller-supplied evaluator, so sessions can
 // reuse warm evaluators (route tables, intra-core memo, shared group cache)
 // across candidates and runs. stop, when non-nil, is polled between SA
 // restarts; if it fires, the cell is abandoned with an abandonedError.
 func mapModelEval(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, opt Options, stop func() bool) (*MapResult, error) {
+	return mapModelRange(ev, cfg, g, opt, stop, 0, effectiveRestarts(opt))
+}
+
+// mapModelRange is mapModelEval restricted to the restart window [from, to)
+// of the portfolio opt defines. Restart i always anneals with the same
+// derived seed regardless of the window, so the session layer can widen a
+// checkpointed cell incrementally: folding a stored prefix [0, from) with a
+// fresh window [from, to) is bit-identical to one [0, to) run (the racing
+// rungs and checkpoint re-entry rely on this). MapResult.Restarts reports
+// the cumulative width from + restarts-run, and BestRestart is the absolute
+// winning restart index within the window.
+func mapModelRange(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, opt Options, stop func() bool, from, to int) (*MapResult, error) {
 	gp := graphpart.DefaultOptions()
 	gp.Beta, gp.Gamma = opt.Objective.Beta, opt.Objective.Gamma
 	if opt.MaxGroupLayers > 0 {
@@ -233,7 +282,7 @@ func mapModelEval(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, opt Option
 		so.Dominated = func(float64) bool { return stop() }
 		so.CheckEvery = opt.AbandonEvery
 	}
-	pf := sa.MultiStartAdaptive(part.Scheme, ev, so, opt.Restarts,
+	pf := sa.MultiStartRange(part.Scheme, ev, so, from, to,
 		sa.AdaptiveOptions{Patience: activePatience(opt), Stop: stop})
 	if pf.Panic != nil {
 		// A panicked restart poisons the whole portfolio: folding only the
@@ -261,7 +310,7 @@ func mapModelEval(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, opt Option
 		SA:                res,
 		Groups:            len(res.Scheme.Groups),
 		AvgLayersPerGroup: eval.AvgLayersPerGroup(res.Scheme),
-		Restarts:          len(pf.Costs),
+		Restarts:          from + len(pf.Costs),
 		BestRestart:       pf.BestRestart,
 		SkippedRestarts:   pf.Skipped(),
 		SAIterations:      pf.Iterations,

@@ -40,6 +40,23 @@ const (
 	OrderBound SweepOrder = "bound"
 )
 
+// RungStats records one completed rung of a racing (successive-halving)
+// sweep: how many candidates entered, the cumulative per-cell restart width
+// the rung settled, and how many candidates were promoted to the next rung
+// (on the final rung, how many finished as finalists).
+type RungStats struct {
+	// Rung is the rung index; rung 0 is the cheap exploratory rung.
+	Rung int `json:"rung"`
+	// Budget is the cumulative per-cell restart width this rung settled.
+	Budget int `json:"budget"`
+	// Candidates is how many surviving candidates entered the rung.
+	Candidates int `json:"candidates"`
+	// Survivors is how many candidates the rung promoted (or, on the final
+	// rung, finished at the full width). Candidates the bound gate pruned
+	// mid-rung count in neither number of the next rung.
+	Survivors int `json:"survivors"`
+}
+
 // IncumbentStep is one tightening of the pruning incumbent during a sweep.
 type IncumbentStep struct {
 	// Candidate names the feasible candidate that improved the incumbent;
@@ -102,6 +119,11 @@ type SweepStats struct {
 	// LastPersistenceError is the most recent failure.
 	PersistenceDegraded  bool
 	LastPersistenceError string
+
+	// Racing reports the sweep allocated restarts by successive halving
+	// across candidates; Rungs then records every completed rung in order.
+	Racing bool
+	Rungs  []RungStats
 
 	// SeededIncumbent is the incumbent value restored from checkpointed
 	// cells before the first task ran (+Inf when nothing seeded).
@@ -180,6 +202,10 @@ type scheduler struct {
 	states []*candState
 	order  []int // candidate dispatch order
 
+	// rungs collects the racing rung records; runRacing appends between
+	// rung barriers, so no lock is needed until publishStats copies it.
+	rungs []RungStats
+
 	seeded    float64
 	resumed   atomic.Int64
 	pruned    atomic.Int64
@@ -207,6 +233,13 @@ func (sc *scheduler) notePanic(where, stack string) {
 // newScheduler computes per-candidate bounds, fixes the dispatch order and
 // seeds the incumbent from checkpointed cells.
 func (s *Session) newScheduler(ctx context.Context, cands []arch.Config, models []*dnn.Graph, opt Options) *scheduler {
+	if opt.Racing {
+		// Racing is the adaptive schedule: rung widths replace portfolio
+		// patience. Normalizing it away here keeps the cell fingerprint
+		// identical to the plain uniform sweep's, so racing and uniform
+		// sweeps extend each other's checkpointed cells.
+		opt.Patience = 0
+	}
 	sc := &scheduler{
 		ses:    s,
 		ctx:    ctx,
@@ -428,13 +461,13 @@ func (sc *scheduler) run() []CandidateResult {
 		return results
 	}
 
-	workers := sc.opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if sc.opt.Racing {
+		sc.runRacing(nm, per, finish)
+		sc.publishStats()
+		return results
 	}
-	if workers > total {
-		workers = total
-	}
+
+	workers := sc.workerCount(total)
 	tasks := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -442,7 +475,7 @@ func (sc *scheduler) run() []CandidateResult {
 		go func() {
 			defer wg.Done()
 			for k := range tasks {
-				sc.runTaskGuarded(k, nm, per)
+				sc.runTaskGuarded(k, nm, per, effectiveRestarts(sc.opt), true)
 				if sc.states[k/nm].remaining.Add(-1) == 0 {
 					finish(k / nm)
 				}
@@ -463,12 +496,177 @@ func (sc *scheduler) run() []CandidateResult {
 	return results
 }
 
+func (sc *scheduler) workerCount(tasks int) int {
+	workers := sc.opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+	return workers
+}
+
+// racingBudgets is the successive-halving rung schedule for full portfolio
+// width r: cumulative per-cell restart widths 1, 2, 4, ... terminated at r.
+func racingBudgets(r int) []int {
+	var b []int
+	for w := 1; w < r; w *= 2 {
+		b = append(b, w)
+	}
+	return append(b, r)
+}
+
+// runRacing executes the sweep as a successive-halving race: every surviving
+// candidate's cells are settled at the rung's cumulative restart width (a
+// checkpointed or earlier-rung cell re-enters at its stored width and runs
+// only the missing restart window), the candidates are ranked by their
+// folded objective against each other, and only the top RacingKeep fraction
+// is promoted to the next, twice-as-wide rung. A rung-b outcome is a real
+// achieved mapping, so it both feeds the pruning incumbent and stands as an
+// eliminated candidate's final (partial-width, never Pruned) result.
+// Finalists end at the full width, bit-identical to the uniform sweep's
+// result for the same candidate.
+func (sc *scheduler) runRacing(nm int, per [][]pairOutcome, finish func(ci int)) {
+	keep := sc.opt.RacingKeep
+	if keep <= 0 || keep >= 1 {
+		keep = 0.5
+	}
+	finished := make([]bool, len(sc.cands))
+	emit := func(ci int) {
+		if !finished[ci] {
+			finished[ci] = true
+			finish(ci)
+		}
+	}
+	surviving := append([]int(nil), sc.order...)
+	budgets := racingBudgets(effectiveRestarts(sc.opt))
+	for r, budget := range budgets {
+		entered := len(surviving)
+		sc.dispatchRung(surviving, nm, per, budget, r == 0)
+
+		// Candidates the bound gate pruned mid-rung are decided: emit their
+		// Pruned rows and drop them from the race.
+		alive := make([]int, 0, len(surviving))
+		for _, ci := range surviving {
+			if sc.states[ci].pruned.Load() {
+				emit(ci)
+				continue
+			}
+			alive = append(alive, ci)
+		}
+
+		// Rank the rung by each survivor's folded objective at the current
+		// width — an achieved value, so feasible ones also tighten the
+		// incumbent. Infeasible and errored candidates rank +Inf and are
+		// eliminated first; ties break by candidate name, then dispatch
+		// order, so the promotion is deterministic.
+		type rank struct {
+			ci  int
+			obj float64
+		}
+		ranked := make([]rank, 0, len(alive))
+		for _, ci := range alive {
+			cr := reduceCandidate(&sc.cands[ci], per[ci], sc.models, sc.mce, sc.opt)
+			obj := math.Inf(1)
+			if cr.Feasible {
+				obj = cr.Obj
+				sc.inc.note(cr.Cfg.Name, cr.Obj)
+			}
+			ranked = append(ranked, rank{ci, obj})
+		}
+		sort.SliceStable(ranked, func(a, b int) bool {
+			if ranked[a].obj != ranked[b].obj {
+				return ranked[a].obj < ranked[b].obj
+			}
+			return sc.cands[ranked[a].ci].Name < sc.cands[ranked[b].ci].Name
+		})
+
+		promoted := len(ranked)
+		if r < len(budgets)-1 {
+			promoted = int(math.Ceil(keep * float64(len(ranked))))
+			if promoted < 1 {
+				promoted = 1
+			}
+			if promoted > len(ranked) {
+				promoted = len(ranked)
+			}
+		}
+		rs := RungStats{Rung: r, Budget: budget, Candidates: entered, Survivors: promoted}
+		sc.rungs = append(sc.rungs, rs)
+		if sc.opt.OnRung != nil {
+			sc.onRungGuarded(rs)
+		}
+		surviving = surviving[:0]
+		for i, rk := range ranked {
+			if i < promoted {
+				surviving = append(surviving, rk.ci)
+				continue
+			}
+			// Eliminated: the candidate's partial-width outcome is its real
+			// result — finish reduces it normally, never as Pruned.
+			emit(rk.ci)
+		}
+		if len(surviving) == 0 {
+			break
+		}
+	}
+	// Finalists — and, after a canceled sweep, whatever the race never
+	// decided — emit with the cells they settled.
+	for ci := range sc.cands {
+		emit(ci)
+	}
+}
+
+// onRungGuarded shields the race loop from a panicking OnRung observer, the
+// same way finish shields reduceCandidate's callback path.
+func (sc *scheduler) onRungGuarded(rs RungStats) {
+	defer func() {
+		if v := recover(); v != nil {
+			sc.panics.Add(1)
+			sc.notePanic(fmt.Sprintf("OnRung callback (rung %d)", rs.Rung),
+				fmt.Sprintf("%v\n%s", v, debug.Stack()))
+		}
+	}()
+	sc.opt.OnRung(rs)
+}
+
+// dispatchRung settles every (surviving candidate, model) cell at the rung's
+// cumulative width on a fresh worker pool and barriers on completion.
+// countRestores is true only on rung 0: a cell checkpointed at full width
+// restores verbatim on every rung it touches, and counting each rung would
+// inflate ResumedCells.
+func (sc *scheduler) dispatchRung(surviving []int, nm int, per [][]pairOutcome, target int, countRestores bool) {
+	total := len(surviving) * nm
+	if total == 0 {
+		return
+	}
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < sc.workerCount(total); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range tasks {
+				sc.runTaskGuarded(k, nm, per, target, countRestores)
+			}
+		}()
+	}
+	for _, ci := range surviving {
+		for mi := 0; mi < nm; mi++ {
+			tasks <- ci*nm + mi
+		}
+	}
+	close(tasks)
+	wg.Wait()
+}
+
 // runTaskGuarded is the worker-level panic backstop. The mapping pipeline
 // itself is already recovered inside the cell attempt, but the scheduler's
 // own cell bookkeeping (bound math, checkpoint peeks) runs outside it; a
 // panic there records a typed CellError on the cell and keeps the worker —
 // and with it the sweep and the serving process — alive.
-func (sc *scheduler) runTaskGuarded(k, nm int, per [][]pairOutcome) {
+func (sc *scheduler) runTaskGuarded(k, nm int, per [][]pairOutcome, target int, countRestores bool) {
 	defer func() {
 		if v := recover(); v != nil {
 			ci, mi := k/nm, k%nm
@@ -481,12 +679,14 @@ func (sc *scheduler) runTaskGuarded(k, nm int, per [][]pairOutcome) {
 			sc.notePanic("scheduler task", fmt.Sprintf("%v\n%s", ce.Err, ce.Stack))
 		}
 	}()
-	sc.runTask(k, nm, per)
+	sc.runTask(k, nm, per, target, countRestores)
 }
 
 // runTask executes one (candidate, model) cell under the live bound gate
-// and the sweep context.
-func (sc *scheduler) runTask(k, nm int, per [][]pairOutcome) {
+// and the sweep context, settling it at the cumulative portfolio width
+// target (the full Restarts for uniform sweeps, the rung budget under
+// racing).
+func (sc *scheduler) runTask(k, nm int, per [][]pairOutcome, target int, countRestores bool) {
 	ci, mi := k/nm, k%nm
 	st := sc.states[ci]
 	key := cellKey(eval.ConfigFingerprint(&sc.cands[ci]), sc.models[mi].Name, sc.optFP)
@@ -522,7 +722,7 @@ func (sc *scheduler) runTask(k, nm int, per [][]pairOutcome) {
 		}
 		return gated && st.lb > sc.inc.get()
 	}
-	out := sc.ses.runCell(&sc.cands[ci], sc.models[mi], sc.opt, key, stop)
+	out := sc.ses.runCellTarget(&sc.cands[ci], sc.models[mi], sc.opt, key, stop, target)
 	sc.saIters.Add(int64(out.saIterations))
 	sc.retries.Add(int64(out.retries))
 	sc.panics.Add(int64(out.panics))
@@ -545,7 +745,7 @@ func (sc *scheduler) runTask(k, nm int, per [][]pairOutcome) {
 		sc.markPruned(ci, sc.inc.get())
 		return
 	}
-	if out.restored {
+	if out.restored && countRestores {
 		sc.resumed.Add(1)
 	}
 	sc.skipped.Add(int64(out.skippedRestarts))
@@ -573,6 +773,8 @@ func (sc *scheduler) publishStats() {
 		Retries:           int(sc.retries.Load()),
 		Panics:            int(sc.panics.Load()),
 		DeadlineExceeded:  int(sc.deadline.Load()),
+		Racing:            sc.opt.Racing,
+		Rungs:             append([]RungStats(nil), sc.rungs...),
 		SeededIncumbent:   sc.seeded,
 		Trajectory:        sc.inc.trajectory(),
 	}
@@ -588,6 +790,12 @@ func (sc *scheduler) publishStats() {
 	sc.ses.logf("dse: sweep %s %s (order %s): %d candidates (%d pruned), %d cells (%d resumed), %d restarts abandoned, %d skipped by patience, incumbent %.6g",
 		sweepName(sc.opt.SweepID), state, order, stats.Candidates, stats.PrunedCandidates, stats.Cells, stats.ResumedCells,
 		stats.AbandonedRestarts, stats.SkippedRestarts, sc.inc.get())
+	if stats.Racing {
+		for _, r := range stats.Rungs {
+			sc.ses.logf("dse: sweep %s rung %d (budget %d): %d candidates, %d promoted",
+				sweepName(sc.opt.SweepID), r.Rung, r.Budget, r.Candidates, r.Survivors)
+		}
+	}
 	if stats.Retries+stats.Panics+stats.DeadlineExceeded > 0 {
 		sc.ses.logf("dse: sweep %s faults: %d retries, %d recovered panics, %d deadline expiries",
 			sweepName(sc.opt.SweepID), stats.Retries, stats.Panics, stats.DeadlineExceeded)

@@ -110,9 +110,9 @@ func TestCheckpointSeededIncumbentPrunes(t *testing.T) {
 	// first task, so big is pruned without being mapped.
 	calls := 0
 	orig := mapModelFn
-	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool) (*MapResult, error) {
+	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool, from, to int) (*MapResult, error) {
 		calls++
-		return orig(ev, cfg, g, o, stop)
+		return orig(ev, cfg, g, o, stop, from, to)
 	}
 	defer func() { mapModelFn = orig }()
 
@@ -156,11 +156,11 @@ func TestAbandonedCellPrunesCandidate(t *testing.T) {
 	doomed.NoCBW = 48 // structurally distinct so cells do not alias
 
 	orig := mapModelFn
-	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool) (*MapResult, error) {
+	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool, from, to int) (*MapResult, error) {
 		if cfg.Name == "doomed-arch" {
 			return nil, &abandonedError{done: 1, planned: 4}
 		}
-		return orig(ev, cfg, g, o, stop)
+		return orig(ev, cfg, g, o, stop, from, to)
 	}
 	defer func() { mapModelFn = orig }()
 
@@ -375,9 +375,9 @@ func TestResumedSweepRestoresDominatedCandidate(t *testing.T) {
 	// cell is checkpointed, so it must be restored verbatim.
 	calls := 0
 	orig := mapModelFn
-	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool) (*MapResult, error) {
+	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool, from, to int) (*MapResult, error) {
 		calls++
-		return orig(ev, cfg, g, o, stop)
+		return orig(ev, cfg, g, o, stop, from, to)
 	}
 	defer func() { mapModelFn = orig }()
 
@@ -436,9 +436,9 @@ func TestPartialCheckpointBoundPrunes(t *testing.T) {
 	// seeded incumbent — so the missing cell is never mapped.
 	calls := 0
 	orig := mapModelFn
-	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool) (*MapResult, error) {
+	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool, from, to int) (*MapResult, error) {
 		calls++
-		return orig(ev, cfg, g, o, stop)
+		return orig(ev, cfg, g, o, stop, from, to)
 	}
 	defer func() { mapModelFn = orig }()
 
@@ -545,7 +545,7 @@ func TestInLoopAbandonSavesIterations(t *testing.T) {
 
 	run := func(abandonEvery int) (*CandidateResult, SweepStats) {
 		var weakStarted atomic.Int32
-		mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool) (*MapResult, error) {
+		mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool, from, to int) (*MapResult, error) {
 			if cfg.Name == strong.Name {
 				// Let the dominated cells pass their pre-cell bound check and
 				// enter SA before the incumbent exists, so only the in-loop
@@ -556,7 +556,7 @@ func TestInLoopAbandonSavesIterations(t *testing.T) {
 			} else {
 				weakStarted.Add(1)
 			}
-			return orig(ev, cfg, g, o, stop)
+			return orig(ev, cfg, g, o, stop, from, to)
 		}
 		o := opt
 		o.AbandonEvery = abandonEvery

@@ -24,12 +24,14 @@ import (
 	"gemini/internal/dnn"
 	"gemini/internal/eval"
 	"gemini/internal/faultinject"
+	"gemini/internal/sa"
 )
 
 // mapModelFn indirects the per-cell mapping pipeline so tests can inject
 // infrastructure failures and assert they are reported as errors, never as
-// infeasibility.
-var mapModelFn = mapModelEval
+// infeasibility. It carries the restart window [from, to) so the session can
+// widen checkpointed cells incrementally (racing rungs, checkpoint re-entry).
+var mapModelFn = mapModelRange
 
 // Session shares evaluation state across DSE runs. All methods are safe for
 // concurrent use: the sweep service runs several Run/RunContext sweeps on
@@ -354,15 +356,48 @@ func (s *Session) sweep(cands []arch.Config, models []*dnn.Graph, opt Options) [
 // bit-identical to a first-try success, and only settled outcomes reach the
 // checkpoint — retry state never enters the cell fingerprint.
 func (s *Session) runCell(cfg *arch.Config, g *dnn.Graph, opt Options, key string, stop func() bool) pairOutcome {
-	if rec, ok := s.lookupCell(key); ok {
-		p := rec.outcome()
-		p.restored = true
-		return p
+	return s.runCellTarget(cfg, g, opt, key, stop, effectiveRestarts(opt))
+}
+
+// runCellTarget is runCell with an explicit cumulative portfolio width: the
+// cell is settled at exactly target restarts. A checkpointed cell whose
+// settled width already covers target restores verbatim; one settled
+// narrower (a racing rung, or a sweep widened after a checkpoint) re-enters
+// at its stored width and runs only the missing window [stored, target),
+// then folds the window with the stored prefix exactly as one contiguous
+// portfolio would — so the widened cell is bit-identical to a from-scratch
+// target-wide run, minus the restarts the checkpoint already paid for.
+// Extension only happens for width-annotated records under a non-adaptive
+// schedule: patience sweeps and legacy (width 0) records always restore,
+// preserving their historical semantics.
+func (s *Session) runCellTarget(cfg *arch.Config, g *dnn.Graph, opt Options, key string, stop func() bool, target int) pairOutcome {
+	if target < 1 {
+		target = 1
+	}
+	from := 0
+	var prior *cellRecord
+	if rec, ok := s.peekCell(key); ok {
+		if activePatience(opt) != 0 || rec.Restarts <= 0 || rec.Restarts >= target {
+			s.resumed.Add(1)
+			p := rec.outcome()
+			p.restored = true
+			return p
+		}
+		from = rec.Restarts
+		r := rec
+		prior = &r
+	}
+	// The stored width annotation: patience portfolios stop on a
+	// data-dependent streak, so their settled width says nothing about a
+	// wider run — record 0 (width-unknown, restore-only) for them.
+	width := target
+	if activePatience(opt) != 0 {
+		width = 0
 	}
 	policy := opt.Retry.withDefaults()
 	var out pairOutcome
 	for attempt := 0; ; attempt++ {
-		mr, err := s.attemptCell(cfg, g, opt, stop, attempt)
+		mr, err := s.attemptCell(cfg, g, opt, stop, attempt, from, target)
 		var ab *abandonedError
 		if errors.As(err, &ab) {
 			out.abandoned = true
@@ -395,14 +430,44 @@ func (s *Session) runCell(cfg *arch.Config, g *dnn.Graph, opt Options, key strin
 			}
 			continue
 		}
-		s.storeCell(key, g.Name, mr, err)
-		out.mr, out.err = mr, err
 		if mr != nil {
+			// Window-run accounting, captured before the prior fold can
+			// replace mr with the checkpointed summary (which did no work).
 			out.skippedRestarts += mr.SkippedRestarts
 			out.saIterations += mr.SAIterations
 		}
+		if prior != nil {
+			mr, err = foldPriorCell(prior, mr, err, target)
+		}
+		s.storeCell(key, g.Name, mr, err, width)
+		out.mr, out.err = mr, err
 		return out
 	}
+}
+
+// foldPriorCell folds a checkpointed prefix portfolio with the freshly run
+// window's settled outcome, exactly as one contiguous portfolio would have:
+// the lower SA cost wins and ties go to the prior, because it holds the
+// lower restart indices. A feasible side always beats an infeasible one
+// (an infeasible portfolio's best is +Inf under the fold's order). The
+// merged result reports the cumulative width target. Infrastructure errors
+// are not settled outcomes and pass through unfolded.
+func foldPriorCell(prior *cellRecord, mr *MapResult, err error, target int) (*MapResult, error) {
+	if mr == nil && err != nil && !errors.Is(err, ErrInfeasible) {
+		return mr, err
+	}
+	if mr != nil && (!prior.Feasible || sa.BetterCost(mr.SA.Cost, prior.SACost)) {
+		mr.Restarts = target
+		return mr, nil
+	}
+	if !prior.Feasible {
+		// Both the prefix and the window settled infeasible: the cell stays
+		// infeasible, now established at the wider width.
+		return nil, err
+	}
+	p := prior.outcome()
+	p.mr.Restarts = target
+	return p.mr, nil
 }
 
 // attemptResult carries one attempt's outcome across the deadline goroutine
@@ -422,7 +487,7 @@ type attemptResult struct {
 // next in-loop abandonment poll, its result is discarded, and a portfolio
 // abandoned *because of* the expiry can never be mistaken for an
 // incumbent-dominated cell (the select already settled on timeout).
-func (s *Session) attemptCell(cfg *arch.Config, g *dnn.Graph, opt Options, stop func() bool, attempt int) (*MapResult, error) {
+func (s *Session) attemptCell(cfg *arch.Config, g *dnn.Graph, opt Options, stop func() bool, attempt, from, to int) (*MapResult, error) {
 	body := func(innerStop func() bool) (mr *MapResult, err error) {
 		defer func() {
 			if v := recover(); v != nil {
@@ -437,7 +502,7 @@ func (s *Session) attemptCell(cfg *arch.Config, g *dnn.Graph, opt Options, stop 
 				Kind: CellTransient, Candidate: cfg.Name, Model: g.Name, Attempt: attempt, Err: ierr,
 			}
 		}
-		return mapModelFn(s.evaluator(cfg), cfg, g, opt, innerStop)
+		return mapModelFn(s.evaluator(cfg), cfg, g, opt, innerStop, from, to)
 	}
 	if opt.CellTimeout <= 0 {
 		return body(stop)
@@ -605,14 +670,6 @@ func (r cellRecord) outcome() pairOutcome {
 
 func (m *MapResult) asOutcome() pairOutcome { return pairOutcome{mr: m} }
 
-func (s *Session) lookupCell(key string) (cellRecord, bool) {
-	rec, ok := s.peekCell(key)
-	if ok {
-		s.resumed.Add(1)
-	}
-	return rec, ok
-}
-
 // peekCell reads a checkpoint cell without counting it as resumed; the
 // scheduler uses it to seed the pruning incumbent before dispatch.
 func (s *Session) peekCell(key string) (cellRecord, bool) {
@@ -622,7 +679,13 @@ func (s *Session) peekCell(key string) (cellRecord, bool) {
 	return rec, ok
 }
 
-func (s *Session) storeCell(key, model string, mr *MapResult, err error) {
+// storeCell records a settled cell. width annotates an infeasible verdict
+// with the portfolio width that established it, so racing rungs and widened
+// sweeps can re-enter and keep searching instead of trusting a narrow
+// verdict forever; 0 (patience runs, legacy checkpoints) means
+// width-unknown and the record restores at any width. Feasible cells carry
+// their own cumulative width in mr.Restarts.
+func (s *Session) storeCell(key, model string, mr *MapResult, err error, width int) {
 	rec := cellRecord{Model: model}
 	switch {
 	case mr != nil:
@@ -640,6 +703,8 @@ func (s *Session) storeCell(key, model string, mr *MapResult, err error) {
 		// Infrastructure errors are not settled outcomes: leave the cell
 		// unrecorded so a resumed or repeated sweep retries it.
 		return
+	default:
+		rec.Restarts = width
 	}
 	s.cellMu.Lock()
 	s.cells[key] = rec
@@ -725,6 +790,9 @@ var optsFingerprintExclusions = map[string]string{
 	"Retry":         "failure-handling policy; a cell that succeeds is attempt-count-independent",
 	"CellTimeout":   "wall-clock guard producing typed failures, never different values",
 	"FaultInjector": "test-only chaos hook; production sweeps run with none installed",
+	"Racing":        "re-allocates restart budget across candidates; every settled cell is a prefix of the same derived-seed portfolio, so racing and uniform sweeps must share cells",
+	"RacingKeep":    "racing promotion fraction; like Racing it only schedules rung widths, never a cell's seeds",
+	"OnRung":        "observer callback; rung notification cannot alter results",
 }
 
 // optsFingerprint hashes every Options field the mapping result depends on.

@@ -128,9 +128,9 @@ func TestSessionCheckpointRoundTrip(t *testing.T) {
 	// A fresh session with the checkpoint loaded must not map anything.
 	calls := 0
 	orig := mapModelFn
-	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool) (*MapResult, error) {
+	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool, from, to int) (*MapResult, error) {
 		calls++
-		return orig(ev, cfg, g, o, stop)
+		return orig(ev, cfg, g, o, stop, from, to)
 	}
 	defer func() { mapModelFn = orig }()
 
@@ -188,11 +188,11 @@ func TestSessionCheckpointVersion(t *testing.T) {
 func TestSessionErrorNotInfeasible(t *testing.T) {
 	boom := errors.New("injected mapper crash")
 	orig := mapModelFn
-	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool) (*MapResult, error) {
+	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool, from, to int) (*MapResult, error) {
 		if cfg.Name == "bad-arch" {
 			return nil, boom
 		}
-		return orig(ev, cfg, g, o, stop)
+		return orig(ev, cfg, g, o, stop, from, to)
 	}
 	defer func() { mapModelFn = orig }()
 
@@ -238,11 +238,11 @@ func TestSessionRetriesErroredCells(t *testing.T) {
 	boom := errors.New("transient failure")
 	failing := true
 	orig := mapModelFn
-	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool) (*MapResult, error) {
+	mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool, from, to int) (*MapResult, error) {
 		if failing && cfg.Name == "flaky-arch" {
 			return nil, boom
 		}
-		return orig(ev, cfg, g, o, stop)
+		return orig(ev, cfg, g, o, stop, from, to)
 	}
 	defer func() { mapModelFn = orig }()
 

@@ -138,9 +138,16 @@ type Spec struct {
 	Prune bool `json:"prune,omitempty"`
 	// Order is the dispatch order: "bound" (default) or "grid".
 	Order string `json:"order,omitempty"`
-	// Bound is the lower-bound formulation: "compulsory" (default) or
+	// Bound is the lower-bound formulation: "compulsory" (default),
+	// "cut" (compulsory plus the per-cut bisection delay floor) or
 	// "compute-dram" (the legacy compute+weight bound).
 	Bound string `json:"bound,omitempty"`
+	// Racing allocates restart budget by successive halving across
+	// candidates instead of running every cell at the full width.
+	Racing bool `json:"racing,omitempty"`
+	// RacingKeep is the fraction of candidates promoted at each racing rung,
+	// strictly inside (0, 1); 0 means the default 1/2.
+	RacingKeep float64 `json:"racing_keep,omitempty"`
 	// AbandonEvery is the in-loop abandonment stride (0 = engine default,
 	// negative = between-restart checks only).
 	AbandonEvery int `json:"abandon_every,omitempty"`
@@ -189,9 +196,13 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("dse: unsupported order %q (want %q or %q)", s.Order, OrderBound, OrderGrid)
 	}
 	switch BoundLevel(s.Bound) {
-	case "", BoundCompulsory, BoundComputeDRAM:
+	case "", BoundCompulsory, BoundComputeDRAM, BoundCut:
 	default:
-		return fmt.Errorf("dse: unsupported bound %q (want %q or %q)", s.Bound, BoundCompulsory, BoundComputeDRAM)
+		return fmt.Errorf("dse: unsupported bound %q (want %q, %q or %q)",
+			s.Bound, BoundCompulsory, BoundCut, BoundComputeDRAM)
+	}
+	if s.RacingKeep != 0 && (s.RacingKeep <= 0 || s.RacingKeep >= 1) {
+		return fmt.Errorf("dse: spec racing_keep = %v, want inside (0, 1)", s.RacingKeep)
 	}
 	for _, c := range [...]struct {
 		name string
@@ -276,6 +287,8 @@ func (s *Spec) Options() Options {
 	if s.Bound != "" {
 		opt.Bound = BoundLevel(s.Bound)
 	}
+	opt.Racing = s.Racing
+	opt.RacingKeep = s.RacingKeep
 	opt.AbandonEvery = s.AbandonEvery
 	if r := s.Retry; r != nil {
 		opt.Retry = RetryPolicy{

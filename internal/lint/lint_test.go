@@ -114,10 +114,11 @@ func TestNoallocAnnotationsMatchBenchCoverage(t *testing.T) {
 		},
 	}
 	// Functions pinned by testing.AllocsPerRun instead of a BENCH_1 entry
-	// (internal/sa/alloc_test.go).
+	// (internal/sa/alloc_test.go, internal/noc/alloc_test.go).
 	allocsPerRunPins := []string{
 		"gemini/internal/sa.measure",
 		"gemini/internal/sa.state.cost",
+		"gemini/internal/noc.Cut.SideOf",
 	}
 
 	raw, err := os.ReadFile("../../BENCH_1.json")

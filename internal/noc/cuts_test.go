@@ -1,0 +1,102 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"gemini/internal/arch"
+)
+
+// bruteCutBW recomputes a cut's bandwidth the slow way: build the full
+// network and sum the bandwidth of every directed link whose endpoints lie
+// on opposite sides.
+func bruteCutBW(cfg *arch.Config, c Cut) float64 {
+	n := New(cfg)
+	var bw float64
+	for i, l := range n.Links {
+		if c.SideOf(cfg, l.From) != c.SideOf(cfg, l.To) {
+			bw += n.LinkBW(i)
+		}
+	}
+	return bw
+}
+
+// TestChipletCutsVsBruteForce pins the closed-form cut enumeration against
+// the real link graph across presets and randomized geometries, both
+// topologies. A mismatch means the bound engine would charge a fictitious
+// cut capacity.
+func TestChipletCutsVsBruteForce(t *testing.T) {
+	cfgs := []arch.Config{arch.Simba(), arch.GArch72(), arch.Grayskull(), arch.GArchTorus()}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		c := arch.GArch72()
+		c.CoresX = []int{4, 6, 8, 12}[rng.Intn(4)]
+		c.CoresY = []int{2, 4, 6, 10}[rng.Intn(4)]
+		for {
+			c.XCut = 1 + rng.Intn(4)
+			if c.CoresX%c.XCut == 0 {
+				break
+			}
+		}
+		for {
+			c.YCut = 1 + rng.Intn(3)
+			if c.CoresY%c.YCut == 0 {
+				break
+			}
+		}
+		if rng.Intn(2) == 1 {
+			c.Topology = arch.FoldedTorus
+		}
+		c.D2DBW = float64(1 + rng.Intn(32))
+		c.NoCBW = float64(8 * (1 + rng.Intn(8)))
+		c.Name = c.String()
+		cfgs = append(cfgs, c)
+	}
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: invalid config: %v", cfg.Name, err)
+		}
+		cuts := ChipletCuts(&cfg)
+		wantN := (cfg.XCut - 1) + (cfg.YCut - 1)
+		if len(cuts) != wantN {
+			t.Fatalf("%s: %d cuts, want %d", cfg.Name, len(cuts), wantN)
+		}
+		for _, c := range cuts {
+			want := bruteCutBW(&cfg, c)
+			if c.BW != want {
+				t.Errorf("%s cut{vertical=%t at=%d}: BW=%v, want %v (brute force)",
+					cfg.Name, c.Vertical, c.At, c.BW, want)
+			}
+			if c.BW <= 0 {
+				t.Errorf("%s cut{vertical=%t at=%d}: non-positive BW %v",
+					cfg.Name, c.Vertical, c.At, c.BW)
+			}
+		}
+	}
+}
+
+// TestChipletCutsMonolithic: a 1x1-cut chip has no bisections.
+func TestChipletCutsMonolithic(t *testing.T) {
+	cfg := arch.Grayskull()
+	if cuts := ChipletCuts(&cfg); cuts != nil {
+		t.Fatalf("monolithic config produced cuts: %v", cuts)
+	}
+}
+
+// TestChipletCutsKnownGeometry: GArch72 is 6x6 with a single vertical cut at
+// x=3; on a mesh exactly the 12 boundary links (6 rows x 2 directions) cross
+// it, all D2D.
+func TestChipletCutsKnownGeometry(t *testing.T) {
+	cfg := arch.GArch72()
+	cuts := ChipletCuts(&cfg)
+	if len(cuts) != 1 {
+		t.Fatalf("cuts = %v, want one", cuts)
+	}
+	c := cuts[0]
+	if !c.Vertical || c.At != 3 {
+		t.Fatalf("cut = %+v, want vertical at x=3", c)
+	}
+	if want := 12 * cfg.D2DBW; c.BW != want {
+		t.Fatalf("cut BW = %v, want %v", c.BW, want)
+	}
+}

@@ -118,6 +118,93 @@ func LinkBWSum(cfg *arch.Config) float64 {
 	return float64(noc)*cfg.NoCBW + float64(d2d)*cfg.D2DBW
 }
 
+// Cut is one chiplet-boundary bisection of the core array: the set of every
+// directed link whose endpoints lie on opposite sides of the boundary. At is
+// the first core column (vertical cut) or row (horizontal cut) on the far
+// side, so a vertical cut separates x < At from x >= At. BW is the aggregate
+// bandwidth (GB/s) of the crossing link set.
+type Cut struct {
+	Vertical bool
+	At       int
+	BW       float64
+}
+
+// SideOf reports which side of the cut a core lies on: 0 for the near side
+// (x or y < At), 1 for the far side. It runs once per core per cut inside
+// the DSE bound engine's candidate loop.
+//
+//gemini:noalloc
+func (c Cut) SideOf(cfg *arch.Config, id arch.CoreID) int {
+	x, y := cfg.CoreXY(id)
+	v := y
+	if c.Vertical {
+		v = x
+	}
+	if v < c.At {
+		return 0
+	}
+	return 1
+}
+
+// ChipletCuts enumerates the chiplet-level bisections of the configuration:
+// one vertical cut per interior chiplet column boundary (x = k*ChipletW,
+// k = 1..XCut-1) and one horizontal cut per interior chiplet row boundary.
+// Each cut's BW sums the bandwidth of every directed link crossing it in the
+// exact link set New builds — mesh boundary links plus, on a folded torus,
+// the wrap links of that axis, whose endpoints sit on opposite sides of every
+// interior cut. A monolithic chip (1x1 cuts) has no bisections and returns
+// nil. The DSE bound engine uses these cuts as capacity constraints: traffic
+// that provably crosses a bisection cannot drain faster than the cut's
+// aggregate bandwidth.
+func ChipletCuts(cfg *arch.Config) []Cut {
+	var cuts []Cut
+	for k := 1; k < cfg.XCut; k++ {
+		cuts = append(cuts, Cut{Vertical: true, At: k * cfg.ChipletW()})
+	}
+	for k := 1; k < cfg.YCut; k++ {
+		cuts = append(cuts, Cut{Vertical: false, At: k * cfg.ChipletH()})
+	}
+	if len(cuts) == 0 {
+		return nil
+	}
+	count := func(a, b arch.CoreID) {
+		bw := cfg.NoCBW
+		if !cfg.SameChiplet(a, b) {
+			bw = cfg.D2DBW
+		}
+		for i, c := range cuts {
+			if c.SideOf(cfg, a) != c.SideOf(cfg, b) {
+				cuts[i].BW += 2 * bw // both directions
+			}
+		}
+	}
+	w, h := cfg.CoresX, cfg.CoresY
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := cfg.CoreAt(x, y)
+			if x+1 < w {
+				count(c, cfg.CoreAt(x+1, y))
+			}
+			if y+1 < h {
+				count(c, cfg.CoreAt(x, y+1))
+			}
+		}
+	}
+	if cfg.Topology == arch.FoldedTorus {
+		if w > 2 {
+			for y := 0; y < h; y++ {
+				count(cfg.CoreAt(w-1, y), cfg.CoreAt(0, y))
+			}
+		}
+		if h > 2 {
+			for x := 0; x < w; x++ {
+				count(cfg.CoreAt(x, h-1), cfg.CoreAt(x, 0))
+			}
+		}
+	}
+	return cuts
+}
+
 // buildRoutes precomputes the XY path between every ordered core pair into a
 // single flat table, so Route is a lock-free slice lookup on the hot path.
 func (n *Network) buildRoutes() {

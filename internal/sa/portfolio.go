@@ -100,10 +100,31 @@ func MultiStartAdaptive(input *core.Scheme, ev *eval.Evaluator, opt Options, res
 	if restarts < 1 {
 		restarts = 1
 	}
-	p := Portfolio{Costs: make([]float64, 0, restarts), Planned: restarts}
+	return MultiStartRange(input, ev, opt, 0, restarts, ao)
+}
+
+// MultiStartRange runs the restart window [from, to) of the portfolio the
+// base options define: restart i always anneals with RestartSeed(opt.Seed, i)
+// regardless of the window, so a portfolio can be widened incrementally — the
+// racing scheduler's rungs and checkpoint re-entry rely on folding a stored
+// prefix [0, from) with a fresh window [from, to) being bit-identical to one
+// [0, to) run. BestRestart is the absolute restart index. ao.Stop is polled
+// before every restart except restart 0 of the full portfolio (a window with
+// from > 0 resumes mid-portfolio, where the poll already happened between
+// restarts); ao.Patience counts non-improving restarts within the window
+// only. Requires 0 <= from < to; out-of-range arguments are clamped to the
+// smallest valid window.
+func MultiStartRange(input *core.Scheme, ev *eval.Evaluator, opt Options, from, to int, ao AdaptiveOptions) Portfolio {
+	if from < 0 {
+		from = 0
+	}
+	if to <= from {
+		to = from + 1
+	}
+	p := Portfolio{Costs: make([]float64, 0, to-from), Planned: to - from}
 	streak := 0
-	for i := 0; i < restarts; i++ {
-		if i > 0 && ao.Stop != nil && ao.Stop() {
+	for i := from; i < to; i++ {
+		if (i > 0) && ao.Stop != nil && ao.Stop() {
 			p.Abandoned = true
 			break
 		}
@@ -123,7 +144,7 @@ func MultiStartAdaptive(input *core.Scheme, ev *eval.Evaluator, opt Options, res
 			break
 		}
 		p.Costs = append(p.Costs, r.Cost)
-		if i == 0 || betterCost(r.Cost, p.Best.Cost) {
+		if i == from || BetterCost(r.Cost, p.Best.Cost) {
 			p.Best = r
 			p.BestRestart = i
 			streak = 0
@@ -149,9 +170,9 @@ func optimizeGuarded(input *core.Scheme, ev *eval.Evaluator, o Options, restart 
 	return Optimize(input, ev, o), nil
 }
 
-// betterCost reports whether a strictly improves on b under a total order
+// BetterCost reports whether a strictly improves on b under a total order
 // where NaN is worse than everything (including +Inf).
-func betterCost(a, b float64) bool {
+func BetterCost(a, b float64) bool {
 	if math.IsNaN(a) {
 		return false
 	}

@@ -102,6 +102,42 @@ func TestMultiStartFoldsBest(t *testing.T) {
 	}
 }
 
+// TestMultiStartRangeWidensBitIdentical pins the racing/checkpoint re-entry
+// contract: folding a prefix portfolio [0, from) with a fresh window
+// [from, to) must be bit-identical to a single [0, to) portfolio — same
+// best cost, same absolute winning restart, same per-restart costs.
+func TestMultiStartRangeWidensBitIdentical(t *testing.T) {
+	cfg := arch.GArch72()
+	s := portfolioScheme(t, &cfg)
+	opt := DefaultOptions()
+	opt.Iterations = 120
+
+	full := MultiStart(s, eval.New(&cfg), opt, 6)
+	for _, from := range []int{1, 2, 4} {
+		prefix := MultiStartRange(s, eval.New(&cfg), opt, 0, from, AdaptiveOptions{})
+		window := MultiStartRange(s, eval.New(&cfg), opt, from, 6, AdaptiveOptions{})
+		if window.Planned != 6-from || len(window.Costs) != 6-from {
+			t.Fatalf("from=%d: window ran %d/%d restarts, want %d", from, len(window.Costs), window.Planned, 6-from)
+		}
+		// Fold prefix and window exactly as runCellTarget does: the prior
+		// wins ties because it holds the lower restart indices.
+		best, bestRestart := prefix.Best.Cost, prefix.BestRestart
+		if BetterCost(window.Best.Cost, best) {
+			best, bestRestart = window.Best.Cost, window.BestRestart
+		}
+		if best != full.Best.Cost || bestRestart != full.BestRestart {
+			t.Errorf("from=%d: folded (%v, %d), full (%v, %d)",
+				from, best, bestRestart, full.Best.Cost, full.BestRestart)
+		}
+		costs := append(append([]float64{}, prefix.Costs...), window.Costs...)
+		for i := range costs {
+			if costs[i] != full.Costs[i] {
+				t.Errorf("from=%d restart %d: folded cost %v, full %v", from, i, costs[i], full.Costs[i])
+			}
+		}
+	}
+}
+
 func TestBetterCostNaN(t *testing.T) {
 	nan := math.NaN()
 	cases := []struct {
@@ -118,8 +154,8 @@ func TestBetterCostNaN(t *testing.T) {
 		{1, 1, false},
 	}
 	for _, c := range cases {
-		if got := betterCost(c.a, c.b); got != c.want {
-			t.Errorf("betterCost(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		if got := BetterCost(c.a, c.b); got != c.want {
+			t.Errorf("BetterCost(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
 		}
 	}
 }
@@ -164,7 +200,7 @@ func TestAdaptivePatiencePrefix(t *testing.T) {
 		wantLen, streak := restarts, 0
 		best := full.Costs[0]
 		for i := 1; i < restarts; i++ {
-			if betterCost(full.Costs[i], best) {
+			if BetterCost(full.Costs[i], best) {
 				best = full.Costs[i]
 				streak = 0
 			} else {

@@ -364,6 +364,12 @@ type RunningSweep struct {
 	// Incumbent is the best feasible objective streamed so far (absent
 	// until one candidate is feasible).
 	Incumbent *CandidateSummary `json:"incumbent,omitempty"`
+	// Trajectory is the live incumbent trajectory: every improvement of
+	// Incumbent streamed so far, in order.
+	Trajectory []TrajectoryStep `json:"trajectory,omitempty"`
+	// Rungs lists the racing rungs completed so far with per-rung
+	// survivor counts (racing sweeps only).
+	Rungs []RungSummary `json:"rungs,omitempty"`
 }
 
 // Health is the GET /healthz body.
@@ -428,6 +434,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 				DoneCandidates: st.DoneCandidates,
 				Candidates:     st.Candidates,
 				Incumbent:      st.Best,
+				Trajectory:     st.Trajectory,
+				Rungs:          st.Rungs,
 			})
 		case StateDone:
 			h.Sweeps.Done++

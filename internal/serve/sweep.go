@@ -124,6 +124,10 @@ type StatsSummary struct {
 	AbandonedRestarts int `json:"abandoned_restarts"`
 	// SkippedRestarts counts SA restarts saved by portfolio patience.
 	SkippedRestarts int `json:"skipped_restarts"`
+	// Racing reports the sweep allocated restarts by successive halving;
+	// Rungs then records every completed racing rung in order.
+	Racing bool          `json:"racing,omitempty"`
+	Rungs  []RungSummary `json:"rungs,omitempty"`
 	// SeededIncumbent is the incumbent restored from the checkpoint before
 	// the first task (omitted when nothing seeded).
 	SeededIncumbent float64 `json:"seeded_incumbent,omitempty"`
@@ -146,6 +150,16 @@ type StatsSummary struct {
 	LastPersistenceError string `json:"last_persistence_error,omitempty"`
 }
 
+// RungSummary is the JSON shape of one racing rung (dse.RungStats): the
+// cumulative restart budget the rung settled, how many candidates entered,
+// and how many survived promotion.
+type RungSummary struct {
+	Rung       int `json:"rung"`
+	Budget     int `json:"budget"`
+	Candidates int `json:"candidates"`
+	Survivors  int `json:"survivors"`
+}
+
 // TrajectoryStep is one incumbent improvement in a StatsSummary.
 type TrajectoryStep struct {
 	// Candidate is the improving candidate ("(checkpoint seed)" for the
@@ -166,6 +180,7 @@ func summarizeStats(st dse.SweepStats) *StatsSummary {
 		PrunedCandidates:  st.PrunedCandidates,
 		AbandonedRestarts: st.AbandonedRestarts,
 		SkippedRestarts:   st.SkippedRestarts,
+		Racing:            st.Racing,
 		SeededIncumbent:   finite(st.SeededIncumbent),
 
 		Retries:              st.Retries,
@@ -176,6 +191,9 @@ func summarizeStats(st dse.SweepStats) *StatsSummary {
 		PersistenceDegraded:  st.PersistenceDegraded,
 		LastPersistenceError: st.LastPersistenceError,
 	}
+	for _, r := range st.Rungs {
+		out.Rungs = append(out.Rungs, RungSummary(r))
+	}
 	for _, step := range st.Trajectory {
 		out.Trajectory = append(out.Trajectory, TrajectoryStep{Candidate: step.Candidate, Objective: finite(step.Obj)})
 	}
@@ -184,7 +202,7 @@ func summarizeStats(st dse.SweepStats) *StatsSummary {
 
 // Event is one NDJSON line of a POST /sweep response stream.
 type Event struct {
-	// Type is "start", "result", "done" or "error".
+	// Type is "start", "result", "rung", "done" or "error".
 	Type string `json:"type"`
 	// SweepID names the sweep (every event carries it, so streams can be
 	// demultiplexed by tooling that merges them).
@@ -204,6 +222,8 @@ type Event struct {
 	CheckpointCells int `json:"checkpoint_cells,omitempty"`
 	// Result is the candidate outcome (result events).
 	Result *CandidateSummary `json:"result,omitempty"`
+	// Rung is one completed racing rung (rung events).
+	Rung *RungSummary `json:"rung,omitempty"`
 	// Best is the winning candidate (done events, when any is feasible).
 	Best *CandidateSummary `json:"best,omitempty"`
 	// Stats is the sweep's scheduler accounting (done events).
@@ -230,6 +250,14 @@ type SweepStatus struct {
 	DoneCandidates int `json:"done_candidates"`
 	// Best is the best feasible candidate streamed so far.
 	Best *CandidateSummary `json:"best,omitempty"`
+	// Trajectory is the live incumbent trajectory: every improvement of
+	// Best streamed so far, in order. Unlike Stats.Trajectory (which is
+	// only available once the sweep finishes), it is populated while the
+	// sweep is still running.
+	Trajectory []TrajectoryStep `json:"trajectory,omitempty"`
+	// Rungs lists the racing rungs completed so far (racing sweeps only),
+	// with per-rung survivor counts. Live like Trajectory.
+	Rungs []RungSummary `json:"rungs,omitempty"`
 	// Stats is the final scheduler accounting (finished sweeps only).
 	Stats *StatsSummary `json:"stats,omitempty"`
 	// Checkpoint reports whether a server-side checkpoint file exists for
@@ -259,6 +287,8 @@ type sweep struct {
 	cells    int
 	done     int
 	best     *CandidateSummary
+	traj     []TrajectoryStep
+	rungs    []RungSummary
 	stats    *StatsSummary
 	err      string
 	started  time.Time
@@ -284,6 +314,8 @@ func (sw *sweep) status() SweepStatus {
 		Cells:          sw.cells,
 		DoneCandidates: sw.done,
 		Best:           sw.best,
+		Trajectory:     append([]TrajectoryStep(nil), sw.traj...),
+		Rungs:          append([]RungSummary(nil), sw.rungs...),
 		Stats:          sw.stats,
 		Error:          sw.err,
 		StartedAt:      sw.started,
@@ -296,13 +328,22 @@ func (sw *sweep) status() SweepStatus {
 	return st
 }
 
-// noteResult folds one streamed candidate into the live progress view.
+// noteResult folds one streamed candidate into the live progress view,
+// extending the live incumbent trajectory on every improvement.
 func (sw *sweep) noteResult(cs *CandidateSummary) {
 	sw.mu.Lock()
 	sw.done++
 	if cs.Status == "ok" && (sw.best == nil || cs.Objective < sw.best.Objective) {
 		sw.best = cs
+		sw.traj = append(sw.traj, TrajectoryStep{Candidate: cs.Arch, Objective: cs.Objective})
 	}
+	sw.mu.Unlock()
+}
+
+// noteRung records one completed racing rung in the live progress view.
+func (sw *sweep) noteRung(rs RungSummary) {
+	sw.mu.Lock()
+	sw.rungs = append(sw.rungs, rs)
 	sw.mu.Unlock()
 }
 
@@ -528,6 +569,8 @@ func restoredSweep(s *Server, st SweepStatus) *sweep {
 		cells:   st.Cells,
 		done:    st.DoneCandidates,
 		best:    st.Best,
+		traj:    st.Trajectory,
+		rungs:   st.Rungs,
 		stats:   st.Stats,
 		err:     st.Error,
 		started: st.StartedAt,
@@ -796,6 +839,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		case saveReq <- struct{}{}:
 		default: // a save is already pending; it will pick this cell up
 		}
+	}
+	// Racing sweeps additionally stream one event per completed rung, so a
+	// client watching the NDJSON stream sees budget concentrate on the
+	// survivors as it happens.
+	opt.OnRung = func(rs dse.RungStats) {
+		rsum := RungSummary(rs)
+		sw.noteRung(rsum)
+		stream.send(Event{Type: "rung", SweepID: spec.ID, Rung: &rsum})
 	}
 
 	s.logf("serve: sweep %s: %d candidates x %d models (%d cells)", spec.ID, len(cands), len(graphs), cells)
