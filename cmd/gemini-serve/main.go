@@ -4,9 +4,16 @@
 // are checkpointed per id under -data, so re-POSTing a spec after a client
 // or server restart resumes instead of recomputing.
 //
+// Sweeps admit through a multi-tenant queue: interactive sweeps dispatch
+// ahead of batch ones (preempting them onto checkpoints when the slot pool
+// is full), tenants share slots by deficit round-robin weight (-tenants),
+// and per-tenant (-queue-depth, 429) and server-wide (-max-queued, 503)
+// quotas bound the backlog.
+//
 // Usage:
 //
-//	gemini-serve -addr :8080 -data /var/lib/gemini -sessions 2 -max-sweeps 4
+//	gemini-serve -addr :8080 -data /var/lib/gemini -sessions 2 -max-sweeps 4 \
+//	    -slots 8 -tenants ci=1,dev=3 -batch-share 0.5 -queue-depth 8
 //
 // Endpoints and the NDJSON schema are documented in docs/http-api.md; try:
 //
@@ -24,15 +31,39 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"gemini/internal/serve"
 )
+
+// parseTenantWeights parses the -tenants flag value "name=weight,name=weight"
+// into the fair-share weight table. Empty input means every tenant weighs 1.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad tenant entry %q (want name=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad tenant weight %q for %q (want integer >= 1)", val, name)
+		}
+		weights[name] = w
+	}
+	return weights, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -42,10 +73,20 @@ func main() {
 	data := flag.String("data", "", "checkpoint directory (empty = no persistence)")
 	cacheDir := flag.String("cache-dir", "", "evaluation-cache spill directory: sweeps warm from the previous process's group evaluations and re-save as they run (empty = in-process cache only)")
 	sessions := flag.Int("sessions", 1, "DSE session pool size")
-	maxSweeps := flag.Int("max-sweeps", 4, "max concurrently running sweeps (excess POSTs get 429)")
+	maxSweeps := flag.Int("max-sweeps", 4, "max concurrently running sweeps (excess admitted sweeps wait in the queue)")
 	maxCells := flag.Int("max-cells", 0, "per-sweep (candidate, model) cell cap (0 = default)")
+	slots := flag.Int("slots", 0, "worker-slot pool shared by running sweeps (0 = GOMAXPROCS)")
+	tenants := flag.String("tenants", "", "fair-share tenant weights as name=weight,... (unlisted tenants weigh 1)")
+	batchShare := flag.Float64("batch-share", 0, "max fraction of the slot pool batch sweeps may hold while interactive work is present (0 = default 0.5)")
+	queueDepth := flag.Int("queue-depth", 0, "per-tenant waiting-sweep quota before 429 (0 = default 8)")
+	maxQueued := flag.Int("max-queued", 0, "server-wide waiting-sweep cap before 503 (0 = default 64)")
 	quiet := flag.Bool("quiet", false, "suppress per-sweep scheduling logs")
 	flag.Parse()
+
+	weights, err := parseTenantWeights(*tenants)
+	if err != nil {
+		log.Fatalf("-tenants: %v", err)
+	}
 
 	cfg := serve.Config{
 		Sessions:            *sessions,
@@ -53,6 +94,11 @@ func main() {
 		MaxCells:            *maxCells,
 		DataDir:             *data,
 		CacheDir:            *cacheDir,
+		WorkerSlots:         *slots,
+		TenantWeights:       weights,
+		BatchShare:          *batchShare,
+		QueueDepth:          *queueDepth,
+		MaxQueuedSweeps:     *maxQueued,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf
@@ -62,7 +108,8 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("listening on %s (sessions=%d, max-sweeps=%d, data=%q, cache-dir=%q)", *addr, *sessions, *maxSweeps, *data, *cacheDir)
+	log.Printf("listening on %s (sessions=%d, max-sweeps=%d, slots=%d, tenants=%q, data=%q, cache-dir=%q)",
+		*addr, *sessions, *maxSweeps, *slots, *tenants, *data, *cacheDir)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

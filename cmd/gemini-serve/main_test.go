@@ -1,0 +1,39 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseTenantWeights(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    map[string]int
+		wantErr bool
+	}{
+		{in: "", want: nil},
+		{in: "ci=1", want: map[string]int{"ci": 1}},
+		{in: "ci=1,dev=3, batch=2", want: map[string]int{"ci": 1, "dev": 3, "batch": 2}},
+		{in: "ci", wantErr: true},
+		{in: "=2", wantErr: true},
+		{in: "ci=0", wantErr: true},
+		{in: "ci=-1", wantErr: true},
+		{in: "ci=two", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := parseTenantWeights(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseTenantWeights(%q) accepted, want error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseTenantWeights(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseTenantWeights(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

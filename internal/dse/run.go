@@ -140,6 +140,14 @@ type Options struct {
 	// completes (including pruned and errored candidates). Calls are
 	// serialized but arrive in completion order, not candidate order.
 	OnResult func(CandidateResult) `json:"-"`
+	// Dispatch, when set, wraps the scheduler's cell feed: the scheduler
+	// builds its default bound-ordered Dispatcher (one per sweep, one per
+	// racing rung) and hands it to Dispatch, whose return value the workers
+	// pull from instead. The sweep service uses this to bind sweeps to queue
+	// slots and to gate a preempted sweep's feed shut. A feed only schedules
+	// — cells it never delivers are reported as canceled, not computed — so
+	// like Order it is excluded from the checkpoint fingerprint.
+	Dispatch func(Dispatcher) Dispatcher `json:"-"`
 	// SweepID optionally names the sweep for logs and SweepStats; the sweep
 	// service keys server-side checkpoints by it. Like Order it only
 	// labels/schedules — it never changes a mapping — so it is excluded

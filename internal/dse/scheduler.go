@@ -468,13 +468,20 @@ func (sc *scheduler) run() []CandidateResult {
 	}
 
 	workers := sc.workerCount(total)
-	tasks := make(chan int)
+	// The feed walks the schedule candidate-major, so a candidate's cells
+	// complete (and its objective lands in the incumbent) as early as
+	// possible; Options.Dispatch may wrap it (queue binding, preemption).
+	feed := sc.feed(sc.order, nm)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for k := range tasks {
+			for {
+				k, ok := feed.Next()
+				if !ok {
+					return
+				}
 				sc.runTaskGuarded(k, nm, per, effectiveRestarts(sc.opt), true)
 				if sc.states[k/nm].remaining.Add(-1) == 0 {
 					finish(k / nm)
@@ -482,18 +489,43 @@ func (sc *scheduler) run() []CandidateResult {
 			}
 		}()
 	}
-	// Feed cells candidate-major in the scheduled order, so a candidate's
-	// cells complete (and its objective lands in the incumbent) as early
-	// as possible.
+	wg.Wait()
+	// A wrapped feed may shut before delivering every cell (a preempted
+	// sweep): candidates with undelivered cells never hit remaining == 0, so
+	// fill the gaps with a cancellation error and finish them here — an
+	// undelivered cell must read as canceled, never as spurious
+	// infeasibility (a zero pairOutcome), and every candidate must produce
+	// its result row exactly once.
 	for _, ci := range sc.order {
-		for mi := 0; mi < nm; mi++ {
-			tasks <- ci*nm + mi
+		if sc.states[ci].remaining.Load() > 0 {
+			sc.fillUndelivered(ci, nm, per)
+			finish(ci)
 		}
 	}
-	close(tasks)
-	wg.Wait()
 	sc.publishStats()
 	return results
+}
+
+// fillUndelivered marks one candidate's never-dispatched cells as canceled.
+// Only zero outcomes are touched: delivered cells keep their results, and
+// pruned candidates need no cell outcomes at all.
+func (sc *scheduler) fillUndelivered(ci, nm int, per [][]pairOutcome) {
+	if sc.states[ci].pruned.Load() {
+		return
+	}
+	err := sc.ctx.Err()
+	if err == nil {
+		// The feed was shut without the sweep context being canceled (a
+		// dispatcher wrapper withheld cells): still a cancellation from the
+		// cell's point of view.
+		err = context.Canceled
+	}
+	for mi := 0; mi < nm; mi++ {
+		p := &per[ci][mi]
+		if p.mr == nil && p.err == nil && !p.abandoned {
+			*p = pairOutcome{err: fmt.Errorf("dse: cell not dispatched: %w", err)}
+		}
+	}
 }
 
 func (sc *scheduler) workerCount(tasks int) int {
@@ -612,8 +644,14 @@ func (sc *scheduler) runRacing(nm int, per [][]pairOutcome, finish func(ci int))
 		}
 	}
 	// Finalists — and, after a canceled sweep, whatever the race never
-	// decided — emit with the cells they settled.
+	// decided — emit with the cells they settled. A shut feed may have left
+	// cells undelivered (zero outcomes); fill those with the cancellation
+	// error first, so an undecided candidate is reported canceled rather
+	// than spuriously infeasible.
 	for ci := range sc.cands {
+		if !finished[ci] {
+			sc.fillUndelivered(ci, nm, per)
+		}
 		emit(ci)
 	}
 }
@@ -641,23 +679,21 @@ func (sc *scheduler) dispatchRung(surviving []int, nm int, per [][]pairOutcome, 
 	if total == 0 {
 		return
 	}
-	tasks := make(chan int)
+	feed := sc.feed(surviving, nm)
 	var wg sync.WaitGroup
 	for w := 0; w < sc.workerCount(total); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for k := range tasks {
+			for {
+				k, ok := feed.Next()
+				if !ok {
+					return
+				}
 				sc.runTaskGuarded(k, nm, per, target, countRestores)
 			}
 		}()
 	}
-	for _, ci := range surviving {
-		for mi := 0; mi < nm; mi++ {
-			tasks <- ci*nm + mi
-		}
-	}
-	close(tasks)
 	wg.Wait()
 }
 

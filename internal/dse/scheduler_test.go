@@ -545,17 +545,25 @@ func TestInLoopAbandonSavesIterations(t *testing.T) {
 
 	run := func(abandonEvery int) (*CandidateResult, SweepStats) {
 		var weakStarted atomic.Int32
+		strongDone := make(chan struct{})
 		mapModelFn = func(ev *eval.Evaluator, cfg *arch.Config, g *dnn.Graph, o Options, stop func() bool, from, to int) (*MapResult, error) {
 			if cfg.Name == strong.Name {
 				// Let the dominated cells pass their pre-cell bound check and
-				// enter SA before the incumbent exists, so only the in-loop
-				// poll can cut them off.
+				// enter their mapModel call before the incumbent exists, so
+				// only the in-loop poll can cut them off.
 				for weakStarted.Load() < 2 {
 					runtime.Gosched()
 				}
-			} else {
-				weakStarted.Add(1)
+				mr, err := orig(ev, cfg, g, o, stop, from, to)
+				close(strongDone)
+				return mr, err
 			}
+			weakStarted.Add(1)
+			// Hold the dominated cells — already past their pre-cell gate —
+			// until the strong result exists, so the incumbent lands within
+			// their first few abandonment polls instead of racing their last:
+			// the saved iterations don't depend on wall-clock interleaving.
+			<-strongDone
 			return orig(ev, cfg, g, o, stop, from, to)
 		}
 		o := opt

@@ -786,6 +786,7 @@ var optsFingerprintExclusions = map[string]string{
 	"BoundParams":   "evaluator params for bound computation; never touch a cell's SA search",
 	"CacheDir":      "storage location, not content; moving the cache must not invalidate it",
 	"OnResult":      "observer callback; notification cannot alter results",
+	"Dispatch":      "cell-feed wrapper; it schedules or withholds cells, never changes a computed cell",
 	"SweepID":       "labels the sweep — a renamed sweep must keep hitting its old cells",
 	"Retry":         "failure-handling policy; a cell that succeeds is attempt-count-independent",
 	"CellTimeout":   "wall-clock guard producing typed failures, never different values",

@@ -9,6 +9,7 @@ package dse
 
 import (
 	"fmt"
+	"regexp"
 	"time"
 
 	"gemini/internal/arch"
@@ -106,6 +107,16 @@ type Spec struct {
 	// same ID resumes instead of recomputing; empty means the server
 	// assigns a fresh ID.
 	ID string `json:"id,omitempty"`
+	// Tenant names the submitting tenant for the sweep service's admission
+	// control and fair-share dispatch; empty means the default tenant. The
+	// mapping engine itself ignores it — which tenant paid for a cell can
+	// never change the cell's bits.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the sweep's scheduling class at the sweep service:
+	// "interactive" (the default) dispatches ahead of "batch", and only
+	// batch sweeps are preemptible. Like Tenant it never reaches the
+	// mapping engine.
+	Priority string `json:"priority,omitempty"`
 	// Space selects the candidate grid.
 	Space SpaceSpec `json:"space"`
 	// Models lists the workloads (dnn.Model names) mapped on every
@@ -173,12 +184,62 @@ type RetrySpec struct {
 	MaxDelayMS int `json:"max_delay_ms,omitempty"`
 }
 
+// SweepPriority is a sweep's scheduling class at the sweep service.
+type SweepPriority string
+
+const (
+	// PriorityInteractive is the default class: interactive sweeps dispatch
+	// ahead of batch sweeps and are never preempted.
+	PriorityInteractive SweepPriority = "interactive"
+	// PriorityBatch marks throughput work: batch sweeps yield dispatch
+	// priority to interactive ones and may be preempted (checkpointed and
+	// later resumed) when an interactive sweep needs their worker slots.
+	PriorityBatch SweepPriority = "batch"
+)
+
+// tenantPattern is the accepted tenant-name shape: short, path- and
+// filename-safe, the same alphabet sweep ids use.
+var tenantPattern = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// maxSpecGrid bounds the raw cross product of a spec's dimension lists
+// before cut-divisibility filtering. The full Table I grids sit around
+// 2x10^4 combinations; anything past a million is a malformed or hostile
+// spec, not an experiment.
+const maxSpecGrid = 1 << 20
+
 // Validate checks the spec without enumerating the space: space selection,
 // model names, order keyword and numeric ranges. It returns the first
 // problem found, phrased for an API client.
 func (s *Spec) Validate() error {
-	if _, err := s.Space.Space(); err != nil {
+	sp, err := s.Space.Space()
+	if err != nil {
 		return err
+	}
+	// Cap the dimension-list cross product before anything enumerates it:
+	// Candidates() materializes the grid, and a hostile spec could otherwise
+	// request an absurd one. Cuts counts twice (XCut x YCut); the product is
+	// compared with overflow-safe division, never computed past the cap.
+	grid := 1
+	for _, n := range [...]int{
+		len(sp.Cuts), len(sp.Cuts), len(sp.DRAMPerTOPS),
+		len(sp.NoCBWs), len(sp.D2DRatios), len(sp.GLBs), len(sp.MACs),
+	} {
+		if n == 0 {
+			continue
+		}
+		if grid > maxSpecGrid/n {
+			return fmt.Errorf("dse: spec space exceeds %d raw grid combinations", maxSpecGrid)
+		}
+		grid *= n
+	}
+	if s.Tenant != "" && !tenantPattern.MatchString(s.Tenant) {
+		return fmt.Errorf("dse: spec tenant %q: want %s", s.Tenant, tenantPattern)
+	}
+	switch SweepPriority(s.Priority) {
+	case "", PriorityInteractive, PriorityBatch:
+	default:
+		return fmt.Errorf("dse: unsupported priority %q (want %q or %q)",
+			s.Priority, PriorityInteractive, PriorityBatch)
 	}
 	if len(s.Models) == 0 {
 		return fmt.Errorf("dse: spec has no models (have %v)", dnn.ModelNames())
@@ -246,8 +307,10 @@ func (s *Spec) Validate() error {
 //
 //gemini:fingerprint-exclude Spec
 var specResolveExclusions = map[string]string{
-	"Space":  "resolved by Candidates(); the architecture fingerprint keys each cell",
-	"Models": "resolved by Graphs(); the model name keys each cell",
+	"Space":    "resolved by Candidates(); the architecture fingerprint keys each cell",
+	"Models":   "resolved by Graphs(); the model name keys each cell",
+	"Tenant":   "queueing identity consumed by the sweep service's admission control; the mapping engine never sees it",
+	"Priority": "scheduling class consumed by the sweep service's dispatcher; it orders and preempts sweeps, never changes a cell",
 }
 
 // Options resolves the spec's mapping options, applying the DefaultOptions

@@ -1,0 +1,325 @@
+// The scheduling-conformance suite for the multi-tenant sweep queue. Every
+// test drives sweepQueue directly — no HTTP, no goroutines, no sleeps: the
+// queue is a synchronous state machine, so dispatch decisions are asserted
+// as exact sequences. Determinism itself is a pinned property: the same
+// arrival pattern must produce the same grant order on every run.
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"gemini/internal/dse"
+)
+
+// queueRecorder collects the queue's transition events in order.
+type queueRecorder struct {
+	events []queueEvent
+}
+
+func (r *queueRecorder) hook(ev queueEvent) { r.events = append(r.events, ev) }
+
+// ids returns the ids of every recorded event of one kind, in order.
+func (r *queueRecorder) ids(kind string) []string {
+	var out []string
+	for _, ev := range r.events {
+		if ev.kind == kind {
+			out = append(out, ev.id)
+		}
+	}
+	return out
+}
+
+// fakeClock is a deterministic queue clock: each call advances one second.
+func fakeClock() func() time.Time {
+	t0 := time.Unix(0, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Second)
+	}
+}
+
+// isGranted consumes a pending grant token, reporting whether one existed.
+func isGranted(j *job) bool {
+	select {
+	case <-j.granted():
+		return true
+	default:
+		return false
+	}
+}
+
+// drain completes every admitted job in dispatch order (each dispatched job
+// finishes before the next completion), returning the full grant sequence.
+func drain(t *testing.T, q *sweepQueue, rec *queueRecorder, jobs map[string]*job) []string {
+	t.Helper()
+	released := make(map[string]bool)
+	for done := 0; done < len(jobs); {
+		progressed := false
+		for _, ev := range rec.events {
+			if ev.kind != "dispatch" || released[ev.id] {
+				continue
+			}
+			released[ev.id] = true
+			q.Release(jobs[ev.id])
+			done++
+			progressed = true
+			break
+		}
+		if !progressed {
+			t.Fatalf("queue stalled with %d of %d jobs finished; events: %+v", done, len(jobs), rec.events)
+		}
+	}
+	return rec.ids("dispatch")
+}
+
+// TestQueueDispatchOrderDeterministic pins the acceptance criterion: for
+// three fixed seeds, a randomized multi-tenant arrival pattern dispatches
+// in exactly the same order every time it is replayed.
+func TestQueueDispatchOrderDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		run := func() []string {
+			rec := &queueRecorder{}
+			q := newSweepQueue(queueConfig{
+				slots: 4, queueDepth: 64, maxQueued: 256,
+				weights: map[string]int{"a": 2, "b": 1, "c": 1},
+				now:     fakeClock(), hook: rec.hook,
+			})
+			rng := rand.New(rand.NewSource(seed))
+			tenants := []string{"a", "b", "c"}
+			jobs := make(map[string]*job)
+			for i := 0; i < 24; i++ {
+				ten := tenants[rng.Intn(len(tenants))]
+				pri := dse.PriorityBatch
+				if rng.Intn(2) == 0 {
+					pri = dse.PriorityInteractive
+				}
+				id := fmt.Sprintf("s%02d", i)
+				j, aerr := q.Admit(id, ten, pri, 1+rng.Intn(2))
+				if aerr != nil {
+					t.Fatalf("seed %d: admit %s: %v", seed, id, aerr)
+				}
+				jobs[id] = j
+			}
+			return drain(t, q, rec, jobs)
+		}
+		first := run()
+		if len(first) != 24 {
+			t.Fatalf("seed %d: dispatched %d of 24 jobs", seed, len(first))
+		}
+		second := run()
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("seed %d: dispatch order is not deterministic:\n first: %v\nsecond: %v", seed, first, second)
+		}
+	}
+}
+
+// TestQueuePriorityClasses pins that a later-arriving interactive sweep
+// dispatches ahead of an earlier-queued batch sweep.
+func TestQueuePriorityClasses(t *testing.T) {
+	rec := &queueRecorder{}
+	q := newSweepQueue(queueConfig{slots: 1, queueDepth: 8, maxQueued: 64, now: fakeClock(), hook: rec.hook})
+	filler, _ := q.Admit("filler", "t1", dse.PriorityInteractive, 1)
+	if !isGranted(filler) {
+		t.Fatal("uncontended filler did not dispatch synchronously")
+	}
+	batch, _ := q.Admit("batch", "t1", dse.PriorityBatch, 1)
+	inter, _ := q.Admit("inter", "t2", dse.PriorityInteractive, 1)
+	if isGranted(batch) || isGranted(inter) {
+		t.Fatal("jobs dispatched while the pool was full")
+	}
+	q.Release(filler)
+	if !isGranted(inter) {
+		t.Error("interactive sweep did not jump the earlier batch sweep")
+	}
+	if isGranted(batch) {
+		t.Error("batch sweep dispatched alongside the interactive one on a 1-slot pool")
+	}
+	q.Release(inter)
+	if !isGranted(batch) {
+		t.Error("batch sweep did not dispatch once the interactive class drained")
+	}
+	q.Release(batch)
+	if got := rec.ids("dispatch"); !reflect.DeepEqual(got, []string{"filler", "inter", "batch"}) {
+		t.Errorf("dispatch order = %v", got)
+	}
+}
+
+// TestQueueFairShareWeights pins the deficit round-robin ratio: with
+// weights 2:1 and unit-slot batch jobs on a 1-slot pool, the long-run grant
+// pattern is exactly two of tenant a per one of tenant b.
+func TestQueueFairShareWeights(t *testing.T) {
+	rec := &queueRecorder{}
+	q := newSweepQueue(queueConfig{
+		slots: 1, queueDepth: 16, maxQueued: 64,
+		weights: map[string]int{"a": 2, "b": 1},
+		now:     fakeClock(), hook: rec.hook,
+	})
+	jobs := make(map[string]*job)
+	for i := 0; i < 6; i++ {
+		for _, ten := range []string{"a", "b"} {
+			id := fmt.Sprintf("%s%d", ten, i)
+			j, aerr := q.Admit(id, ten, dse.PriorityBatch, 1)
+			if aerr != nil {
+				t.Fatal(aerr)
+			}
+			jobs[id] = j
+		}
+	}
+	order := drain(t, q, rec, jobs)
+	// a0 dispatches on admission (empty pool); thereafter every AAB block
+	// realizes the 2:1 weight ratio until tenant a drains.
+	want := []string{"a0", "a1", "b0", "a2", "a3", "b1", "a4", "a5", "b2", "b3", "b4", "b5"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("weighted fair-share order:\n got: %v\nwant: %v", order, want)
+	}
+}
+
+// TestQueuePreemptResume pins the preemption protocol end to end at the
+// queue level: signal on the newest batch job, yield, interactive dispatch,
+// and front-of-queue resume once the slots free — with the counters the
+// health endpoint reports.
+func TestQueuePreemptResume(t *testing.T) {
+	rec := &queueRecorder{}
+	q := newSweepQueue(queueConfig{slots: 1, queueDepth: 8, maxQueued: 64, now: fakeClock(), hook: rec.hook})
+	batch, _ := q.Admit("batch", "bulk", dse.PriorityBatch, 1)
+	if !isGranted(batch) {
+		t.Fatal("batch job did not dispatch on an idle pool")
+	}
+	inter, _ := q.Admit("inter", "dev", dse.PriorityInteractive, 1)
+	if got := rec.ids("preempt"); !reflect.DeepEqual(got, []string{"batch"}) {
+		t.Fatalf("preempt signals = %v, want [batch]", got)
+	}
+	// The handler binds its round-cancel hook after the signal raced ahead:
+	// it must fire immediately.
+	fired := false
+	q.BindPreempt(batch, func() { fired = true })
+	if !fired {
+		t.Error("late-bound preempt hook did not fire for an already-signaled job")
+	}
+	// The preempted handler checkpoints, then acks.
+	q.Yield(batch)
+	if !isGranted(inter) {
+		t.Error("interactive sweep did not dispatch after the batch yield")
+	}
+	if isGranted(batch) {
+		t.Error("yielded batch sweep kept a grant")
+	}
+	q.Release(inter)
+	if !isGranted(batch) {
+		t.Error("preempted batch sweep did not resume once the interactive sweep finished")
+	}
+	q.Release(batch)
+	qh := q.health()
+	if qh.Preemptions != 1 || qh.Resumes != 1 {
+		t.Errorf("preemptions=%d resumes=%d, want 1 and 1", qh.Preemptions, qh.Resumes)
+	}
+	if got := rec.ids("dispatch"); !reflect.DeepEqual(got, []string{"batch", "inter", "batch"}) {
+		t.Errorf("dispatch sequence = %v", got)
+	}
+}
+
+// TestQueueBatchShare pins the batch slot cap: while interactive work is
+// present, batch may not grow past BatchShare of the pool, but with no
+// interactive work the queue is work-conserving.
+func TestQueueBatchShare(t *testing.T) {
+	q := newSweepQueue(queueConfig{slots: 4, queueDepth: 16, maxQueued: 64, batchShare: 0.5, now: fakeClock()})
+	b1, _ := q.Admit("b1", "bulk", dse.PriorityBatch, 1)
+	i1, _ := q.Admit("i1", "dev", dse.PriorityInteractive, 1)
+	b3, _ := q.Admit("b3", "bulk", dse.PriorityBatch, 1)
+	if !isGranted(b1) || !isGranted(i1) || !isGranted(b3) {
+		t.Fatal("jobs within the share did not dispatch")
+	}
+	// Two batch slots are the whole share on a 4-slot pool while i1 runs:
+	// b2 must wait even though two slots are free.
+	b2, _ := q.Admit("b2", "bulk", dse.PriorityBatch, 2)
+	if isGranted(b2) {
+		t.Fatal("batch sweep dispatched past the batch share under interactive load")
+	}
+	q.Release(i1)
+	// No interactive work left: work conservation lets batch take the pool.
+	if !isGranted(b2) {
+		t.Error("batch sweep still gated with no interactive work present")
+	}
+	q.Release(b1)
+	q.Release(b2)
+	q.Release(b3)
+}
+
+// TestQueueQuotaRejections pins the admission envelopes: per-tenant 429,
+// server-wide 503, Retry-After growth with backlog, and the health
+// counters.
+func TestQueueQuotaRejections(t *testing.T) {
+	q := newSweepQueue(queueConfig{slots: 1, queueDepth: 2, maxQueued: 3, now: fakeClock()})
+	if _, aerr := q.Admit("r1", "a", dse.PriorityBatch, 1); aerr != nil {
+		t.Fatal(aerr)
+	}
+	for i := 0; i < 2; i++ {
+		if _, aerr := q.Admit(fmt.Sprintf("w%d", i), "a", dse.PriorityBatch, 1); aerr != nil {
+			t.Fatal(aerr)
+		}
+	}
+	// Tenant a has two sweeps waiting: its quota.
+	_, aerr := q.Admit("over", "a", dse.PriorityBatch, 1)
+	if aerr == nil || aerr.code != 429 {
+		t.Fatalf("over-quota admit: %+v, want 429", aerr)
+	}
+	if aerr.retryAfter != 3 { // 1 + 2 waiting
+		t.Errorf("429 retryAfter = %d, want 3", aerr.retryAfter)
+	}
+	// Tenant b fits under its own quota and fills the global bound.
+	if _, aerr := q.Admit("w3", "b", dse.PriorityBatch, 1); aerr != nil {
+		t.Fatal(aerr)
+	}
+	_, aerr = q.Admit("flood", "c", dse.PriorityBatch, 1)
+	if aerr == nil || aerr.code != 503 {
+		t.Fatalf("over-backlog admit: %+v, want 503", aerr)
+	}
+	if aerr.retryAfter != 4 { // 1 + 3 waiting
+		t.Errorf("503 retryAfter = %d, want 4", aerr.retryAfter)
+	}
+	qh := q.health()
+	if qh.Rejected429 != 1 || qh.Rejected503 != 1 {
+		t.Errorf("rejected counters = %d/%d, want 1/1", qh.Rejected429, qh.Rejected503)
+	}
+}
+
+// TestQueueInteractiveTTFRBeatsFIFO pins the acceptance criterion that
+// priority scheduling improves interactive time-to-first-result under mixed
+// load: the interactive sweep's dispatch index (the TTFR proxy — every
+// dispatch is one sweep completion away) must beat the no-priority FIFO
+// baseline's on the identical arrival pattern.
+func TestQueueInteractiveTTFRBeatsFIFO(t *testing.T) {
+	run := func(fifo bool) uint64 {
+		rec := &queueRecorder{}
+		q := newSweepQueue(queueConfig{slots: 2, queueDepth: 16, maxQueued: 64, fifo: fifo, now: fakeClock(), hook: rec.hook})
+		jobs := make(map[string]*job)
+		for i := 0; i < 6; i++ {
+			id := fmt.Sprintf("bulk%d", i)
+			j, aerr := q.Admit(id, "bulk", dse.PriorityBatch, 1)
+			if aerr != nil {
+				t.Fatal(aerr)
+			}
+			jobs[id] = j
+		}
+		dev, aerr := q.Admit("dev", "dev", dse.PriorityInteractive, 1)
+		if aerr != nil {
+			t.Fatal(aerr)
+		}
+		jobs["dev"] = dev
+		drain(t, q, rec, jobs)
+		return dev.grantIndex
+	}
+	priority := run(false)
+	baseline := run(true)
+	if priority >= baseline {
+		t.Errorf("interactive dispatch index %d under priority scheduling, %d under FIFO; priority must win", priority, baseline)
+	}
+	if baseline != 7 {
+		t.Errorf("FIFO baseline dispatched the interactive sweep %dth, want 7th (behind every batch job)", baseline)
+	}
+}

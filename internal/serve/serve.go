@@ -4,20 +4,32 @@
 //
 // Endpoints:
 //
-//	POST   /sweep        submit a dse.Spec; the response body is an NDJSON
-//	                     event stream (start, one result per candidate in
-//	                     completion order, done/error)
-//	GET    /sweeps       list every sweep the server knows about
-//	GET    /sweeps/{id}  one sweep's status, progress and final stats
-//	DELETE /sweeps/{id}  cancel a running sweep
-//	GET    /healthz      liveness plus session-cache and incumbent metrics
+//	POST   /sweep               submit a dse.Spec; the response body is an
+//	                            NDJSON event stream (queued when the sweep
+//	                            waits, start, one result per candidate in
+//	                            completion order, preempted/resumed around
+//	                            queue preemptions, done/error)
+//	GET    /sweeps              list every sweep the server knows about
+//	GET    /sweeps/{id}         one sweep's status, progress and final stats
+//	GET    /sweeps/{id}/stream  replay the sweep's event stream from the
+//	                            beginning, then follow it live (re-attach)
+//	DELETE /sweeps/{id}         cancel a running or queued sweep
+//	GET    /healthz             liveness plus session-cache, incumbent and
+//	                            queue metrics
 //
 // Sweeps are checkpointed server-side per sweep id (Config.DataDir): every
 // settled (candidate, model) cell is persisted as it completes, so a killed
 // client that re-POSTs its spec under the same id — or a restarted server —
 // resumes from the checkpoint and recomputes none of the finished cells.
-// Concurrent sweeps are spread round-robin over the session pool and share
-// each session's evaluation cache through the existing sweep scheduler.
+//
+// Execution is gated by a multi-tenant job queue over a fixed worker-slot
+// pool: interactive sweeps dispatch ahead of batch sweeps, tenants share
+// slots by weighted deficit round-robin, per-tenant quotas reject excess
+// backlog with 429 (server-wide overload with 503), and a blocked
+// interactive sweep preempts the newest batch work — which checkpoints,
+// yields and later resumes from its settled cells for free. Dispatched
+// sweeps are spread round-robin over the session pool and share each
+// session's evaluation cache through the existing sweep scheduler.
 //
 //gemini:deterministic-output
 //gemini:documented
@@ -29,6 +41,7 @@ import (
 	"fmt"
 	"net/http"
 	"regexp"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,10 +58,28 @@ type Config struct {
 	// less cache sharing but also less cache-lock contention; sweeps are
 	// assigned round-robin.
 	Sessions int
-	// MaxConcurrentSweeps bounds simultaneously running sweeps (default 4).
-	// Excess POSTs are rejected with 429 rather than queued, so a client
-	// can fail over to another replica.
+	// MaxConcurrentSweeps bounds simultaneously dispatched sweeps (default
+	// 4). Excess admitted sweeps wait in the queue; excess backlog is
+	// rejected (QueueDepth, MaxQueuedSweeps).
 	MaxConcurrentSweeps int
+	// WorkerSlots is the worker-slot pool the queue dispatches sweeps
+	// against (default GOMAXPROCS). A sweep occupies its clamped Workers
+	// request in slots while it runs.
+	WorkerSlots int
+	// QueueDepth is the per-tenant waiting-sweep quota (default 8); a
+	// tenant POSTing beyond it gets 429 with a Retry-After.
+	QueueDepth int
+	// MaxQueuedSweeps is the server-wide waiting-sweep bound (default 64);
+	// beyond it POSTs get 503 so clients fail over to another replica.
+	MaxQueuedSweeps int
+	// BatchShare is the fraction of WorkerSlots batch-priority sweeps may
+	// hold while interactive work is queued or running (default 0.5). With
+	// no interactive work the queue is work-conserving and batch may use
+	// every slot.
+	BatchShare float64
+	// TenantWeights sets per-tenant fair-share weights for the queue's
+	// deficit round-robin; unlisted tenants weigh 1.
+	TenantWeights map[string]int
 	// MaxCells caps a single sweep's (candidate, model) grid (default
 	// 1<<20 cells); larger specs are rejected with 400.
 	MaxCells int
@@ -92,6 +123,13 @@ func (c Config) maxCells() int {
 	return c.MaxCells
 }
 
+func (c Config) workerSlots() int {
+	if c.WorkerSlots <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.WorkerSlots
+}
+
 // Server is the sweep service. Create with New, mount as an http.Handler,
 // and Close on shutdown to cancel running sweeps. Server is safe for
 // concurrent use.
@@ -105,10 +143,13 @@ type Server struct {
 	pool []*dse.Session
 	next atomic.Uint64
 
-	mu      sync.Mutex
-	sweeps  map[string]*sweep
-	order   []string // sweep ids in registration order (for listing/eviction)
-	running int
+	// queue is the multi-tenant admission/dispatch state machine every
+	// sweep passes through before it may touch a session.
+	queue *sweepQueue
+
+	mu     sync.Mutex
+	sweeps map[string]*sweep
+	order  []string // sweep ids in registration order (for listing/eviction)
 
 	// persist tracks checkpoint/status save health server-wide; a failing
 	// DataDir degrades persistence (sweeps keep running and streaming), it
@@ -145,6 +186,14 @@ func New(cfg Config) *Server {
 		s.pool[i] = dse.NewSession()
 		s.pool[i].Logf = s.logf
 	}
+	s.queue = newSweepQueue(queueConfig{
+		slots:      cfg.workerSlots(),
+		maxRunning: cfg.maxSweeps(),
+		queueDepth: cfg.QueueDepth,
+		maxQueued:  cfg.MaxQueuedSweeps,
+		batchShare: cfg.BatchShare,
+		weights:    cfg.TenantWeights,
+	})
 	// Restore the finished-sweep history before serving: GET /sweeps then
 	// reports the predecessor process's sweeps alongside new ones.
 	s.loadStatuses()
@@ -152,6 +201,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /sweep", s.handleSweep)
 	mux.HandleFunc("GET /sweeps", s.handleList)
 	mux.HandleFunc("GET /sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /sweeps/{id}/stream", s.handleStream)
 	mux.HandleFunc("DELETE /sweeps/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux = mux
@@ -185,26 +235,22 @@ var sweepIDPattern = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
 // retiredSweeps bounds the finished-sweep history kept for GET /sweeps.
 const retiredSweeps = 1024
 
-// register records a new running sweep, enforcing the id-uniqueness and
-// concurrency limits. The returned http status is 0 on success.
-func (s *Server) register(sw *sweep) (int, error) {
+// register records a new sweep, enforcing id uniqueness. The returned http
+// status is 0 on success; undo then reverses the registration (restoring
+// any superseded finished record) should queue admission reject the sweep.
+func (s *Server) register(sw *sweep) (undo func(), code int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.base.Err() != nil {
-		return http.StatusServiceUnavailable, fmt.Errorf("server is shutting down")
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down")
 	}
-	if old, ok := s.sweeps[sw.id]; ok {
-		if old.stateNow() == StateRunning {
-			return http.StatusConflict, fmt.Errorf("sweep %q is already running", sw.id)
-		}
-		// A finished record under the same id is superseded: re-POSTing a
-		// spec is how clients resume after a disconnect or server restart.
+	old, existed := s.sweeps[sw.id]
+	if existed && old.active() {
+		return nil, http.StatusConflict, fmt.Errorf("sweep %q is already running", sw.id)
 	}
-	if s.running >= s.cfg.maxSweeps() {
-		return http.StatusTooManyRequests, fmt.Errorf("at capacity: %d sweeps running", s.running)
-	}
-	s.running++
-	if _, ok := s.sweeps[sw.id]; !ok {
+	// A finished record under the same id is superseded: re-POSTing a
+	// spec is how clients resume after a disconnect or server restart.
+	if !existed {
 		s.order = append(s.order, sw.id)
 	}
 	s.sweeps[sw.id] = sw
@@ -212,7 +258,7 @@ func (s *Server) register(sw *sweep) (int, error) {
 	for len(s.order) > retiredSweeps {
 		evicted := false
 		for i, id := range s.order {
-			if s.sweeps[id].stateNow() != StateRunning {
+			if !s.sweeps[id].active() {
 				delete(s.sweeps, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				s.removeStatus(id)
@@ -224,14 +270,25 @@ func (s *Server) register(sw *sweep) (int, error) {
 			break
 		}
 	}
-	return 0, nil
-}
-
-// release marks a sweep's run slot free.
-func (s *Server) release() {
-	s.mu.Lock()
-	s.running--
-	s.mu.Unlock()
+	undo = func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if cur, ok := s.sweeps[sw.id]; !ok || cur != sw {
+			return
+		}
+		if existed {
+			s.sweeps[sw.id] = old
+			return
+		}
+		delete(s.sweeps, sw.id)
+		for i, id := range s.order {
+			if id == sw.id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	return undo, 0, nil
 }
 
 func (s *Server) lookup(id string) (*sweep, bool) {
@@ -265,6 +322,9 @@ func (s *Server) statuses() []SweepStatus {
 // errorBody is the JSON error envelope of every non-streaming failure.
 type errorBody struct {
 	Error string `json:"error"`
+	// RetryAfterSeconds mirrors the Retry-After header on queue rejections
+	// (429 per-tenant quota, 503 server-wide backlog); zero otherwise.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -277,6 +337,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeRejection writes a queue admission rejection: the Retry-After header
+// plus the error envelope mirroring it.
+func writeRejection(w http.ResponseWriter, aerr *admitError) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", aerr.retryAfter))
+	writeJSON(w, aerr.code, errorBody{Error: aerr.msg, RetryAfterSeconds: aerr.retryAfter})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -345,11 +412,56 @@ type FaultCounts struct {
 
 // SweepCounts aggregates sweep states for the health endpoint.
 type SweepCounts struct {
-	// Running, Done, Canceled and Failed count sweeps by state.
+	// Queued, Running, Done, Canceled and Failed count sweeps by state.
+	Queued   int `json:"queued"`
 	Running  int `json:"running"`
 	Done     int `json:"done"`
 	Canceled int `json:"canceled"`
 	Failed   int `json:"failed"`
+}
+
+// TenantHealth is one tenant's queue accounting in the health body.
+type TenantHealth struct {
+	// Name is the tenant (dse.Spec.Tenant, "default" when unset).
+	Name string `json:"name"`
+	// Weight is the tenant's fair-share weight.
+	Weight int `json:"weight"`
+	// Waiting and Running count the tenant's queued and dispatched sweeps.
+	Waiting int `json:"waiting"`
+	// Running counts the tenant's dispatched sweeps.
+	Running int `json:"running"`
+	// Dispatched, Preemptions and Rejected are lifetime counters.
+	Dispatched int64 `json:"dispatched"`
+	// Preemptions counts the tenant's preemption-yield cycles.
+	Preemptions int64 `json:"preemptions"`
+	// Rejected counts the tenant's admission rejections (429 and 503).
+	Rejected int64 `json:"rejected"`
+}
+
+// QueueHealth is the sweep queue's snapshot in the health body.
+type QueueHealth struct {
+	// Slots and FreeSlots size the worker-slot pool.
+	Slots int `json:"slots"`
+	// FreeSlots is how many slots are currently unheld.
+	FreeSlots int `json:"free_slots"`
+	// BatchShare is the configured batch slot share under interactive load.
+	BatchShare float64 `json:"batch_share"`
+	// RunningSweeps counts dispatched sweeps holding slots.
+	RunningSweeps int `json:"running_sweeps"`
+	// WaitingInteractive and WaitingBatch count queued sweeps by class.
+	WaitingInteractive int `json:"waiting_interactive"`
+	// WaitingBatch counts queued batch-priority sweeps.
+	WaitingBatch int `json:"waiting_batch"`
+	// Preemptions and Resumes are lifetime preemption-cycle counters.
+	Preemptions int64 `json:"preemptions"`
+	// Resumes counts re-dispatches of previously preempted sweeps.
+	Resumes int64 `json:"resumes"`
+	// Rejected429 and Rejected503 count admission rejections by status.
+	Rejected429 int64 `json:"rejected_429"`
+	// Rejected503 counts server-wide backlog rejections.
+	Rejected503 int64 `json:"rejected_503"`
+	// Tenants lists per-tenant accounting, sorted by name.
+	Tenants []TenantHealth `json:"tenants,omitempty"`
 }
 
 // RunningSweep is the health endpoint's live view of one running sweep: its
@@ -393,6 +505,9 @@ type Health struct {
 	// degraded (several consecutive failed saves). Work continues in memory;
 	// restart cost is what degrades.
 	PersistenceDegraded bool `json:"persistence_degraded"`
+	// Queue is the sweep queue's snapshot: slot occupancy, per-class
+	// backlog, preemption and rejection counters, per-tenant accounting.
+	Queue *QueueHealth `json:"queue,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -425,8 +540,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			Persistence:     ps,
 		})
 	}
+	h.Queue = s.queue.health()
 	for _, st := range s.statuses() {
 		switch st.State {
+		case StateQueued:
+			h.Sweeps.Queued++
 		case StateRunning:
 			h.Sweeps.Running++
 			h.Running = append(h.Running, RunningSweep{

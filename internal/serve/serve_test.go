@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -307,6 +308,11 @@ func TestConcurrentSweeps(t *testing.T) {
 	specs := []dse.Spec{tinySpec("conc-a", 8, 32), tinySpec("conc-b", 16, 64)}
 	// Overlap the grids so the sweeps race on the same shared cache keys.
 	specs[1].Models = []string{"tinycnn"}
+	// One worker slot each, so the queue dispatches both at once and the
+	// sweeps genuinely overlap (a defaulted request asks for the whole
+	// pool and would serialize them).
+	specs[0].Workers = 1
+	specs[1].Workers = 1
 
 	// No t.Fatal from goroutines: collect raw streams, parse on the main
 	// goroutine.
@@ -404,10 +410,44 @@ func TestSweepValidationErrors(t *testing.T) {
 	}
 }
 
-// TestDuplicateAndCapacity pins the 409 (same id already running) and 429
-// (server at capacity) rejections.
+// assertRejection checks a queue admission rejection's whole envelope:
+// status code, Retry-After header, and the JSON body mirroring it.
+func assertRejection(t *testing.T, resp *http.Response, want int) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		t.Fatalf("status %d, want %d", resp.StatusCode, want)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Errorf("%d rejection has no Retry-After header", want)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("%d rejection body is not the JSON envelope: %v", want, err)
+	}
+	if eb.Error == "" {
+		t.Errorf("%d rejection envelope has no error text", want)
+	}
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs != eb.RetryAfterSeconds {
+		t.Errorf("Retry-After header %q does not mirror retry_after_seconds %d", ra, eb.RetryAfterSeconds)
+	}
+}
+
+// TestDuplicateAndCapacity pins the 409 (same id already queued or running)
+// rejection and the queue's admission envelopes: a tenant over its waiting
+// quota gets 429 and a server over its global backlog bound gets 503, both
+// carrying a Retry-After header mirrored in the JSON body — and a rejected
+// sweep leaves no checkpoint or status file behind in the data dir.
 func TestDuplicateAndCapacity(t *testing.T) {
-	_, hs := newTestServer(t, Config{MaxConcurrentSweeps: 1})
+	dir := t.TempDir()
+	_, hs := newTestServer(t, Config{
+		DataDir:             dir,
+		MaxConcurrentSweeps: 1,
+		WorkerSlots:         1,
+		QueueDepth:          1,
+		MaxQueuedSweeps:     2,
+	})
 	slow := tinySpec("slow", 8, 16, 32, 64)
 	slow.SAIterations = 3000
 	slow.Restarts = 6
@@ -418,7 +458,7 @@ func TestDuplicateAndCapacity(t *testing.T) {
 		t.Fatalf("POST: %d", resp.StatusCode)
 	}
 	defer resp.Body.Close()
-	// Wait for the start event so the sweep is registered.
+	// Wait for the start event so the sweep is registered and dispatched.
 	sc := bufio.NewScanner(resp.Body)
 	if !sc.Scan() {
 		t.Fatal("no start event")
@@ -429,25 +469,76 @@ func TestDuplicateAndCapacity(t *testing.T) {
 	if dup.StatusCode != http.StatusConflict {
 		t.Errorf("duplicate running id: %d, want 409", dup.StatusCode)
 	}
-	other := postSpec(t, hs.URL, tinySpec("other"))
-	other.Body.Close()
-	if other.StatusCode != http.StatusTooManyRequests {
-		t.Errorf("over capacity: %d, want 429", other.StatusCode)
+
+	// Fill the default tenant's one waiting slot: this sweep queues behind
+	// slow and its stream opens with a queued event.
+	parked := postSpec(t, hs.URL, tinySpec("parked"))
+	defer parked.Body.Close()
+	if parked.StatusCode != http.StatusOK {
+		t.Fatalf("parked POST: %d", parked.StatusCode)
+	}
+	psc := bufio.NewScanner(parked.Body)
+	if !psc.Scan() {
+		t.Fatal("no queued event on the parked sweep")
+	}
+	var queued Event
+	if err := json.Unmarshal(psc.Bytes(), &queued); err != nil {
+		t.Fatal(err)
+	}
+	if queued.Type != "queued" || queued.Tenant != "default" || queued.Position != 1 {
+		t.Errorf("parked sweep's first event = %+v, want queued at position 1", queued)
 	}
 
+	// One waiting sweep is the default tenant's whole quota: 429.
+	assertRejection(t, postSpec(t, hs.URL, tinySpec("rejected")), http.StatusTooManyRequests)
+
+	// Another tenant still fits (global bound 2 not yet reached)...
+	other := tinySpec("other-tenant")
+	other.Tenant = "acme"
+	otherResp := postSpec(t, hs.URL, other)
+	defer otherResp.Body.Close()
+	if otherResp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant POST: %d", otherResp.StatusCode)
+	}
+	osc := bufio.NewScanner(otherResp.Body)
+	if !osc.Scan() {
+		t.Fatal("no queued event on the other tenant's sweep")
+	}
+	// ...and now the backlog is at the server-wide bound: 503 for everyone.
+	flood := tinySpec("flood")
+	flood.Tenant = "flood"
+	assertRejection(t, postSpec(t, hs.URL, flood), http.StatusServiceUnavailable)
+
+	// Rejected sweeps must leave no server-side trace: no status record on
+	// the API, no checkpoint or status file on disk.
+	for _, id := range []string{"rejected", "flood"} {
+		if _, code := getStatus(t, hs.URL, id); code != http.StatusNotFound {
+			t.Errorf("rejected sweep %q has a status record (code %d)", id, code)
+		}
+		matches, _ := filepath.Glob(filepath.Join(dir, id+"*"))
+		if len(matches) != 0 {
+			t.Errorf("rejected sweep %q left files behind: %v", id, matches)
+		}
+	}
+
+	// Unblock the queue: cancel slow and drain every held stream.
 	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/sweeps/slow", nil)
 	dresp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dresp.Body.Close()
-	for sc.Scan() { // drain to completion
+	for sc.Scan() {
+	}
+	for psc.Scan() {
+	}
+	for osc.Scan() {
 	}
 
-	// With the slot free and the old sweep finished, the same id may rerun.
+	// With the slots free and the old sweep finished, the same id may rerun.
 	waitFor(t, func() bool {
 		st, _ := getStatus(t, hs.URL, "slow")
-		return st.State != StateRunning
+		return st.State != StateRunning && st.State != StateQueued
 	})
 	quick := tinySpec("slow")
 	events := runSweep(t, hs.URL, quick)

@@ -17,7 +17,6 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
-	"runtime"
 	"runtime/debug"
 	"sort"
 	"sync"
@@ -33,6 +32,10 @@ type SweepState string
 
 // Sweep lifecycle states.
 const (
+	// StateQueued marks a sweep admitted by the queue but not yet holding
+	// worker slots — waiting for dispatch, or parked mid-run by a
+	// preemption.
+	StateQueued SweepState = "queued"
 	// StateRunning marks a sweep whose grid is still being walked.
 	StateRunning SweepState = "running"
 	// StateDone marks a sweep whose every candidate settled.
@@ -200,10 +203,21 @@ func summarizeStats(st dse.SweepStats) *StatsSummary {
 	return out
 }
 
-// Event is one NDJSON line of a POST /sweep response stream.
+// Event is one NDJSON line of a POST /sweep (or GET /sweeps/{id}/stream)
+// response stream.
 type Event struct {
-	// Type is "start", "result", "rung", "done" or "error".
+	// Type is "queued", "start", "result", "rung", "preempted", "resumed",
+	// "done" or "error".
 	Type string `json:"type"`
+	// Tenant and Priority identify the sweep's queue identity (queued,
+	// preempted and resumed events).
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the sweep's class, "interactive" or "batch" (queued,
+	// preempted and resumed events).
+	Priority string `json:"priority,omitempty"`
+	// Position is the server-wide waiting count at admission, 1-based
+	// (queued events).
+	Position int `json:"position,omitempty"`
 	// SweepID names the sweep (every event carries it, so streams can be
 	// demultiplexed by tooling that merges them).
 	SweepID string `json:"sweep_id"`
@@ -217,7 +231,9 @@ type Event struct {
 	Models []string `json:"models,omitempty"`
 	// CheckpointCells is how many of this sweep's own (candidate, model)
 	// cells were already settled — and will be restored, not recomputed —
-	// when it started (start events; > 0 means the sweep is resuming).
+	// when it started (start events; > 0 means the sweep is resuming). On
+	// preempted and resumed events it is the settled-cell count carried
+	// across the preemption: resume restores exactly these for free.
 	// Cells of unrelated sweeps sharing the session are not counted.
 	CheckpointCells int `json:"checkpoint_cells,omitempty"`
 	// Result is the candidate outcome (result events).
@@ -242,6 +258,13 @@ type SweepStatus struct {
 	ID string `json:"id"`
 	// State is the sweep's lifecycle state.
 	State SweepState `json:"state"`
+	// Tenant is the sweep's queue tenant ("default" when the spec named
+	// none; empty on records persisted before tenancy existed).
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the sweep's queue class, "interactive" or "batch".
+	Priority string `json:"priority,omitempty"`
+	// Preemptions counts how many times the queue preempted this sweep.
+	Preemptions int `json:"preemptions,omitempty"`
 	// Candidates and Cells size the grid.
 	Candidates int `json:"candidates"`
 	// Cells is the (candidate, model) grid size.
@@ -273,9 +296,14 @@ type SweepStatus struct {
 
 // sweep is the server-side record of one sweep.
 type sweep struct {
-	id     string
-	server *Server
-	cancel context.CancelFunc
+	id       string
+	server   *Server
+	cancel   context.CancelFunc
+	tenant   string
+	priority dse.SweepPriority
+	// log is the sweep's bounded event history, replayed by
+	// GET /sweeps/{id}/stream.
+	log *eventLog
 	// ckpt caches whether a checkpoint file exists for this sweep id, so
 	// status snapshots (GET /sweeps, /healthz, the eviction scan) never
 	// touch the filesystem.
@@ -286,6 +314,7 @@ type sweep struct {
 	cands    int
 	cells    int
 	done     int
+	preempts int
 	best     *CandidateSummary
 	traj     []TrajectoryStep
 	rungs    []RungSummary
@@ -303,6 +332,30 @@ func (sw *sweep) stateNow() SweepState {
 	return sw.state
 }
 
+// active reports the sweep still owns its id: queued or running. Only
+// inactive records may be superseded by a re-POST or evicted.
+func (sw *sweep) active() bool {
+	st := sw.stateNow()
+	return st == StateRunning || st == StateQueued
+}
+
+// markRunning flips the sweep to running (initial dispatch and every
+// post-preemption resume).
+func (sw *sweep) markRunning() {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.state = StateRunning
+}
+
+// notePreempted parks the sweep back in the queued state and counts the
+// preemption.
+func (sw *sweep) notePreempted() {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.state = StateQueued
+	sw.preempts++
+}
+
 // status snapshots the sweep.
 func (sw *sweep) status() SweepStatus {
 	sw.mu.Lock()
@@ -310,6 +363,9 @@ func (sw *sweep) status() SweepStatus {
 	st := SweepStatus{
 		ID:             sw.id,
 		State:          sw.state,
+		Tenant:         sw.tenant,
+		Priority:       string(sw.priority),
+		Preemptions:    sw.preempts,
 		Candidates:     sw.cands,
 		Cells:          sw.cells,
 		DoneCandidates: sw.done,
@@ -532,7 +588,7 @@ func (s *Server) loadStatuses() {
 			s.logf("serve: skipping damaged status record %s: %v", p, err)
 			continue
 		}
-		if st.State == StateRunning {
+		if st.State == StateRunning || st.State == StateQueued {
 			st.State = StateCanceled
 			st.Error = "server restarted while the sweep was running"
 		}
@@ -561,22 +617,34 @@ func (s *Server) loadStatuses() {
 // cancel hook is a no-op: nothing is running.
 func restoredSweep(s *Server, st SweepStatus) *sweep {
 	sw := &sweep{
-		id:      st.ID,
-		server:  s,
-		cancel:  func() {},
-		state:   st.State,
-		cands:   st.Candidates,
-		cells:   st.Cells,
-		done:    st.DoneCandidates,
-		best:    st.Best,
-		traj:    st.Trajectory,
-		rungs:   st.Rungs,
-		stats:   st.Stats,
-		err:     st.Error,
-		started: st.StartedAt,
+		id:       st.ID,
+		server:   s,
+		cancel:   func() {},
+		tenant:   st.Tenant,
+		priority: dse.SweepPriority(st.Priority),
+		log:      newEventLog(),
+		state:    st.State,
+		cands:    st.Candidates,
+		cells:    st.Cells,
+		done:     st.DoneCandidates,
+		preempts: st.Preemptions,
+		best:     st.Best,
+		traj:     st.Trajectory,
+		rungs:    st.Rungs,
+		stats:    st.Stats,
+		err:      st.Error,
+		started:  st.StartedAt,
 	}
 	if st.FinishedAt != nil {
 		sw.finished = *st.FinishedAt
+	}
+	// The live event history died with the old process; synthesize the
+	// terminal event so GET /sweeps/{id}/stream on a restored sweep returns
+	// a closed one-line stream instead of hanging.
+	if st.State == StateDone {
+		sw.log.append(Event{Type: "done", SweepID: st.ID, Best: st.Best, Stats: st.Stats})
+	} else {
+		sw.log.append(Event{Type: "error", SweepID: st.ID, Error: st.Error, Stats: st.Stats})
 	}
 	sw.ckpt.Store(s.hasCheckpoint(st.ID))
 	return sw
@@ -702,50 +770,58 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tenant := spec.Tenant
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	priority := dse.SweepPriority(spec.Priority)
+	if priority == "" {
+		priority = dse.PriorityInteractive
+	}
+
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	sw := &sweep{
-		id:      spec.ID,
-		server:  s,
-		cancel:  cancel,
-		state:   StateRunning,
-		cands:   len(cands),
-		cells:   cells,
-		started: time.Now(),
+		id:       spec.ID,
+		server:   s,
+		cancel:   cancel,
+		tenant:   tenant,
+		priority: priority,
+		log:      newEventLog(),
+		state:    StateQueued,
+		cands:    len(cands),
+		cells:    cells,
+		started:  time.Now(),
 	}
-	if code, err := s.register(sw); code != 0 {
+	undoRegister, code, err := s.register(sw)
+	if code != 0 {
 		writeError(w, code, "%v", err)
 		return
 	}
-	defer s.release()
+	j, aerr := s.queue.Admit(spec.ID, tenant, priority, spec.Workers)
+	if aerr != nil {
+		// Admission rejections leave no trace: the registration rolls back
+		// (restoring any superseded finished record) and nothing was
+		// persisted, so a rejected client can simply retry after backoff.
+		undoRegister()
+		writeRejection(w, aerr)
+		return
+	}
+	defer s.queue.Release(j)
 	// Server shutdown cancels the sweep like a client disconnect would.
 	stopWatch := context.AfterFunc(s.base, cancel)
 	defer stopWatch()
-
-	ses := s.session()
-	if err := s.loadCheckpoint(ses, spec.ID); err != nil {
-		s.logf("serve: sweep %s: checkpoint load failed, recomputing: %v", spec.ID, err)
-	}
-	// Record checkpoint existence after the load, so a just-quarantined
-	// corrupt file is not reported as a usable checkpoint.
-	sw.ckpt.Store(s.hasCheckpoint(spec.ID))
-	opt := spec.Options()
-	opt.FaultInjector = s.cfg.FaultInjector
-	// The disk cache location is server policy, not part of the sweep spec:
-	// every sweep on this server spills through the one operator-chosen
-	// directory.
-	opt.CacheDir = s.cfg.CacheDir
-	// A client-supplied worker count is a resource request against a
-	// shared server: clamp it to the machine so one spec cannot spawn an
-	// unbounded goroutine fleet (0 already means GOMAXPROCS).
-	if opt.Workers > runtime.GOMAXPROCS(0) {
-		opt.Workers = runtime.GOMAXPROCS(0)
-	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Sweep-Id", spec.ID)
 	w.WriteHeader(http.StatusOK)
 	stream := newStreamWriter(w)
+	// emit records every event in the sweep's replayable log (the
+	// GET /sweeps/{id}/stream source) and sends it down the POST stream.
+	emit := func(ev Event) {
+		sw.log.append(ev)
+		stream.send(ev)
+	}
 	// Terminal backstop: the engine recovers panics at the cell and worker
 	// level, but if anything above those nets still panics, the stream must
 	// end with a typed error event — carrying whatever fault counters the
@@ -760,13 +836,50 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.logf("serve: sweep %s: handler panicked (recovered): %v\n%s", spec.ID, v, stack)
 		msg := fmt.Sprintf("internal error: sweep handler panicked: %v", v)
 		st := sw.status()
-		if st.State == StateRunning {
+		if st.State == StateRunning || st.State == StateQueued {
 			sw.finish(StateFailed, st.Stats, nil, msg)
 		}
-		stream.send(Event{Type: "error", SweepID: spec.ID, Error: msg, Stats: sw.status().Stats})
+		emit(Event{Type: "error", SweepID: spec.ID, Error: msg, Stats: sw.status().Stats})
 		s.saveStatus(sw)
 	}()
-	stream.send(Event{
+
+	// Wait for the queue to dispatch the sweep. Uncontended admission
+	// grants synchronously inside Admit, so the common stream still begins
+	// with its start event; only a sweep that actually waits emits queued.
+	select {
+	case <-j.granted():
+	default:
+		emit(Event{Type: "queued", SweepID: spec.ID, Tenant: tenant, Priority: string(priority), Position: j.position})
+		select {
+		case <-j.granted():
+		case <-ctx.Done():
+			msg := "sweep canceled while queued"
+			sw.finish(StateCanceled, nil, nil, msg)
+			emit(Event{Type: "error", SweepID: spec.ID, Error: msg})
+			s.saveStatus(sw)
+			return
+		}
+	}
+	sw.markRunning()
+
+	ses := s.session()
+	if err := s.loadCheckpoint(ses, spec.ID); err != nil {
+		s.logf("serve: sweep %s: checkpoint load failed, recomputing: %v", spec.ID, err)
+	}
+	// Record checkpoint existence after the load, so a just-quarantined
+	// corrupt file is not reported as a usable checkpoint.
+	sw.ckpt.Store(s.hasCheckpoint(spec.ID))
+	opt := spec.Options()
+	opt.FaultInjector = s.cfg.FaultInjector
+	// The disk cache location is server policy, not part of the sweep spec:
+	// every sweep on this server spills through the one operator-chosen
+	// directory.
+	opt.CacheDir = s.cfg.CacheDir
+	// The queue granted this sweep j.slots worker slots; that grant is its
+	// whole worker budget (the spec's Workers request was clamped into it).
+	opt.Workers = j.slots
+
+	emit(Event{
 		Type:            "start",
 		SweepID:         spec.ID,
 		Candidates:      len(cands),
@@ -825,16 +938,39 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	defer stopSaver()
 
+	// runCtx is the current dispatch round's context; OnResult reads it to
+	// tell preemption cancellations apart from real outcomes.
+	var roundMu sync.Mutex
+	var runCtx context.Context
+
 	var seqMu sync.Mutex
 	seq := 0
+	// streamed dedupes result events across dispatch rounds: a preempted
+	// sweep re-reduces every candidate after resume, but each architecture
+	// streams exactly once.
+	streamed := make(map[string]bool)
 	opt.OnResult = func(cr dse.CandidateResult) {
+		roundMu.Lock()
+		rc := runCtx
+		roundMu.Unlock()
+		// A preempted round reports its undelivered cells as canceled;
+		// those candidates re-run after resume and stream their real
+		// outcome then. Suppress the interim error rows.
+		if cr.Err != nil && rc != nil && errors.Is(context.Cause(rc), errPreempted) {
+			return
+		}
 		cs := summarize(&cr)
-		sw.noteResult(cs)
 		seqMu.Lock()
+		if streamed[cs.Arch] {
+			seqMu.Unlock()
+			return
+		}
+		streamed[cs.Arch] = true
 		seq++
 		n := seq
 		seqMu.Unlock()
-		stream.send(Event{Type: "result", SweepID: spec.ID, Seq: n, Result: cs})
+		sw.noteResult(cs)
+		emit(Event{Type: "result", SweepID: spec.ID, Seq: n, Result: cs})
 		select {
 		case saveReq <- struct{}{}:
 		default: // a save is already pending; it will pick this cell up
@@ -842,16 +978,73 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	// Racing sweeps additionally stream one event per completed rung, so a
 	// client watching the NDJSON stream sees budget concentrate on the
-	// survivors as it happens.
+	// survivors as it happens. Rungs a resumed round replays (their cells
+	// restore from the checkpoint) are deduped by rung index.
+	var rungMu sync.Mutex
+	maxRung := -1
 	opt.OnRung = func(rs dse.RungStats) {
+		rungMu.Lock()
+		replay := rs.Rung <= maxRung
+		if !replay {
+			maxRung = rs.Rung
+		}
+		rungMu.Unlock()
+		if replay {
+			return
+		}
 		rsum := RungSummary(rs)
 		sw.noteRung(rsum)
-		stream.send(Event{Type: "rung", SweepID: spec.ID, Rung: &rsum})
+		emit(Event{Type: "rung", SweepID: spec.ID, Rung: &rsum})
 	}
 
 	s.logf("serve: sweep %s: %d candidates x %d models (%d cells)", spec.ID, len(cands), len(graphs), cells)
 	begin := time.Now()
-	results, stats, runErr := ses.RunContext(ctx, cands, graphs, opt)
+	// The dispatch-round loop: each iteration runs the sweep under a
+	// cancelable round context the queue can interrupt with errPreempted.
+	// A preempted round checkpoints its settled cells, yields its slots and
+	// parks until the queue re-dispatches the job; the resumed round then
+	// restores every settled cell for free and continues. Any other exit —
+	// completion, client disconnect, DELETE, shutdown — leaves the loop.
+	var (
+		results []dse.CandidateResult
+		stats   dse.SweepStats
+		runErr  error
+	)
+	for {
+		rc, cancelRound := context.WithCancelCause(ctx)
+		roundMu.Lock()
+		runCtx = rc
+		roundMu.Unlock()
+		s.queue.BindPreempt(j, func() { cancelRound(errPreempted) })
+		results, stats, runErr = ses.RunContext(rc, cands, graphs, opt)
+		s.queue.ClearPreempt(j)
+		preempted := errors.Is(context.Cause(rc), errPreempted) && ctx.Err() == nil
+		cancelRound(context.Canceled)
+		if !preempted {
+			break
+		}
+		// Flush the settled cells before parking, so the on-disk checkpoint
+		// matches what the resumed round will restore even across a crash.
+		save("preempt")
+		settled := ses.SettledCells(cands, graphs, opt)
+		sw.notePreempted()
+		emit(Event{Type: "preempted", SweepID: spec.ID, Tenant: tenant, Priority: string(priority), CheckpointCells: settled})
+		s.logf("serve: sweep %s: preempted with %d settled cells", spec.ID, settled)
+		s.queue.Yield(j)
+		resumed := false
+		select {
+		case <-j.granted():
+			resumed = true
+		case <-ctx.Done():
+		}
+		if !resumed {
+			// Canceled while parked: the preempted round's canceled runErr
+			// already classifies the sweep below.
+			break
+		}
+		sw.markRunning()
+		emit(Event{Type: "resumed", SweepID: spec.ID, Tenant: tenant, Priority: string(priority), CheckpointCells: settled})
+	}
 	stopSaver()
 	save("final")
 
@@ -872,17 +1065,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case runErr != nil && (errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded)):
 		sw.finish(StateCanceled, summarizeStats(stats), nil, runErr.Error())
-		stream.send(Event{Type: "error", SweepID: spec.ID, Error: runErr.Error(), Stats: summarizeStats(stats), ElapsedMS: elapsed})
+		emit(Event{Type: "error", SweepID: spec.ID, Error: runErr.Error(), Stats: summarizeStats(stats), ElapsedMS: elapsed})
 	case runErr != nil:
 		sw.finish(StateFailed, summarizeStats(stats), nil, runErr.Error())
-		stream.send(Event{Type: "error", SweepID: spec.ID, Error: runErr.Error(), Stats: summarizeStats(stats), ElapsedMS: elapsed})
+		emit(Event{Type: "error", SweepID: spec.ID, Error: runErr.Error(), Stats: summarizeStats(stats), ElapsedMS: elapsed})
 	default:
 		var best *CandidateSummary
 		if b := dse.Best(results); b != nil {
 			best = summarize(b)
 		}
 		sw.finish(StateDone, summarizeStats(stats), best, "")
-		stream.send(Event{Type: "done", SweepID: spec.ID, Best: best, Stats: summarizeStats(stats), ElapsedMS: elapsed})
+		emit(Event{Type: "done", SweepID: spec.ID, Best: best, Stats: summarizeStats(stats), ElapsedMS: elapsed})
 	}
 	// Persist the final status next to the checkpoint, so GET /sweeps
 	// survives a server restart.
