@@ -49,9 +49,9 @@ type queueConfig struct {
 	batchShare float64
 	// weights are per-tenant fair-share weights (missing tenants weigh 1).
 	weights map[string]int
-	// fifo drops priority classes and fair share: strict admission-order
-	// dispatch. Test-only — the baseline the conformance suite measures
-	// interactive time-to-first-result against.
+	// fifo drops priority classes, fair share and preemption: strict
+	// admission-order dispatch. Test-only — the baseline the conformance
+	// suite measures interactive time-to-first-result against.
 	fifo bool
 	// now is the queue's clock (tests inject a fake one).
 	now func() time.Time
@@ -387,6 +387,15 @@ func (q *sweepQueue) batchCapLocked() int {
 // classAllowedLocked gates a batch dispatch on the batch share: while
 // interactive work is queued or running, batch may not grow past its share
 // of the slot pool. With no interactive work the queue is work-conserving.
+//
+// It also reserves slots for blocked interactive demand that preemption is
+// (or will be) satisfying: while an interactive sweep waits and yielding
+// batch work can cover it, no batch sweep dispatches — otherwise a yielded
+// victim's own head would re-take the just-freed slots before the other
+// victims yield, and multi-victim preemption would livelock (yield,
+// re-dispatch, preempt, forever) with the interactive sweep starved.
+// Demand that no amount of batch yielding can cover (slots pinned by other
+// interactive work) reserves nothing: the queue stays work-conserving.
 func (q *sweepQueue) classAllowedLocked(j *job) bool {
 	if j.priority != dse.PriorityBatch {
 		return true
@@ -394,7 +403,41 @@ func (q *sweepQueue) classAllowedLocked(j *job) bool {
 	if q.waitingInt == 0 && q.runningInt == 0 {
 		return true
 	}
+	if d := q.interactiveDemandLocked(); d > 0 && q.free+q.preemptibleBatchLocked() >= d {
+		return false
+	}
 	return q.batchSlots+j.slots <= q.batchCapLocked()
+}
+
+// interactiveDemandLocked is the smallest waiting interactive request's slot
+// count, 0 when no interactive sweep waits. Callers run after the dispatch
+// loop drained, so a nonzero demand is blocked demand.
+func (q *sweepQueue) interactiveDemandLocked() int {
+	if q.waitingInt == 0 {
+		return 0
+	}
+	demand := 0
+	for _, name := range q.ring {
+		if h := q.tenants[name].head(dse.PriorityInteractive); h != nil {
+			if demand == 0 || h.slots < demand {
+				demand = h.slots
+			}
+		}
+	}
+	return demand
+}
+
+// preemptibleBatchLocked sums the slots of every running batch sweep —
+// including ones already signaled preempting, whose slots are in flight back
+// to the pool.
+func (q *sweepQueue) preemptibleBatchLocked() int {
+	s := 0
+	for _, r := range q.runningList {
+		if r.priority == dse.PriorityBatch {
+			s += r.slots
+		}
+	}
+	return s
 }
 
 // grantLocked moves one job from waiting to running and signals its grant
@@ -428,20 +471,21 @@ func (q *sweepQueue) grantLocked(j *job) {
 // on slots held by batch work: the newest-dispatched preemptible batch jobs
 // are told to checkpoint and yield until the projected free slots cover the
 // smallest blocked interactive request. Slots free asynchronously — when
-// the preempted handler acks via Yield.
+// the preempted handler acks via Yield; until then classAllowedLocked
+// reserves them for the blocked demand, so they accumulate instead of
+// re-dispatching the victims. Demand that even yielding every batch sweep
+// cannot cover (slots pinned by other interactive work) preempts nothing:
+// checkpoint-thrashing batch work for an interactive sweep that still
+// cannot fit buys no forward progress.
 func (q *sweepQueue) maybePreemptLocked() {
-	if q.waitingInt == 0 {
+	if q.cfg.fifo {
+		return // the no-priority baseline does not preempt
+	}
+	demand := q.interactiveDemandLocked()
+	if demand == 0 {
 		return
 	}
-	demand := 0
-	for _, name := range q.ring {
-		if h := q.tenants[name].head(dse.PriorityInteractive); h != nil {
-			if demand == 0 || h.slots < demand {
-				demand = h.slots
-			}
-		}
-	}
-	if demand == 0 {
+	if q.free+q.preemptibleBatchLocked() < demand {
 		return
 	}
 	projected := q.free
@@ -545,6 +589,36 @@ func (q *sweepQueue) Release(j *job) {
 	j.preempt = nil
 	q.emit("finish", j)
 	q.dispatchLocked()
+}
+
+// GateFeed binds one dispatch round's cell feed to the job's slot grant:
+// the wrapped feed stops delivering cells the moment the queue signals
+// preemption, so workers wind down at the next cell boundary while the
+// round-context cancellation interrupts the in-flight ones. The scheduler
+// reports withheld cells as canceled (never computed), so gating only
+// schedules — resumed rounds restore settled cells bit-identically.
+func (q *sweepQueue) GateFeed(j *job, d dse.Dispatcher) dse.Dispatcher {
+	return &gatedFeed{q: q, j: j, inner: d}
+}
+
+// gatedFeed is GateFeed's Dispatcher wrapper. Each dispatch round wraps a
+// fresh inner feed, and a job's preempting flag only clears in Yield — after
+// the round's workers have exited — so within one instance's lifetime a shut
+// feed stays shut, as the Dispatcher contract requires.
+type gatedFeed struct {
+	q     *sweepQueue
+	j     *job
+	inner dse.Dispatcher
+}
+
+func (g *gatedFeed) Next() (int, bool) {
+	g.q.mu.Lock()
+	shut := g.j.preempting
+	g.q.mu.Unlock()
+	if shut {
+		return 0, false
+	}
+	return g.inner.Next()
 }
 
 // health snapshots the queue for the health endpoint.

@@ -223,6 +223,102 @@ func TestQueuePreemptResume(t *testing.T) {
 	}
 }
 
+// TestQueueMultiVictimPreemption pins the livelock fix: when satisfying a
+// blocked interactive sweep requires preempting more than one batch sweep,
+// the slots each victim yields are reserved for the interactive demand — a
+// yielded victim must not re-dispatch into them — so free slots accumulate
+// across yields until the interactive sweep fits.
+func TestQueueMultiVictimPreemption(t *testing.T) {
+	rec := &queueRecorder{}
+	q := newSweepQueue(queueConfig{slots: 8, queueDepth: 8, maxQueued: 64, now: fakeClock(), hook: rec.hook})
+	i1, _ := q.Admit("i1", "dev", dse.PriorityInteractive, 4)
+	b1, _ := q.Admit("b1", "bulk", dse.PriorityBatch, 2)
+	b2, _ := q.Admit("b2", "bulk", dse.PriorityBatch, 2)
+	if !isGranted(i1) || !isGranted(b1) || !isGranted(b2) {
+		t.Fatal("initial load did not dispatch on an idle pool")
+	}
+	// The pool is full; a second interactive sweep needs both batch sweeps'
+	// slots. Both must be signaled, newest-dispatched first.
+	i2, _ := q.Admit("i2", "dev", dse.PriorityInteractive, 4)
+	if got := rec.ids("preempt"); !reflect.DeepEqual(got, []string{"b2", "b1"}) {
+		t.Fatalf("preempt signals = %v, want [b2 b1]", got)
+	}
+	// First victim yields: its two slots cover only half the demand. They
+	// must be held for i2 — not handed back to the victim's own queue head —
+	// and the yield must not trigger another round of preemption signals.
+	q.Yield(b2)
+	if isGranted(b2) || isGranted(b1) || isGranted(i2) {
+		t.Fatal("a sweep dispatched into slots reserved for blocked interactive demand")
+	}
+	if got := len(rec.ids("preempt")); got != 2 {
+		t.Fatalf("preempt signals after first yield = %d, want still 2", got)
+	}
+	// Second victim yields: the accumulated slots now cover the demand.
+	q.Yield(b1)
+	if !isGranted(i2) {
+		t.Fatal("interactive sweep did not dispatch once both victims yielded")
+	}
+	if isGranted(b1) || isGranted(b2) {
+		t.Error("batch sweep resumed while the pool was full of interactive work")
+	}
+	// With the interactive class no longer blocked, freed slots resume the
+	// parked victims.
+	q.Release(i1)
+	if !isGranted(b1) || !isGranted(b2) {
+		t.Error("preempted batch sweeps did not resume once slots freed")
+	}
+	q.Release(i2)
+	q.Release(b1)
+	q.Release(b2)
+	qh := q.health()
+	if qh.Preemptions != 2 || qh.Resumes != 2 {
+		t.Errorf("preemptions=%d resumes=%d, want 2 and 2", qh.Preemptions, qh.Resumes)
+	}
+}
+
+// TestQueueUnsatisfiableDemandNoPreempt pins that preemption only fires when
+// it can actually help: interactive demand that exceeds the free slots plus
+// every preemptible batch slot (the rest pinned by other interactive work)
+// preempts nothing — checkpoint-thrashing batch sweeps for an interactive
+// sweep that still cannot fit buys no forward progress — and the queue stays
+// work-conserving for batch in the meantime.
+func TestQueueUnsatisfiableDemandNoPreempt(t *testing.T) {
+	rec := &queueRecorder{}
+	q := newSweepQueue(queueConfig{slots: 8, queueDepth: 8, maxQueued: 64, now: fakeClock(), hook: rec.hook})
+	i1, _ := q.Admit("i1", "dev", dse.PriorityInteractive, 5)
+	b1, _ := q.Admit("b1", "bulk", dse.PriorityBatch, 2)
+	if !isGranted(i1) || !isGranted(b1) {
+		t.Fatal("initial load did not dispatch on an idle pool")
+	}
+	// i2 needs 4 slots; 1 free + 2 preemptible can never cover it while i1
+	// holds 5. No victim may be signaled.
+	i2, _ := q.Admit("i2", "dev", dse.PriorityInteractive, 4)
+	if isGranted(i2) {
+		t.Fatal("interactive sweep dispatched without slots for it")
+	}
+	if got := rec.ids("preempt"); len(got) != 0 {
+		t.Fatalf("preempt signals = %v for unsatisfiable demand, want none", got)
+	}
+	// The unreachable demand reserves nothing: a batch sweep that fits the
+	// free slot (and the batch share) still dispatches.
+	b2, _ := q.Admit("b2", "bulk", dse.PriorityBatch, 1)
+	if !isGranted(b2) {
+		t.Error("batch sweep gated by interactive demand no yielding could satisfy")
+	}
+	// Once the blocking interactive sweep finishes, the waiting one fits
+	// without any preemption having happened.
+	q.Release(i1)
+	if !isGranted(i2) {
+		t.Error("interactive sweep did not dispatch once its blocker finished")
+	}
+	q.Release(i2)
+	q.Release(b1)
+	q.Release(b2)
+	if got := rec.ids("preempt"); len(got) != 0 {
+		t.Fatalf("preempt signals = %v over the whole scenario, want none", got)
+	}
+}
+
 // TestQueueBatchShare pins the batch slot cap: while interactive work is
 // present, batch may not grow past BatchShare of the pool, but with no
 // interactive work the queue is work-conserving.
@@ -312,6 +408,9 @@ func TestQueueInteractiveTTFRBeatsFIFO(t *testing.T) {
 		}
 		jobs["dev"] = dev
 		drain(t, q, rec, jobs)
+		if fifo && len(rec.ids("preempt")) != 0 {
+			t.Errorf("FIFO baseline preempted %v; the no-priority baseline must not preempt", rec.ids("preempt"))
+		}
 		return dev.grantIndex
 	}
 	priority := run(false)

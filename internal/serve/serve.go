@@ -225,7 +225,7 @@ func (s *Server) logf(format string, args ...any) {
 
 // session picks the next pool session round-robin.
 func (s *Server) session() *dse.Session {
-	return s.pool[int(s.next.Add(1))%len(s.pool)]
+	return s.pool[s.next.Add(1)%uint64(len(s.pool))]
 }
 
 // sweepIDPattern is the accepted client-supplied sweep id shape: short,

@@ -878,6 +878,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// The queue granted this sweep j.slots worker slots; that grant is its
 	// whole worker budget (the spec's Workers request was clamped into it).
 	opt.Workers = j.slots
+	// Bind the scheduler's cell feed to the queue grant: a preemption signal
+	// gates the feed shut, so workers stop pulling new cells at the next cell
+	// boundary even before the round-context cancellation below reaches
+	// their in-flight work.
+	opt.Dispatch = func(d dse.Dispatcher) dse.Dispatcher { return s.queue.GateFeed(j, d) }
 
 	emit(Event{
 		Type:            "start",
