@@ -6,7 +6,13 @@
 package gemini
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -16,6 +22,7 @@ import (
 	"gemini/internal/dse"
 	"gemini/internal/eval"
 	"gemini/internal/experiments"
+	"gemini/internal/fleet"
 	"gemini/internal/graphpart"
 	"gemini/internal/noc"
 	"gemini/internal/sa"
@@ -963,4 +970,160 @@ func BenchmarkDSESweepCutBound(b *testing.B) {
 	}
 	b.ReportMetric(float64(stats.PrunedCandidates), "pruned_candidates")
 	b.ReportMetric(float64(cstats.PrunedCandidates), "compulsory_pruned_candidates")
+}
+
+// --- Distributed fleet benchmarks (BENCH_10): shard the grid, broadcast
+// the incumbent, merge checkpoints. ---
+
+// fleetBenchSpec is the fleet benchmark workload: four full-speed GArch72
+// variants (NoC 32-96 GB/s) plus four DRAM-starved twins whose
+// compulsory-traffic lower bound exceeds any full-speed candidate's
+// achieved objective. The full-speed half leads the grid in enumeration
+// order, so the modulo-sharded fleet leases real work first and the
+// incumbent it broadcasts prunes the starved half pre-cell — exactly the
+// work an operator saves by pointing idle machines at one coordinator
+// instead of splitting the grid into independent sweeps.
+func fleetBenchSpec(b *testing.B) (dse.Spec, []arch.Config) {
+	b.Helper()
+	raw := `{
+		"id": "bench-fleet",
+		"space": {"tops": 72, "cuts": [1], "dram_per_tops": [2, 0.007],
+		          "noc_gbps": [32, 48, 64, 96], "d2d_ratios": [0.5],
+		          "glb_kb": [1024], "macs": [1024]},
+		"models": ["tinycnn"],
+		"sa_iterations": 300,
+		"prune": true
+	}`
+	var spec dse.Spec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		b.Fatalf("fleet bench spec: %v", err)
+	}
+	if err := spec.Validate(); err != nil {
+		b.Fatalf("fleet bench spec: %v", err)
+	}
+	cands, err := spec.Candidates()
+	if err != nil {
+		b.Fatalf("fleet bench candidates: %v", err)
+	}
+	// The prune story depends on grid order: the full-speed half must
+	// enumerate first so shard 0 is real work, not a starved candidate.
+	for i, c := range cands {
+		if strong := c.DRAMBW > 100; strong != (i < len(cands)/2) {
+			b.Fatalf("candidate %d (%s, DRAM %.1f GB/s) breaks the strong-first grid order", i, c.Name, c.DRAMBW)
+		}
+	}
+	return spec, cands
+}
+
+// runFleetBench drains one fleet sweep of the benchmark grid — coordinator
+// plus `workers` loopback worker loops, one shard per candidate, each
+// worker pinned to one in-shard slot — and returns the drain wall time and
+// the coordinator's final status. share=false runs the no-incumbent-sharing
+// twin: the same shards as N independent single-candidate sweeps.
+func runFleetBench(b *testing.B, spec dse.Spec, shards, workers int, share bool) (time.Duration, fleet.SweepStatus) {
+	b.Helper()
+	coord := fleet.NewCoordinator(fleet.CoordinatorConfig{LeaseTTL: time.Minute})
+	srv := httptest.NewServer(coord)
+	defer srv.Close()
+
+	body, err := json.Marshal(fleet.SubmitRequest{Spec: spec, Shards: shards})
+	if err != nil {
+		b.Fatalf("marshal submit: %v", err)
+	}
+	resp, err := http.Post(srv.URL+"/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatalf("submit: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b.Fatalf("submit answered %d", resp.StatusCode)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fleet.RunWorker(context.Background(), fleet.WorkerConfig{
+				Coordinator:    srv.URL,
+				Name:           fmt.Sprintf("bench-w%d", i),
+				Workers:        1,
+				DisableSharing: !share,
+				ExitWhenIdle:   true,
+			})
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			b.Fatalf("fleet worker: %v", err)
+		}
+	}
+	st, ok := coord.Status(spec.ID)
+	if !ok || st.State != "done" {
+		b.Fatalf("fleet sweep did not drain: %+v", st)
+	}
+	if !st.Incumbent.Found {
+		b.Fatalf("fleet sweep found no feasible best")
+	}
+	return wall, st
+}
+
+// BenchmarkFleetSweep is the distributed-fleet twin run. Per iteration it
+// drains the identical 8-shard grid twice: once as N independent shards
+// (one worker, incumbent sharing off — what splitting the grid across
+// machines without a coordinator buys) and once as the 2-worker fleet with
+// the incumbent broadcast on. The fleet prunes the starved half of the
+// grid pre-cell off the broadcast incumbent, so it wins on one core by
+// skipped work alone and adds near-linear scaling on top when the workers
+// have real cores to spread over. Soundness is asserted in-bench: all runs
+// end at the bit-identical best, and the fleet's total SA iteration count
+// is strictly below the independent twin's. The bench-compare -fleet-factor
+// gate holds the wall-clock ratio and the strict iteration inequality.
+func BenchmarkFleetSweep(b *testing.B) {
+	spec, cands := fleetBenchSpec(b)
+	shards := len(cands)
+	var indepNs, fleetNs time.Duration
+	var stIndep, stFleet fleet.SweepStatus
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d1, s1 := runFleetBench(b, spec, shards, 1, false)
+		d2, s2 := runFleetBench(b, spec, shards, 2, true)
+		indepNs += d1
+		fleetNs += d2
+		stIndep, stFleet = s1, s2
+		if stFleet.Incumbent != stIndep.Incumbent {
+			b.Fatalf("fleet best %+v differs from independent-shards best %+v: incumbent sharing is unsound",
+				stFleet.Incumbent, stIndep.Incumbent)
+		}
+	}
+	b.StopTimer()
+
+	// The deterministic iteration twin: one sequential sharing worker, so
+	// each lease already carries every earlier shard's fold and the pruned
+	// set does not depend on scheduling.
+	_, stSeq := runFleetBench(b, spec, shards, 1, true)
+	if stSeq.Incumbent != stIndep.Incumbent {
+		b.Fatalf("sequential fleet best %+v differs from independent-shards best %+v",
+			stSeq.Incumbent, stIndep.Incumbent)
+	}
+	if stSeq.Stats.PrunedCandidates == 0 {
+		b.Fatalf("broadcast incumbent pruned nothing: %+v", stSeq.Stats)
+	}
+	if stSeq.Stats.SAIterations >= stIndep.Stats.SAIterations {
+		b.Fatalf("fleet spent %d SA iterations, independent shards %d: want strictly fewer",
+			stSeq.Stats.SAIterations, stIndep.Stats.SAIterations)
+	}
+	if stFleet.Stats.SAIterations >= stIndep.Stats.SAIterations {
+		b.Fatalf("racing fleet spent %d SA iterations, independent shards %d: want strictly fewer",
+			stFleet.Stats.SAIterations, stIndep.Stats.SAIterations)
+	}
+
+	b.ReportMetric(float64(indepNs.Nanoseconds())/float64(b.N), "one_worker_ns")
+	b.ReportMetric(float64(fleetNs.Nanoseconds())/float64(b.N), "two_worker_ns")
+	b.ReportMetric(float64(stSeq.Stats.SAIterations), "sa_iterations")
+	b.ReportMetric(float64(stIndep.Stats.SAIterations), "solo_sa_iterations")
 }

@@ -35,6 +35,14 @@ type metrics struct {
 	// count and its compulsory-bound twin's (BenchmarkDSESweepCutBound).
 	PrunedCandidates float64 `json:"pruned_candidates"`
 	CompulsoryPruned float64 `json:"compulsory_pruned_candidates"`
+	// OneWorkerNs / TwoWorkerNs are the fleet sweep's drain times for the
+	// independent-shards twin and the 2-worker incumbent-sharing fleet;
+	// SoloSAIterations is the independent twin's total annealing spend
+	// (BenchmarkFleetSweep, which reuses sa_iterations for the fleet's own
+	// spend).
+	OneWorkerNs      float64 `json:"one_worker_ns"`
+	TwoWorkerNs      float64 `json:"two_worker_ns"`
+	SoloSAIterations float64 `json:"solo_sa_iterations"`
 }
 
 // entry tolerates both the flat shape and the BENCH_N baseline/optimized
@@ -99,6 +107,7 @@ func main() {
 	hardenedFactor := flag.Float64("hardened-factor", 0, "max allowed hardened/tight-bound slowdown of the weak-first sweep in the new report (0 disables); both come from the same run, so this check is machine-relative")
 	racingFactor := flag.Float64("racing-factor", 0, "required uniform/racing SA-iteration ratio of the racing sweep in the new report (0 disables); both counts come from the same run and are deterministic")
 	cutBoundFactor := flag.Float64("cutbound-factor", 0, "required cut/compulsory pruned-candidate ratio of the cut-bound sweep in the new report (0 disables); the cut bound must also prune strictly more in absolute count")
+	fleetFactor := flag.Float64("fleet-factor", 0, "required independent/fleet wall-clock ratio of the fleet sweep in the new report (0 disables): the 2-worker incumbent-sharing fleet must drain the grid this much faster than one no-sharing worker, and spend strictly fewer total SA iterations; both twins come from the same run, so this check is machine-relative")
 	only := flag.String("only", "", "regex restricting the per-benchmark regression checks (empty = all overlapping benchmarks); use for tight -max-regress gates that must skip benchmarks whose allocs depend on scheduling races")
 	flag.Parse()
 	if *newPath == "" {
@@ -273,6 +282,27 @@ func main() {
 		default:
 			fmt.Printf("ok   cut bound pruned %g candidates vs compulsory %g (strictly more, >= %.2fx)\n",
 				cut.PrunedCandidates, cut.CompulsoryPruned, *cutBoundFactor)
+		}
+	}
+
+	if *fleetFactor > 0 {
+		fl, ok := newB["BenchmarkFleetSweep"]
+		switch {
+		case !ok || fl.OneWorkerNs == 0 || fl.TwoWorkerNs == 0 ||
+			fl.SAIterations == 0 || fl.SoloSAIterations == 0:
+			fmt.Printf("FAIL fleet check: BenchmarkFleetSweep twin counters missing from %s\n", *newPath)
+			failed = true
+		case fl.OneWorkerNs < *fleetFactor*fl.TwoWorkerNs:
+			fmt.Printf("FAIL fleet sweep drained %.2fx faster than independent shards < required %.2fx (fleet %.6g ns, independent %.6g ns)\n",
+				fl.OneWorkerNs/fl.TwoWorkerNs, *fleetFactor, fl.TwoWorkerNs, fl.OneWorkerNs)
+			failed = true
+		case fl.SAIterations >= fl.SoloSAIterations:
+			fmt.Printf("FAIL fleet sweep spent %g SA iterations vs independent shards' %g (want strictly fewer)\n",
+				fl.SAIterations, fl.SoloSAIterations)
+			failed = true
+		default:
+			fmt.Printf("ok   fleet sweep drains %.2fx faster than independent shards (>= %.2fx) at %g vs %g SA iterations\n",
+				fl.OneWorkerNs/fl.TwoWorkerNs, *fleetFactor, fl.SAIterations, fl.SoloSAIterations)
 		}
 	}
 

@@ -25,6 +25,16 @@
 // SIGINT/SIGTERM shut the server down cleanly: running sweeps are canceled
 // (their checkpoints survive, each stream ends with a typed error event)
 // and in-flight responses drain before the process exits.
+//
+// The same binary is also the fleet worker: `gemini-serve -worker URL`
+// skips the server entirely and runs the distributed-sweep worker loop
+// against a coordinator at URL (another gemini-serve, whose coordinator
+// lives under /fleet/). Fleet sweeps are submitted with
+// POST /fleet/sweeps {"spec": {...}, "shards": N}; the coordinator shards
+// the candidate grid across workers, fans the best incumbent back out so
+// every shard prunes against it, and merges worker checkpoints under -data
+// exactly like a local sweep's. -lease-ttl tunes how fast a dead worker's
+// shard is re-leased.
 package main
 
 import (
@@ -41,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"gemini/internal/fleet"
 	"gemini/internal/serve"
 )
 
@@ -81,7 +92,16 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "per-tenant waiting-sweep quota before 429 (0 = default 8)")
 	maxQueued := flag.Int("max-queued", 0, "server-wide waiting-sweep cap before 503 (0 = default 64)")
 	quiet := flag.Bool("quiet", false, "suppress per-sweep scheduling logs")
+	leaseTTL := flag.Duration("lease-ttl", 0, "fleet shard lease time-to-live before a dead worker's shard is re-leased (0 = default 10s)")
+	workerURL := flag.String("worker", "", "run as a fleet worker against the gemini-serve base URL (e.g. http://host:8080); no server is started")
+	workerName := flag.String("worker-name", "", "fleet worker name in leases and logs (default worker-<pid>)")
+	workerPoll := flag.Duration("worker-poll", 0, "fleet worker idle re-poll interval (0 = default 500ms)")
 	flag.Parse()
+
+	if *workerURL != "" {
+		runWorker(*workerURL, *workerName, *workerPoll, *quiet)
+		return
+	}
 
 	weights, err := parseTenantWeights(*tenants)
 	if err != nil {
@@ -99,6 +119,7 @@ func main() {
 		BatchShare:          *batchShare,
 		QueueDepth:          *queueDepth,
 		MaxQueuedSweeps:     *maxQueued,
+		FleetLeaseTTL:       *leaseTTL,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf
@@ -132,4 +153,30 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	}
 	log.Printf("shutdown complete")
+}
+
+// runWorker runs the fleet worker loop against a gemini-serve base URL
+// until SIGINT/SIGTERM. The coordinator is mounted under /fleet/ on the
+// server, so the flag takes the plain server address.
+func runWorker(url, name string, poll time.Duration, quiet bool) {
+	if name == "" {
+		name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	log.SetPrefix("gemini-serve[" + name + "]: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := fleet.WorkerConfig{
+		Coordinator: strings.TrimSuffix(url, "/") + "/fleet",
+		Name:        name,
+		Poll:        poll,
+	}
+	if !quiet {
+		cfg.Logf = log.Printf
+	}
+	log.Printf("fleet worker %s polling %s", cfg.Name, cfg.Coordinator)
+	if err := fleet.RunWorker(ctx, cfg); err != nil && !errors.Is(err, context.Canceled) {
+		log.Fatalf("worker: %v", err)
+	}
+	log.Printf("worker shutdown complete")
 }

@@ -173,6 +173,35 @@ type Options struct {
 	// production state — is a pointer comparison on the hot path and
 	// changes nothing.
 	FaultInjector *faultinject.Injector `json:"-"`
+	// Incumbent, when set, connects this sweep's pruning incumbent to an
+	// external exchange (a fleet coordinator): the scheduler's incumbent
+	// reads min(local best, Incumbent.Best()) wherever it gates work — the
+	// pre-cell prune check, the between-restart stop gate and the in-loop
+	// abandonment poll — and forwards every local improvement through
+	// Incumbent.Improved. The exchange carries only achieved feasible
+	// objectives for the same spec, so the fold stays a sound pruning bound
+	// (the global optimum can never be dominated by an achieved value). Like
+	// Prune it only skips work — it never changes a computed cell's bits —
+	// so it is excluded from the checkpoint fingerprint.
+	Incumbent IncumbentExchange `json:"-"`
+}
+
+// IncumbentExchange is the external incumbent source/sink a fleet worker
+// threads into Options.Incumbent. Best is polled from the scheduler's hot
+// gates (between SA restarts and inside the annealing abandonment hook), so
+// implementations must make it cheap — an atomic load of a locally cached
+// fleet-wide best, refreshed off the hot path — and return +Inf while no
+// fleet incumbent exists. Improved receives every local incumbent
+// improvement (an achieved feasible objective) and must not block the
+// caller beyond an atomic update; network publication belongs on a
+// background goroutine.
+type IncumbentExchange interface {
+	// Best returns the best fleet-wide feasible objective currently known
+	// (+Inf when none).
+	Best() float64
+	// Improved reports a new locally achieved feasible objective that
+	// improved this sweep's incumbent.
+	Improved(candidate string, obj float64)
 }
 
 // DefaultOptions returns throughput-scenario settings (batch 64, Sec. VI-A1).

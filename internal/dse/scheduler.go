@@ -137,34 +137,53 @@ type SweepStats struct {
 // It is deliberately NOT session-scoped: two Run calls may use different
 // objectives or batches, and an incumbent from one is no bound for the
 // other. get is lock-free (it is polled between SA restarts and before
-// every cell); note serializes improvements and the trajectory.
+// every cell); note serializes improvements and the trajectory. An optional
+// external exchange (Options.Incumbent, set by fleet workers) folds a
+// fleet-wide best into get and hears about local improvements — the
+// exchange only ever carries achieved feasible objectives, so the min fold
+// stays a sound pruning bound.
 type incumbent struct {
 	bits atomic.Uint64 // Float64bits of the current best
+	ext  IncumbentExchange
 
 	mu    sync.Mutex
 	steps []IncumbentStep
 }
 
-func newIncumbent() *incumbent {
-	in := &incumbent{}
+func newIncumbent(ext IncumbentExchange) *incumbent {
+	in := &incumbent{ext: ext}
 	in.bits.Store(math.Float64bits(math.Inf(1)))
 	return in
 }
 
 func (in *incumbent) get() float64 {
-	return math.Float64frombits(in.bits.Load())
+	best := math.Float64frombits(in.bits.Load())
+	if in.ext != nil {
+		if ext := in.ext.Best(); ext < best {
+			best = ext
+		}
+	}
+	return best
 }
 
 func (in *incumbent) note(name string, obj float64) {
 	if math.IsNaN(obj) || math.IsInf(obj, 1) {
 		return
 	}
+	improved := false
 	in.mu.Lock()
 	if obj < math.Float64frombits(in.bits.Load()) {
 		in.bits.Store(math.Float64bits(obj))
 		in.steps = append(in.steps, IncumbentStep{Candidate: name, Obj: obj})
+		improved = true
 	}
 	in.mu.Unlock()
+	// Forward outside the lock: the exchange's atomic update must never
+	// serialize against trajectory appends, and a slow network push belongs
+	// on the exchange's own background goroutine anyway.
+	if improved && in.ext != nil {
+		in.ext.Improved(name, obj)
+	}
 }
 
 func (in *incumbent) trajectory() []IncumbentStep {
@@ -248,7 +267,7 @@ func (s *Session) newScheduler(ctx context.Context, cands []arch.Config, models 
 		opt:    opt,
 		optFP:  optsFingerprint(opt),
 		mce:    cost.New(),
-		inc:    newIncumbent(),
+		inc:    newIncumbent(opt.Incumbent),
 		states: make([]*candState, len(cands)),
 		order:  make([]int, len(cands)),
 		seeded: math.Inf(1),

@@ -794,6 +794,7 @@ var optsFingerprintExclusions = map[string]string{
 	"Racing":        "re-allocates restart budget across candidates; every settled cell is a prefix of the same derived-seed portfolio, so racing and uniform sweeps must share cells",
 	"RacingKeep":    "racing promotion fraction; like Racing it only schedules rung widths, never a cell's seeds",
 	"OnRung":        "observer callback; rung notification cannot alter results",
+	"Incumbent":     "external pruning signal; like Prune it only skips whole cells, it never changes a computed cell",
 }
 
 // optsFingerprint hashes every Options field the mapping result depends on.

@@ -1,0 +1,749 @@
+// Package fleet distributes one sweep across worker processes: a
+// coordinator partitions a sweep spec's candidate grid into shard leases,
+// hands them to workers over HTTP, fans every incumbent improvement back
+// out so all shards prune against the fleet-wide best, and merges worker
+// checkpoints into the sweep's canonical arch-fingerprint-keyed checkpoint.
+// Worker death is handled by lease expiry: an orphaned shard goes back in
+// the pending pool and its next holder starts from the merged checkpoint,
+// so already-settled cells restore instead of recompute.
+//
+// The coordinator is an http.Handler with its own routes (the sweep
+// service mounts it under /fleet/); it never runs mapping work itself —
+// its dse.Session exists purely as the merge vehicle, because checkpoint
+// load is a merge by construction.
+//
+//gemini:deterministic-output
+//gemini:documented
+package fleet
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"gemini/internal/arch"
+	"gemini/internal/dnn"
+	"gemini/internal/dse"
+)
+
+// CoordinatorConfig configures a fleet coordinator.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a shard lease lives without renewal before the
+	// shard is reissued to another worker (default 10s). Workers renew at a
+	// third of the TTL.
+	LeaseTTL time.Duration
+	// MaxCells caps a submitted sweep's (candidate × model) grid; 0 means
+	// no cap. The sweep service forwards its own cap here.
+	MaxCells int
+	// Logf receives coordinator logs (default: discard).
+	Logf func(format string, args ...any)
+	// Now supplies the clock leases are granted and expired against
+	// (default time.Now). Tests inject a fake clock to drive expiry
+	// deterministically.
+	Now func() time.Time
+	// Persist, when set, receives the canonical merged checkpoint bytes
+	// each time a sweep completes; the sweep service points it at the same
+	// DataDir files /sweep checkpoints use.
+	Persist func(sweepID string, checkpoint []byte)
+	// LoadCheckpoint, when set, is consulted at submit time for a prior
+	// checkpoint of the sweep id (nil means none); the sweep service wires
+	// it to DataDir so a re-submitted fleet sweep resumes its settled cells.
+	LoadCheckpoint func(sweepID string) []byte
+}
+
+func (c *CoordinatorConfig) leaseTTL() time.Duration {
+	if c.LeaseTTL > 0 {
+		return c.LeaseTTL
+	}
+	return 10 * time.Second
+}
+
+func (c *CoordinatorConfig) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+// Coordinator owns the fleet control plane: sweep submission, shard lease
+// management, incumbent fan-out and checkpoint merging. It is an
+// http.Handler; see the route patterns in NewCoordinator.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	sweeps   map[string]*fleetSweep
+	order    []string // submission order; every map access walks this
+	leaseSeq int
+}
+
+type shardPhase int
+
+const (
+	shardPending shardPhase = iota
+	shardLeased
+	shardDone
+)
+
+// shardState tracks one modulo-slice of a sweep's candidate grid.
+type shardState struct {
+	phase      shardPhase
+	leaseID    string
+	worker     string
+	expires    time.Time
+	candidates int
+	// settledAtLease is how many of the shard's cells the merged checkpoint
+	// already held when the current lease was granted; the holder's
+	// reported ResumedCells must reach it or the difference is recomputed
+	// work, surfaced in SweepAggregate.RecomputedSettledCells.
+	settledAtLease int
+}
+
+// fleetSweep is the coordinator's record of one submitted sweep.
+type fleetSweep struct {
+	id     string
+	spec   dse.Spec
+	opt    dse.Options
+	cands  []arch.Config
+	graphs []*dnn.Graph
+	shards []shardState
+	// ses is the merge vehicle: LoadCheckpoint merges worker uploads,
+	// SaveCheckpoint emits the canonical deterministic bytes.
+	ses   *dse.Session
+	inc   IncumbentState
+	stats SweepAggregate
+	done  bool
+}
+
+// SweepAggregate is the coordinator's fleet-wide accounting for one sweep,
+// folded from completed shards' ShardStats.
+type SweepAggregate struct {
+	// SAIterations sums annealing iterations across completed shards.
+	SAIterations int `json:"sa_iterations"`
+	// ResumedCells sums cells shards restored from lease checkpoints.
+	ResumedCells int `json:"resumed_cells"`
+	// PrunedCandidates sums candidates shards' bound gates skipped.
+	PrunedCandidates int `json:"pruned_candidates"`
+	// RecomputedSettledCells counts cells that were settled in the merged
+	// checkpoint at lease time but recomputed anyway by the lease holder;
+	// the re-shard machinery exists to keep this zero.
+	RecomputedSettledCells int `json:"recomputed_settled_cells"`
+	// ExpiredLeases counts leases that lapsed and sent their shard back to
+	// the pending pool.
+	ExpiredLeases int `json:"expired_leases"`
+	// Uploads counts checkpoint uploads merged (partial and complete).
+	Uploads int `json:"uploads"`
+}
+
+// SweepStatus is the GET /sweeps/{id} body.
+type SweepStatus struct {
+	// ID names the fleet sweep.
+	ID string `json:"id"`
+	// State is "running" until every shard completes, then "done".
+	State string `json:"state"`
+	// Shards is the sweep's total shard count.
+	Shards int `json:"shards"`
+	// ShardsPending, ShardsLeased and ShardsDone partition the shards.
+	ShardsPending int `json:"shards_pending"`
+	// ShardsLeased is the number of shards currently out on lease.
+	ShardsLeased int `json:"shards_leased"`
+	// ShardsDone is the number of completed shards.
+	ShardsDone int `json:"shards_done"`
+	// Candidates and Cells size the full (unsharded) grid.
+	Candidates int `json:"candidates"`
+	// Cells is the (candidate × model) grid size.
+	Cells int `json:"cells"`
+	// CheckpointCells is how many cells the merged checkpoint holds.
+	CheckpointCells int `json:"checkpoint_cells"`
+	// Incumbent is the fleet-wide best achieved feasible objective.
+	Incumbent IncumbentState `json:"incumbent"`
+	// Stats is the fleet-wide accounting.
+	Stats SweepAggregate `json:"stats"`
+	// Leases lists live leases in shard order.
+	Leases []LeaseStatus `json:"leases,omitempty"`
+}
+
+// LeaseStatus describes one live lease in a SweepStatus.
+type LeaseStatus struct {
+	// Shard is the leased shard's index.
+	Shard int `json:"shard"`
+	// LeaseID names the grant.
+	LeaseID string `json:"lease_id"`
+	// Worker holds the lease.
+	Worker string `json:"worker"`
+	// ExpiresInMS is time to expiry at snapshot time.
+	ExpiresInMS int `json:"expires_in_ms"`
+}
+
+// Health is the coordinator block embedded in the sweep service's /healthz.
+type Health struct {
+	// Sweeps counts submitted fleet sweeps.
+	Sweeps int `json:"sweeps"`
+	// Active counts sweeps with shards still pending or leased.
+	Active int `json:"active"`
+	// ShardsPending, ShardsLeased and ShardsDone aggregate across sweeps.
+	ShardsPending int `json:"shards_pending"`
+	// ShardsLeased counts shards currently out on lease.
+	ShardsLeased int `json:"shards_leased"`
+	// ShardsDone counts completed shards.
+	ShardsDone int `json:"shards_done"`
+	// ExpiredLeases counts lease expiries across all sweeps.
+	ExpiredLeases int `json:"expired_leases"`
+	// Workers lists workers currently holding leases, sorted.
+	Workers []string `json:"workers,omitempty"`
+}
+
+// fleetIDPattern mirrors the sweep service's client-supplied id shape.
+var fleetIDPattern = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// NewCoordinator builds a coordinator serving the fleet control plane:
+//
+//	POST /sweeps        submit a sweep for fleet execution
+//	GET  /sweeps        list fleet sweeps
+//	GET  /sweeps/{id}   one sweep's status
+//	POST /lease         worker: fetch a shard lease (204 when none pending)
+//	POST /renew         worker: keep a lease alive, pull the incumbent
+//	POST /incumbent     worker: push an incumbent improvement
+//	POST /checkpoint    worker: upload a (partial or final) shard checkpoint
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	c := &Coordinator{
+		cfg:    cfg,
+		sweeps: make(map[string]*fleetSweep),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sweeps", c.handleSubmit)
+	mux.HandleFunc("GET /sweeps", c.handleList)
+	mux.HandleFunc("GET /sweeps/{id}", c.handleStatus)
+	mux.HandleFunc("POST /lease", c.handleLease)
+	mux.HandleFunc("POST /renew", c.handleRenew)
+	mux.HandleFunc("POST /incumbent", c.handleIncumbent)
+	mux.HandleFunc("POST /checkpoint", c.handleCheckpoint)
+	c.mux = mux
+	return c
+}
+
+// ServeHTTP dispatches to the coordinator's routes.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// reapLocked expires lapsed leases, returning their shards to the pending
+// pool. Called with c.mu held, on every handler entry, so expiry needs no
+// background timer: liveness only matters when someone is asking for work.
+func (c *Coordinator) reapLocked(now time.Time) {
+	for _, id := range c.order {
+		fs := c.sweeps[id]
+		for i := range fs.shards {
+			sh := &fs.shards[i]
+			if sh.phase == shardLeased && now.After(sh.expires) {
+				c.logf("fleet: sweep %s shard %d lease %s (worker %s) expired; shard back to pending",
+					fs.id, i, sh.leaseID, sh.worker)
+				sh.phase = shardPending
+				sh.leaseID = ""
+				sh.worker = ""
+				fs.stats.ExpiredLeases++
+			}
+		}
+	}
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad submit body: %v", err)
+		return
+	}
+	spec := req.Spec
+	if spec.Shard != nil {
+		writeError(w, http.StatusBadRequest, "spec carries a shard slice; sharding is the coordinator's job")
+		return
+	}
+	if spec.ID == "" {
+		spec.ID = newFleetID()
+	} else if !fleetIDPattern.MatchString(spec.ID) {
+		writeError(w, http.StatusBadRequest, "sweep id %q: want %s", spec.ID, fleetIDPattern)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	cands, err := spec.Candidates()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "candidates: %v", err)
+		return
+	}
+	graphs, err := spec.Graphs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "graphs: %v", err)
+		return
+	}
+	if c.cfg.MaxCells > 0 && len(cands)*len(graphs) > c.cfg.MaxCells {
+		writeError(w, http.StatusUnprocessableEntity, "sweep grid %d cells exceeds server limit %d",
+			len(cands)*len(graphs), c.cfg.MaxCells)
+		return
+	}
+	shards := req.Shards
+	if shards < 1 {
+		writeError(w, http.StatusBadRequest, "shards = %d, want >= 1", shards)
+		return
+	}
+	if shards > len(cands) {
+		shards = len(cands)
+	}
+
+	fs := &fleetSweep{
+		id:     spec.ID,
+		spec:   spec,
+		opt:    spec.Options(),
+		cands:  cands,
+		graphs: graphs,
+		shards: make([]shardState, shards),
+		ses:    dse.NewSession(),
+	}
+	for i := range fs.shards {
+		// Shard i keeps candidates at enumeration indices ≡ i (mod shards).
+		fs.shards[i].candidates = (len(cands) - i + shards - 1) / shards
+	}
+	if c.cfg.LoadCheckpoint != nil {
+		if prior := c.cfg.LoadCheckpoint(spec.ID); len(prior) > 0 {
+			if err := fs.ses.LoadCheckpoint(bytes.NewReader(prior)); err != nil {
+				writeError(w, http.StatusConflict, "prior checkpoint for %q: %v", spec.ID, err)
+				return
+			}
+		}
+	}
+
+	c.mu.Lock()
+	if _, dup := c.sweeps[fs.id]; dup {
+		c.mu.Unlock()
+		writeError(w, http.StatusConflict, "fleet sweep %q already exists", fs.id)
+		return
+	}
+	c.sweeps[fs.id] = fs
+	c.order = append(c.order, fs.id)
+	st := c.statusLocked(fs)
+	c.mu.Unlock()
+
+	c.logf("fleet: sweep %s submitted: %d candidates x %d models in %d shards (%d cells resumed)",
+		fs.id, len(cands), len(graphs), shards, fs.ses.CheckpointCells())
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	c.reapLocked(c.cfg.now())
+	list := make([]SweepStatus, 0, len(c.order))
+	for _, id := range c.order {
+		list = append(list, c.statusLocked(c.sweeps[id]))
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c.mu.Lock()
+	fs, ok := c.sweeps[id]
+	if !ok {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no fleet sweep %q", id)
+		return
+	}
+	c.reapLocked(c.cfg.now())
+	st := c.statusLocked(fs)
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// statusLocked snapshots a sweep's status. Called with c.mu held.
+func (c *Coordinator) statusLocked(fs *fleetSweep) SweepStatus {
+	now := c.cfg.now()
+	st := SweepStatus{
+		ID:              fs.id,
+		State:           "running",
+		Shards:          len(fs.shards),
+		Candidates:      len(fs.cands),
+		Cells:           len(fs.cands) * len(fs.graphs),
+		CheckpointCells: fs.ses.CheckpointCells(),
+		Incumbent:       fs.inc,
+		Stats:           fs.stats,
+	}
+	if fs.done {
+		st.State = "done"
+	}
+	for i := range fs.shards {
+		sh := &fs.shards[i]
+		switch sh.phase {
+		case shardPending:
+			st.ShardsPending++
+		case shardLeased:
+			st.ShardsLeased++
+			st.Leases = append(st.Leases, LeaseStatus{
+				Shard:       i,
+				LeaseID:     sh.leaseID,
+				Worker:      sh.worker,
+				ExpiresInMS: int(sh.expires.Sub(now).Milliseconds()),
+			})
+		case shardDone:
+			st.ShardsDone++
+		}
+	}
+	return st
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad lease request: %v", err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	c.mu.Lock()
+	now := c.cfg.now()
+	c.reapLocked(now)
+	for _, id := range c.order {
+		fs := c.sweeps[id]
+		if fs.done {
+			continue
+		}
+		for i := range fs.shards {
+			sh := &fs.shards[i]
+			if sh.phase != shardPending {
+				continue
+			}
+			lease, err := c.grantLocked(fs, i, req.Worker, now)
+			if err != nil {
+				c.mu.Unlock()
+				writeError(w, http.StatusInternalServerError, "granting shard: %v", err)
+				return
+			}
+			settled, cells := sh.settledAtLease, sh.candidates*len(fs.graphs)
+			c.mu.Unlock()
+			c.logf("fleet: sweep %s shard %d/%d leased to %s as %s (%d/%d shard cells settled)",
+				lease.SweepID, lease.Shard, lease.Shards, req.Worker, lease.LeaseID,
+				settled, cells)
+			writeJSON(w, http.StatusOK, lease)
+			return
+		}
+	}
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// grantLocked leases shard i of fs to worker. Called with c.mu held.
+func (c *Coordinator) grantLocked(fs *fleetSweep, i int, worker string, now time.Time) (*Lease, error) {
+	sh := &fs.shards[i]
+	sp := fs.spec
+	sp.Shard = &dse.ShardSpec{Index: i, Count: len(fs.shards)}
+	sp.ID = fmt.Sprintf("%s.s%d", fs.id, i)
+
+	shardCands := make([]arch.Config, 0, sh.candidates)
+	for j := i; j < len(fs.cands); j += len(fs.shards) {
+		shardCands = append(shardCands, fs.cands[j])
+	}
+
+	c.leaseSeq++
+	ttl := c.cfg.leaseTTL()
+	lease := &Lease{
+		SweepID:   fs.id,
+		LeaseID:   fmt.Sprintf("lease-%d", c.leaseSeq),
+		Shard:     i,
+		Shards:    len(fs.shards),
+		Spec:      sp,
+		Incumbent: fs.inc,
+		TTLMS:     int(ttl.Milliseconds()),
+	}
+	if fs.ses.CheckpointCells() > 0 {
+		var buf bytes.Buffer
+		if err := fs.ses.SaveCheckpoint(&buf); err != nil {
+			return nil, err
+		}
+		lease.Checkpoint = buf.Bytes()
+	}
+
+	sh.phase = shardLeased
+	sh.leaseID = lease.LeaseID
+	sh.worker = worker
+	sh.expires = now.Add(ttl)
+	sh.settledAtLease = fs.ses.SettledCells(shardCands, fs.graphs, fs.opt)
+	return lease, nil
+}
+
+// findLeaseLocked resolves a (sweep, lease) pair to its shard index, or -1
+// when the lease is gone (expired, superseded or never granted). Called
+// with c.mu held.
+func (c *Coordinator) findLeaseLocked(fs *fleetSweep, leaseID string) int {
+	for i := range fs.shards {
+		sh := &fs.shards[i]
+		if sh.phase == shardLeased && sh.leaseID == leaseID {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req RenewRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad renew request: %v", err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	c.mu.Lock()
+	now := c.cfg.now()
+	c.reapLocked(now)
+	fs, ok := c.sweeps[req.SweepID]
+	if !ok {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no fleet sweep %q", req.SweepID)
+		return
+	}
+	i := c.findLeaseLocked(fs, req.LeaseID)
+	if i < 0 {
+		c.mu.Unlock()
+		writeError(w, http.StatusGone, "lease %s is no longer live", req.LeaseID)
+		return
+	}
+	ttl := c.cfg.leaseTTL()
+	fs.shards[i].expires = now.Add(ttl)
+	resp := RenewResponse{TTLMS: int(ttl.Milliseconds()), Incumbent: fs.inc}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// foldIncumbentLocked folds an achieved feasible objective into the sweep's
+// fleet-wide incumbent (monotone min). Called with c.mu held.
+func (fs *fleetSweep) foldIncumbentLocked(candidate string, obj float64) bool {
+	if obj < fs.inc.best() {
+		fs.inc = IncumbentState{Found: true, Candidate: candidate, Objective: obj}
+		return true
+	}
+	return false
+}
+
+func (c *Coordinator) handleIncumbent(w http.ResponseWriter, r *http.Request) {
+	var up IncumbentUpdate
+	if err := json.NewDecoder(r.Body).Decode(&up); err != nil {
+		writeError(w, http.StatusBadRequest, "bad incumbent update: %v", err)
+		return
+	}
+	if err := up.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	c.mu.Lock()
+	fs, ok := c.sweeps[up.SweepID]
+	if !ok {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no fleet sweep %q", up.SweepID)
+		return
+	}
+	improved := fs.foldIncumbentLocked(up.Candidate, up.Objective)
+	state := fs.inc
+	c.mu.Unlock()
+
+	if improved {
+		c.logf("fleet: sweep %s incumbent -> %.6g (%s)", up.SweepID, state.Objective, state.Candidate)
+	}
+	writeJSON(w, http.StatusOK, state)
+}
+
+func (c *Coordinator) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	var up CheckpointUpload
+	if err := json.NewDecoder(r.Body).Decode(&up); err != nil {
+		writeError(w, http.StatusBadRequest, "bad checkpoint upload: %v", err)
+		return
+	}
+	if err := up.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	c.mu.Lock()
+	now := c.cfg.now()
+	c.reapLocked(now)
+	fs, ok := c.sweeps[up.SweepID]
+	if !ok {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no fleet sweep %q", up.SweepID)
+		return
+	}
+	// Merge first, regardless of lease liveness: settled cells are valid
+	// whoever computed them, and dropping a dying worker's last upload
+	// would recompute work for no reason.
+	if err := fs.ses.LoadCheckpoint(bytes.NewReader(up.Checkpoint)); err != nil {
+		c.mu.Unlock()
+		writeError(w, http.StatusBadRequest, "merging checkpoint: %v", err)
+		return
+	}
+	fs.stats.Uploads++
+	// An achieved best folds even from a stale lease — it is still sound.
+	if up.Best != nil {
+		fs.foldIncumbentLocked(up.Best.Candidate, up.Best.Objective)
+	}
+
+	i := c.findLeaseLocked(fs, up.LeaseID)
+	if i < 0 {
+		c.mu.Unlock()
+		writeError(w, http.StatusGone, "lease %s is no longer live (checkpoint merged)", up.LeaseID)
+		return
+	}
+	sh := &fs.shards[i]
+	// Any upload on a live lease proves the worker is alive; extend it.
+	sh.expires = now.Add(c.cfg.leaseTTL())
+
+	var persistID string
+	var persistBytes []byte
+	if up.Complete {
+		sh.phase = shardDone
+		sh.leaseID = ""
+		if st := up.Stats; st != nil {
+			fs.stats.SAIterations += st.SAIterations
+			fs.stats.ResumedCells += st.ResumedCells
+			fs.stats.PrunedCandidates += st.PrunedCandidates
+			if rec := sh.settledAtLease - st.ResumedCells; rec > 0 {
+				fs.stats.RecomputedSettledCells += rec
+			}
+		}
+		allDone := true
+		for j := range fs.shards {
+			if fs.shards[j].phase != shardDone {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			fs.done = true
+			var buf bytes.Buffer
+			if err := fs.ses.SaveCheckpoint(&buf); err == nil {
+				persistID, persistBytes = fs.id, buf.Bytes()
+			} else {
+				c.logf("fleet: sweep %s: canonical checkpoint save failed: %v", fs.id, err)
+			}
+		}
+	}
+	resp := CheckpointResponse{Incumbent: fs.inc, SweepDone: fs.done}
+	c.mu.Unlock()
+
+	if up.Complete {
+		c.logf("fleet: sweep %s shard %d complete (worker %s); sweep done=%v", up.SweepID, i, up.Worker, resp.SweepDone)
+	}
+	if persistBytes != nil && c.cfg.Persist != nil {
+		c.cfg.Persist(persistID, persistBytes)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Health snapshots the coordinator for the sweep service's /healthz block.
+func (c *Coordinator) Health() Health {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(c.cfg.now())
+	var h Health
+	h.Sweeps = len(c.order)
+	var workers []string
+	seen := make(map[string]bool)
+	for _, id := range c.order {
+		fs := c.sweeps[id]
+		if !fs.done {
+			h.Active++
+		}
+		h.ExpiredLeases += fs.stats.ExpiredLeases
+		for i := range fs.shards {
+			sh := &fs.shards[i]
+			switch sh.phase {
+			case shardPending:
+				h.ShardsPending++
+			case shardLeased:
+				h.ShardsLeased++
+				if !seen[sh.worker] {
+					seen[sh.worker] = true
+					workers = append(workers, sh.worker)
+				}
+			case shardDone:
+				h.ShardsDone++
+			}
+		}
+	}
+	sort.Strings(workers)
+	h.Workers = workers
+	return h
+}
+
+// Status returns one sweep's status snapshot, for tests and the service.
+func (c *Coordinator) Status(id string) (SweepStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fs, ok := c.sweeps[id]
+	if !ok {
+		return SweepStatus{}, false
+	}
+	c.reapLocked(c.cfg.now())
+	return c.statusLocked(fs), true
+}
+
+// Checkpoint returns the sweep's current merged canonical checkpoint bytes.
+func (c *Coordinator) Checkpoint(id string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fs, ok := c.sweeps[id]
+	if !ok {
+		return nil, false
+	}
+	var buf bytes.Buffer
+	if err := fs.ses.SaveCheckpoint(&buf); err != nil {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// newFleetID mints a random sweep id for submissions that carry none.
+func newFleetID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("fleet-%d", time.Now().UnixNano())
+	}
+	return "fleet-" + hex.EncodeToString(b[:])
+}
+
+// errorBody mirrors the sweep service's error shape.
+type errorBody struct {
+	// Error is the human-readable failure description.
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzFleetWire drives arbitrary bytes through the decode+validate path of
+// every fleet wire envelope a coordinator or worker accepts off the network
+// — lease grants, incumbent updates and checkpoint-merge envelopes — and
+// checks the round-trip property: anything that decodes and validates must
+// re-marshal, and the re-marshaled form must decode and validate again.
+// The seed corpus lives in testdata/fuzz/FuzzFleetWire.
+func FuzzFleetWire(f *testing.F) {
+	seeds := []string{
+		// A plausible lease grant with a shard-scoped spec and checkpoint.
+		`{"sweep_id":"s1","lease_id":"lease-1","shard":0,"shards":2,` +
+			`"spec":{"id":"s1.s0","space":{"tops":72,"cuts":[1],"dram_per_tops":[2],` +
+			`"noc_gbps":[32,64],"d2d_ratios":[0.5],"glb_kb":[1024],"macs":[1024]},` +
+			`"models":["tinycnn"],"sa_iterations":60,"shard":{"index":0,"count":2}},` +
+			`"incumbent":{"found":true,"candidate":"c","objective":1.5},` +
+			`"ttl_ms":10000,"checkpoint":{"version":1,"cells":{}}}`,
+		// An incumbent update and its fan-out state.
+		`{"sweep_id":"s1","candidate":"(1, 36, 147GB/s)","objective":6.7e-7}`,
+		`{"found":true,"candidate":"c","objective":0.25}`,
+		// A checkpoint-merge envelope, complete with stats and best.
+		`{"sweep_id":"s1","lease_id":"lease-2","worker":"w1","complete":true,` +
+			`"stats":{"candidates":2,"cells":2,"sa_iterations":120,"resumed_cells":1,` +
+			`"pruned_candidates":0},"best":{"candidate":"c","objective":2},` +
+			`"checkpoint":{"version":1,"cells":{"0000/m/0000":{}}}}`,
+		// Hostile shapes: non-finite objectives smuggled as strings, shard
+		// out of range, duplicate keys, deep junk, truncation.
+		`{"sweep_id":"s","candidate":"c","objective":1e309}`,
+		`{"sweep_id":"s","lease_id":"l","shard":3,"shards":2,"ttl_ms":-5}`,
+		`{"sweep_id":"a","sweep_id":"b","lease_id":"l","checkpoint":"not-an-object"}`,
+		`{"incumbent":{"found":true,"objective":`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{"worker":"x\\ud800"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkRoundTrip[Lease](t, data)
+		checkRoundTrip[LeaseRequest](t, data)
+		checkRoundTrip[RenewRequest](t, data)
+		checkRoundTrip[RenewResponse](t, data)
+		checkRoundTrip[IncumbentUpdate](t, data)
+		checkRoundTrip[IncumbentState](t, data)
+		checkRoundTrip[CheckpointUpload](t, data)
+		checkRoundTrip[CheckpointResponse](t, data)
+	})
+}
+
+// validatable is the shape shared by fuzzed wire messages.
+type validatable interface {
+	Validate() error
+}
+
+// checkRoundTrip decodes data as T exactly like the handlers do and, when
+// the value decodes and validates, requires marshal → decode → validate to
+// survive unchanged in validity.
+func checkRoundTrip[T any](t *testing.T, data []byte) {
+	var v T
+	if err := json.NewDecoder(bytes.NewReader(data)).Decode(&v); err != nil {
+		return
+	}
+	validator, ok := any(&v).(validatable)
+	if !ok {
+		t.Fatalf("%T has no Validate method", v)
+	}
+	if err := validator.Validate(); err != nil {
+		return
+	}
+	out, err := json.Marshal(&v)
+	if err != nil {
+		t.Fatalf("valid %T failed to marshal: %v", v, err)
+	}
+	var back T
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("re-decoding marshaled %T: %v\n%s", v, err, out)
+	}
+	if err := any(&back).(validatable).Validate(); err != nil {
+		t.Fatalf("%T became invalid across a marshal round trip: %v\n%s", v, err, out)
+	}
+}

@@ -1,0 +1,304 @@
+// Wire messages of the fleet protocol: the JSON bodies workers and the
+// coordinator exchange over the lease, renew, incumbent and checkpoint
+// endpoints. Every message is a plain JSON struct with a Validate method,
+// so the fuzz harness (FuzzFleetWire) can drive arbitrary bytes through
+// exactly the decode path the handlers use. Objectives on the wire are
+// always achieved finite values — "no incumbent yet" travels as
+// IncumbentState.Found=false, never as +Inf, which JSON cannot carry.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"gemini/internal/dse"
+)
+
+// LeaseRequest is a worker's POST /lease body: an idle worker asking the
+// coordinator for a shard to run.
+type LeaseRequest struct {
+	// Worker names the requesting worker process (for lease accounting and
+	// the fleet health block); required.
+	Worker string `json:"worker"`
+}
+
+// Validate checks the request shape.
+func (r *LeaseRequest) Validate() error {
+	if r.Worker == "" {
+		return fmt.Errorf("fleet: lease request has no worker name")
+	}
+	return nil
+}
+
+// IncumbentState is the coordinator's view of a fleet sweep's best achieved
+// feasible objective. It rides on every lease grant, renew response,
+// incumbent push response and checkpoint response, so a worker's cached
+// fleet-wide best is refreshed by every control-plane round trip.
+type IncumbentState struct {
+	// Found reports that some shard has achieved a feasible result; when
+	// false the other fields are zero and the state means "+Inf".
+	Found bool `json:"found"`
+	// Candidate names the architecture that achieved the incumbent.
+	Candidate string `json:"candidate,omitempty"`
+	// Objective is the achieved objective value (finite when Found).
+	Objective float64 `json:"objective,omitempty"`
+}
+
+// Validate checks the state's finiteness invariant: a found incumbent must
+// carry a finite achieved objective.
+func (s *IncumbentState) Validate() error {
+	if s.Found && (math.IsNaN(s.Objective) || math.IsInf(s.Objective, 0)) {
+		return fmt.Errorf("fleet: incumbent state objective %v is not finite", s.Objective)
+	}
+	return nil
+}
+
+// best returns the state as a foldable objective: the achieved value when
+// Found, +Inf otherwise.
+func (s IncumbentState) best() float64 {
+	if !s.Found {
+		return math.Inf(1)
+	}
+	return s.Objective
+}
+
+// Lease is the coordinator's POST /lease grant: one shard of one fleet
+// sweep, scoped by a shard-sliced dse.Spec, together with everything the
+// worker needs to start warm — the current merged checkpoint and the
+// current fleet-wide incumbent.
+type Lease struct {
+	// SweepID names the fleet sweep the shard belongs to.
+	SweepID string `json:"sweep_id"`
+	// LeaseID names this grant; renewals and uploads must echo it, and a
+	// grant that expires is reissued to another worker under a new id.
+	LeaseID string `json:"lease_id"`
+	// Shard and Shards locate the slice: the spec keeps candidates whose
+	// enumeration index ≡ Shard (mod Shards).
+	Shard int `json:"shard"`
+	// Shards is the sweep's total shard count.
+	Shards int `json:"shards"`
+	// Spec is the shard-scoped sweep spec the worker runs verbatim.
+	Spec dse.Spec `json:"spec"`
+	// Incumbent seeds the worker's cached fleet-wide best.
+	Incumbent IncumbentState `json:"incumbent"`
+	// TTLMS is the lease's time-to-live in milliseconds; the worker must
+	// renew within it or the shard is re-leased to another worker.
+	TTLMS int `json:"ttl_ms"`
+	// Checkpoint is the coordinator's current merged checkpoint
+	// (dse.SaveCheckpoint bytes); the worker loads it before running so
+	// cells an expired predecessor already settled restore instead of
+	// recompute. May carry cells outside this shard — harmless by
+	// construction, checkpoints are fingerprint-keyed.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+}
+
+// Validate checks the grant's internal consistency, including that the
+// embedded spec is itself valid and scoped to the advertised shard.
+func (l *Lease) Validate() error {
+	if l.SweepID == "" || l.LeaseID == "" {
+		return fmt.Errorf("fleet: lease missing sweep or lease id")
+	}
+	if l.Shards < 1 || l.Shard < 0 || l.Shard >= l.Shards {
+		return fmt.Errorf("fleet: lease shard %d/%d out of range", l.Shard, l.Shards)
+	}
+	if l.TTLMS <= 0 {
+		return fmt.Errorf("fleet: lease ttl_ms = %d, want > 0", l.TTLMS)
+	}
+	if err := l.Incumbent.Validate(); err != nil {
+		return err
+	}
+	if err := l.Spec.Validate(); err != nil {
+		return fmt.Errorf("fleet: lease spec: %w", err)
+	}
+	if sh := l.Spec.Shard; sh == nil || sh.Index != l.Shard || sh.Count != l.Shards {
+		return fmt.Errorf("fleet: lease spec shard %+v does not match lease shard %d/%d",
+			sh, l.Shard, l.Shards)
+	}
+	return nil
+}
+
+// RenewRequest is a worker's POST /renew body: keep a live lease alive.
+type RenewRequest struct {
+	// SweepID and LeaseID name the lease being renewed.
+	SweepID string `json:"sweep_id"`
+	// LeaseID is the grant to renew.
+	LeaseID string `json:"lease_id"`
+	// Worker echoes the renewing worker's name.
+	Worker string `json:"worker"`
+}
+
+// Validate checks the request shape.
+func (r *RenewRequest) Validate() error {
+	if r.SweepID == "" || r.LeaseID == "" {
+		return fmt.Errorf("fleet: renew request missing sweep or lease id")
+	}
+	return nil
+}
+
+// RenewResponse acknowledges a renewal and piggybacks the current
+// fleet-wide incumbent, so renewing doubles as the worker's incumbent pull.
+type RenewResponse struct {
+	// TTLMS restates the lease time-to-live granted by this renewal.
+	TTLMS int `json:"ttl_ms"`
+	// Incumbent is the fleet-wide best at renewal time.
+	Incumbent IncumbentState `json:"incumbent"`
+}
+
+// Validate checks the response a worker accepts off the wire.
+func (r *RenewResponse) Validate() error {
+	if r.TTLMS <= 0 {
+		return fmt.Errorf("fleet: renew response ttl_ms = %d, want > 0", r.TTLMS)
+	}
+	return r.Incumbent.Validate()
+}
+
+// IncumbentUpdate is a worker's POST /incumbent body: a locally achieved
+// feasible objective that improved the worker's incumbent. The coordinator
+// folds it (monotone min) and answers with the resulting fleet-wide state,
+// which may be better than the pushed value if another shard got there
+// first.
+type IncumbentUpdate struct {
+	// SweepID names the fleet sweep the objective belongs to.
+	SweepID string `json:"sweep_id"`
+	// Candidate names the architecture that achieved the objective.
+	Candidate string `json:"candidate"`
+	// Objective is the achieved feasible objective (must be finite).
+	Objective float64 `json:"objective"`
+}
+
+// Validate checks the update: the pushed objective must be a finite
+// achieved value — the monotone-min fold is only sound over achieved
+// objectives.
+func (u *IncumbentUpdate) Validate() error {
+	if u.SweepID == "" {
+		return fmt.Errorf("fleet: incumbent update missing sweep id")
+	}
+	if math.IsNaN(u.Objective) || math.IsInf(u.Objective, 0) {
+		return fmt.Errorf("fleet: incumbent update objective %v is not finite", u.Objective)
+	}
+	return nil
+}
+
+// ShardStats is the worker-side sweep accounting a completed shard reports:
+// the dse.SweepStats fields the coordinator aggregates fleet-wide.
+type ShardStats struct {
+	// Candidates and Cells size the shard's slice of the grid.
+	Candidates int `json:"candidates"`
+	// Cells is the shard's (candidate, model) cell count.
+	Cells int `json:"cells"`
+	// SAIterations is the shard sweep's total annealing iterations.
+	SAIterations int `json:"sa_iterations"`
+	// ResumedCells counts cells restored from the lease checkpoint instead
+	// of recomputed — the zero-recompute re-shard claim is audited from it.
+	ResumedCells int `json:"resumed_cells"`
+	// PrunedCandidates counts candidates the shard's bound gate skipped.
+	PrunedCandidates int `json:"pruned_candidates"`
+}
+
+// Validate checks the counters are non-negative.
+func (s *ShardStats) Validate() error {
+	for _, c := range [...]struct {
+		name string
+		v    int
+	}{
+		{"candidates", s.Candidates}, {"cells", s.Cells},
+		{"sa_iterations", s.SAIterations}, {"resumed_cells", s.ResumedCells},
+		{"pruned_candidates", s.PrunedCandidates},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("fleet: shard stats %s = %d, want >= 0", c.name, c.v)
+		}
+	}
+	return nil
+}
+
+// ShardBest is a completed shard's best feasible candidate, folded into the
+// fleet incumbent synchronously at upload time — which is what makes a
+// sequential one-worker fleet's pruning deterministic.
+type ShardBest struct {
+	// Candidate names the shard's best feasible architecture.
+	Candidate string `json:"candidate"`
+	// Objective is its achieved objective.
+	Objective float64 `json:"objective"`
+}
+
+// Validate checks the objective is a finite achieved value.
+func (b *ShardBest) Validate() error {
+	if math.IsNaN(b.Objective) || math.IsInf(b.Objective, 0) {
+		return fmt.Errorf("fleet: shard best objective %v is not finite", b.Objective)
+	}
+	return nil
+}
+
+// CheckpointUpload is a worker's POST /checkpoint body: the checkpoint-
+// merge envelope. Workers stream partial uploads (Complete=false, coalesced
+// per settled candidate) so an expiring lease loses at most the in-flight
+// cells, and send one final Complete=true upload carrying the shard's stats
+// and best when the shard sweep finishes.
+type CheckpointUpload struct {
+	// SweepID and LeaseID name the lease the upload belongs to.
+	SweepID string `json:"sweep_id"`
+	// LeaseID is the grant the upload runs under; a stale id still merges
+	// (settled cells are valid regardless of who computed them) but answers
+	// 410 so the worker learns its lease lapsed.
+	LeaseID string `json:"lease_id"`
+	// Worker echoes the uploading worker's name.
+	Worker string `json:"worker"`
+	// Complete marks the shard finished; Stats and Best are then read.
+	Complete bool `json:"complete,omitempty"`
+	// Stats is the shard sweep's accounting (Complete uploads only).
+	Stats *ShardStats `json:"stats,omitempty"`
+	// Best is the shard's best feasible result, if any (Complete uploads
+	// only).
+	Best *ShardBest `json:"best,omitempty"`
+	// Checkpoint is the worker session's dse.SaveCheckpoint bytes; the
+	// coordinator merges it into the sweep's canonical checkpoint.
+	Checkpoint json.RawMessage `json:"checkpoint"`
+}
+
+// Validate checks the envelope shape and its nested records.
+func (u *CheckpointUpload) Validate() error {
+	if u.SweepID == "" || u.LeaseID == "" {
+		return fmt.Errorf("fleet: checkpoint upload missing sweep or lease id")
+	}
+	if len(u.Checkpoint) == 0 {
+		return fmt.Errorf("fleet: checkpoint upload has no checkpoint bytes")
+	}
+	if u.Stats != nil {
+		if err := u.Stats.Validate(); err != nil {
+			return err
+		}
+	}
+	if u.Best != nil {
+		if err := u.Best.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckpointResponse acknowledges an upload with the post-merge fleet
+// state.
+type CheckpointResponse struct {
+	// Incumbent is the fleet-wide best after folding the upload.
+	Incumbent IncumbentState `json:"incumbent"`
+	// SweepDone reports that every shard of the sweep is now complete.
+	SweepDone bool `json:"sweep_done"`
+}
+
+// Validate checks the response a worker accepts off the wire.
+func (r *CheckpointResponse) Validate() error {
+	return r.Incumbent.Validate()
+}
+
+// SubmitRequest is the POST /sweeps body: a client submitting a sweep for
+// fleet execution.
+type SubmitRequest struct {
+	// Spec is the full (unsharded) sweep spec; specs carrying a shard slice
+	// are rejected — partitioning is the coordinator's job.
+	Spec dse.Spec `json:"spec"`
+	// Shards is how many shard leases to cut the candidate grid into; it is
+	// clamped to the candidate count.
+	Shards int `json:"shards"`
+}

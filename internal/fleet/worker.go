@@ -1,0 +1,467 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gemini/internal/dse"
+)
+
+// WorkerConfig configures a fleet worker process.
+type WorkerConfig struct {
+	// Coordinator is the base URL of the coordinator API, including any
+	// mount prefix — e.g. "http://host:8080/fleet" against the sweep
+	// service, or an httptest server URL against a bare Coordinator.
+	Coordinator string
+	// Name identifies the worker in leases and logs (default
+	// "worker-<pid>").
+	Name string
+	// Poll is the idle re-poll interval when no shard is pending (default
+	// 500ms).
+	Poll time.Duration
+	// Workers overrides the shard spec's parallelism when > 0; 0 runs each
+	// shard at the spec's own Workers setting.
+	Workers int
+	// DisableSharing runs shards without the fleet incumbent: the worker
+	// neither seeds its pruning from lease incumbents nor pushes
+	// improvements. It exists for the no-sharing twin in BenchmarkFleetSweep
+	// and for apples-to-apples measurements; production fleets leave it off.
+	DisableSharing bool
+	// ExitWhenIdle returns from RunWorker the first time the coordinator
+	// answers 204 (no shard pending) instead of polling. Benchmarks and
+	// tests drain a fixed workload with it; long-lived workers leave it off.
+	ExitWhenIdle bool
+	// Client overrides the HTTP client (default: 30s timeout).
+	Client *http.Client
+	// Logf receives worker logs (default: discard).
+	Logf func(format string, args ...any)
+	// Session, when set, carries the worker's dse session across RunWorker
+	// calls so the evaluation cache stays warm; default is a fresh session
+	// reused across this RunWorker's shards.
+	Session *dse.Session
+}
+
+func (c *WorkerConfig) name() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("worker-%d", os.Getpid())
+}
+
+func (c *WorkerConfig) poll() time.Duration {
+	if c.Poll > 0 {
+		return c.Poll
+	}
+	return 500 * time.Millisecond
+}
+
+// RunWorker runs the fleet worker loop against cfg.Coordinator: lease a
+// shard, run it as a normal (bound-ordered / racing) sweep with the fleet
+// incumbent threaded into pruning, stream checkpoints up, repeat. It
+// returns when ctx is canceled, or — with ExitWhenIdle — when the
+// coordinator has no shard to grant.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Coordinator == "" {
+		return errors.New("fleet: worker has no coordinator URL")
+	}
+	cl := &client{
+		base:   cfg.Coordinator,
+		hc:     cfg.Client,
+		worker: cfg.name(),
+	}
+	if cl.hc == nil {
+		cl.hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	w := &worker{cfg: cfg, cl: cl, ses: cfg.Session}
+	if w.ses == nil {
+		w.ses = dse.NewSession()
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, err := cl.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("fleet worker %s: lease: %v", cfg.name(), err)
+			if !sleepCtx(ctx, cfg.poll()) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if lease == nil {
+			if cfg.ExitWhenIdle {
+				return nil
+			}
+			if !sleepCtx(ctx, cfg.poll()) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if err := w.runShard(ctx, lease); err != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// worker bundles the loop state RunWorker threads through shards.
+type worker struct {
+	cfg WorkerConfig
+	cl  *client
+	ses *dse.Session
+}
+
+func (w *worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// runShard executes one leased shard: restore the merged checkpoint, run
+// the shard-scoped sweep with the fleet exchange wired into pruning, renew
+// the lease in the background, stream partial checkpoints per settled
+// candidate, and finish with a Complete upload carrying stats and best.
+func (w *worker) runShard(ctx context.Context, lease *Lease) error {
+	if err := lease.Validate(); err != nil {
+		w.logf("fleet worker %s: rejecting lease %s: %v", w.cfg.name(), lease.LeaseID, err)
+		return err
+	}
+	cands, err := lease.Spec.Candidates()
+	if err != nil {
+		return err
+	}
+	graphs, err := lease.Spec.Graphs()
+	if err != nil {
+		return err
+	}
+	if len(lease.Checkpoint) > 0 {
+		if err := w.ses.LoadCheckpoint(bytes.NewReader(lease.Checkpoint)); err != nil {
+			return fmt.Errorf("fleet: loading lease checkpoint: %w", err)
+		}
+	}
+	w.logf("fleet worker %s: running sweep %s shard %d/%d: %d candidates, lease %s",
+		w.cfg.name(), lease.SweepID, lease.Shard, lease.Shards, len(cands), lease.LeaseID)
+
+	shardCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	ex := newExchange(w.cl, lease.SweepID, !w.cfg.DisableSharing)
+	if !w.cfg.DisableSharing {
+		ex.fold(lease.Incumbent.best())
+	}
+
+	opt := lease.Spec.Options()
+	if w.cfg.Workers > 0 {
+		opt.Workers = w.cfg.Workers
+	}
+	if !w.cfg.DisableSharing {
+		opt.Incumbent = ex
+	}
+
+	// Coalesced partial checkpoint uploads: each settled candidate pokes
+	// the uploader, which snapshots the session checkpoint and ships it.
+	// Uploads prove liveness (the coordinator extends the lease), so a
+	// worker that is making progress never expires even if a renew is lost.
+	ckptPoke := make(chan struct{}, 1)
+	prevOnResult := opt.OnResult
+	opt.OnResult = func(res dse.CandidateResult) {
+		if prevOnResult != nil {
+			prevOnResult(res)
+		}
+		select {
+		case ckptPoke <- struct{}{}:
+		default:
+		}
+	}
+
+	stop := make(chan struct{})
+	var bg sync.WaitGroup
+
+	// Lease renewal at a third of the TTL. A 410 means the lease lapsed
+	// (the shard is someone else's now): cancel the sweep — finished cells
+	// are already uploaded, so walking away loses almost nothing.
+	ttl := time.Duration(lease.TTLMS) * time.Millisecond
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		tick := ttl / 3
+		if tick < 20*time.Millisecond {
+			tick = 20 * time.Millisecond
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-shardCtx.Done():
+				return
+			case <-t.C:
+				var resp RenewResponse
+				code, err := w.cl.post(shardCtx, "/renew",
+					&RenewRequest{SweepID: lease.SweepID, LeaseID: lease.LeaseID, Worker: w.cfg.name()}, &resp)
+				switch {
+				case err != nil:
+					// Transient: uploads also renew, and the next tick
+					// retries.
+				case code == http.StatusGone, code == http.StatusNotFound:
+					w.logf("fleet worker %s: lease %s lapsed; abandoning shard", w.cfg.name(), lease.LeaseID)
+					cancel()
+					return
+				case code == http.StatusOK:
+					ex.fold(resp.Incumbent.best())
+				}
+			}
+		}
+	}()
+
+	// Incumbent pusher: forwards locally achieved improvements and folds
+	// the coordinator's (possibly better) answer back into the cache.
+	if !w.cfg.DisableSharing {
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-shardCtx.Done():
+					return
+				case <-ex.poke:
+					for u := ex.take(); u != nil; u = ex.take() {
+						var st IncumbentState
+						code, err := w.cl.post(shardCtx, "/incumbent", u, &st)
+						if err == nil && code == http.StatusOK {
+							ex.fold(st.best())
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	// Partial checkpoint uploader.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-shardCtx.Done():
+				return
+			case <-ckptPoke:
+				var buf bytes.Buffer
+				if err := w.ses.SaveCheckpoint(&buf); err != nil {
+					continue
+				}
+				up := &CheckpointUpload{
+					SweepID:    lease.SweepID,
+					LeaseID:    lease.LeaseID,
+					Worker:     w.cfg.name(),
+					Checkpoint: buf.Bytes(),
+				}
+				var resp CheckpointResponse
+				code, err := w.cl.post(shardCtx, "/checkpoint", up, &resp)
+				switch {
+				case err != nil:
+				case code == http.StatusGone, code == http.StatusNotFound:
+					w.logf("fleet worker %s: lease %s lapsed; abandoning shard", w.cfg.name(), lease.LeaseID)
+					cancel()
+					return
+				case code == http.StatusOK:
+					ex.fold(resp.Incumbent.best())
+				}
+			}
+		}
+	}()
+
+	results, stats, runErr := w.ses.RunContext(shardCtx, cands, graphs, opt)
+	close(stop)
+	bg.Wait()
+
+	// Final upload. Complete only when every cell settled: a canceled shard
+	// must stay leased-or-reissued, not be marked done with holes. The
+	// upload itself is still worth sending on cancellation — settled cells
+	// merge soundly whoever finishes the shard.
+	complete := runErr == nil && !stats.Canceled
+	var buf bytes.Buffer
+	if err := w.ses.SaveCheckpoint(&buf); err != nil {
+		return errors.Join(runErr, err)
+	}
+	up := &CheckpointUpload{
+		SweepID:    lease.SweepID,
+		LeaseID:    lease.LeaseID,
+		Worker:     w.cfg.name(),
+		Complete:   complete,
+		Checkpoint: buf.Bytes(),
+	}
+	if complete {
+		up.Stats = &ShardStats{
+			Candidates:       stats.Candidates,
+			Cells:            stats.Cells,
+			SAIterations:     stats.SAIterations,
+			ResumedCells:     stats.ResumedCells,
+			PrunedCandidates: stats.PrunedCandidates,
+		}
+		if best := dse.Best(results); best != nil && best.Feasible {
+			up.Best = &ShardBest{Candidate: best.Cfg.Name, Objective: best.Obj}
+		}
+	}
+	// Detach from shardCtx: the final upload must go out even when the
+	// shard was canceled (worker shutdown or lease lapse).
+	upCtx, upCancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer upCancel()
+	if code, err := w.cl.post(upCtx, "/checkpoint", up, nil); err != nil {
+		w.logf("fleet worker %s: final upload for lease %s failed: %v", w.cfg.name(), lease.LeaseID, err)
+	} else if code != http.StatusOK {
+		w.logf("fleet worker %s: final upload for lease %s answered %d", w.cfg.name(), lease.LeaseID, code)
+	}
+	return runErr
+}
+
+// exchange is the worker-side dse.IncumbentExchange: an atomically cached
+// fleet-wide best, refreshed by every control-plane round trip, plus a
+// coalesced outbox the pusher goroutine drains. Best is read from the
+// scheduler's hot gates, so it must stay a bare atomic load.
+type exchange struct {
+	cl      *client
+	sweepID string
+	share   bool
+	bits    atomic.Uint64
+
+	mu      sync.Mutex
+	pending *IncumbentUpdate
+	poke    chan struct{}
+}
+
+func newExchange(cl *client, sweepID string, share bool) *exchange {
+	e := &exchange{cl: cl, sweepID: sweepID, share: share, poke: make(chan struct{}, 1)}
+	e.bits.Store(math.Float64bits(math.Inf(1)))
+	return e
+}
+
+// Best returns the cached fleet-wide best objective (+Inf when none).
+func (e *exchange) Best() float64 {
+	return math.Float64frombits(e.bits.Load())
+}
+
+// fold lowers the cached best to v if v is better (monotone min).
+func (e *exchange) fold(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	for {
+		old := e.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Improved receives a locally achieved feasible objective from the
+// scheduler, folds it into the cache and queues it for the pusher. Only the
+// newest pending improvement is kept — the coordinator folds min anyway.
+func (e *exchange) Improved(candidate string, obj float64) {
+	e.fold(obj)
+	if !e.share {
+		return
+	}
+	e.mu.Lock()
+	e.pending = &IncumbentUpdate{SweepID: e.sweepID, Candidate: candidate, Objective: obj}
+	e.mu.Unlock()
+	select {
+	case e.poke <- struct{}{}:
+	default:
+	}
+}
+
+// take pops the pending improvement, if any.
+func (e *exchange) take() *IncumbentUpdate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	u := e.pending
+	e.pending = nil
+	return u
+}
+
+// client is the worker's thin JSON-over-HTTP coordinator client.
+type client struct {
+	base   string
+	hc     *http.Client
+	worker string
+}
+
+// post sends in as JSON to base+path and decodes a 2xx response into out
+// (when non-nil). It returns the HTTP status code; non-2xx responses are
+// not errors — callers branch on the code (e.g. 410 lease lapse).
+func (c *client) post(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 && resp.StatusCode != http.StatusNoContent && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	}
+	return resp.StatusCode, nil
+}
+
+// lease asks the coordinator for a shard; (nil, nil) means none pending.
+func (c *client) lease(ctx context.Context) (*Lease, error) {
+	var l Lease
+	code, err := c.post(ctx, "/lease", &LeaseRequest{Worker: c.worker}, &l)
+	if err != nil {
+		return nil, err
+	}
+	switch code {
+	case http.StatusOK:
+		return &l, nil
+	case http.StatusNoContent:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("fleet: lease request answered %d", code)
+	}
+}
+
+// sleepCtx sleeps for d unless ctx ends first; it reports whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

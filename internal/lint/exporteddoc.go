@@ -1,5 +1,5 @@
-// The exporteddoc analyzer: the godoc contract formerly enforced by the
-// standalone cmd/lint-exported walk, as an analyzer so one binary owns all
+// The exporteddoc analyzer: the godoc contract formerly enforced by a
+// standalone exported-doc walk, as an analyzer so one binary owns all
 // custom static analysis. Packages opt in with //gemini:documented; every
 // exported top-level symbol (and the package itself) must carry a doc
 // comment.
@@ -18,7 +18,7 @@ import (
 var ExportedDocAnalyzer = &Analyzer{
 	Name: "exporteddoc",
 	Doc: "in //gemini:documented packages, the package and every exported " +
-		"symbol must have a doc comment (the cmd/lint-exported contract)",
+		"symbol must have a doc comment (the exported-doc contract)",
 	Run: runExportedDoc,
 }
 

@@ -2,7 +2,7 @@
 // go/analysis-style analyzers that mechanically enforce the engine's
 // determinism, fingerprint-completeness, lock-hygiene, hot-path-allocation
 // and error-classification invariants, plus the godoc contract previously
-// policed by cmd/lint-exported. The suite is driven by cmd/geminilint and
+// policed by a standalone exported-doc walk. The suite is driven by cmd/geminilint and
 // runs in CI next to vet; every invariant it checks was once broken (or
 // nearly broken) by a real regression — see docs/lint.md for the history.
 //

@@ -49,6 +49,7 @@ import (
 
 	"gemini/internal/dse"
 	"gemini/internal/faultinject"
+	"gemini/internal/fleet"
 )
 
 // Config sizes and locates a Server. The zero value is usable: it serves
@@ -86,6 +87,11 @@ type Config struct {
 	// DataDir is where per-sweep checkpoints live; empty disables
 	// persistence (sweeps then only share state within the process).
 	DataDir string
+	// FleetLeaseTTL is how long a fleet shard lease lives without renewal
+	// before the coordinator re-shards it onto another worker (default
+	// 10s). Lower it for fast failover in tests; raise it on networks
+	// where renewals may stall.
+	FleetLeaseTTL time.Duration
 	// CacheDir, when set, spills every pool session's shared evaluation
 	// cache to disk (dse.Options.CacheDir semantics): sweeps warm from the
 	// previous process's group evaluations — not just from their own
@@ -147,6 +153,11 @@ type Server struct {
 	// sweep passes through before it may touch a session.
 	queue *sweepQueue
 
+	// fleet is the distributed-sweep coordinator, mounted under /fleet/:
+	// shard leases, incumbent fan-out and checkpoint merging for worker
+	// processes (gemini-serve -worker).
+	fleet *fleet.Coordinator
+
 	mu     sync.Mutex
 	sweeps map[string]*sweep
 	order  []string // sweep ids in registration order (for listing/eviction)
@@ -204,6 +215,8 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /sweeps/{id}/stream", s.handleStream)
 	mux.HandleFunc("DELETE /sweeps/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.fleet = s.newFleetCoordinator()
+	mux.Handle("/fleet/", http.StripPrefix("/fleet", s.fleet))
 	s.mux = mux
 	return s
 }
@@ -508,6 +521,9 @@ type Health struct {
 	// Queue is the sweep queue's snapshot: slot occupancy, per-class
 	// backlog, preemption and rejection counters, per-tenant accounting.
 	Queue *QueueHealth `json:"queue,omitempty"`
+	// Fleet is the distributed-sweep coordinator's snapshot: sweep and
+	// shard counts, live lease holders, lease-expiry total.
+	Fleet *fleet.Health `json:"fleet,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -541,6 +557,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		})
 	}
 	h.Queue = s.queue.health()
+	fh := s.fleet.Health()
+	h.Fleet = &fh
 	for _, st := range s.statuses() {
 		switch st.State {
 		case StateQueued:
